@@ -1,0 +1,17 @@
+"""Bench: ablation — pipeline chunk-count sweep vs Eq. 4's optimum."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_chunk_sweep(benchmark):
+    rows = run_once(benchmark, ablations.run_chunk_sweep)
+    print()
+    print(ablations.format_tables([], [], rows).split("\n\n")[0])
+    best = min(rows, key=lambda r: r.time_ms)
+    flagged = next(r for r in rows if r.is_analytical_optimum)
+    # The analytical optimum lands within a factor of two of the simulated
+    # one, and costs at most 10% more time.
+    assert 0.5 <= flagged.nchunks / best.nchunks <= 2.0
+    assert flagged.time_ms <= best.time_ms * 1.10

@@ -1,0 +1,15 @@
+"""Bench: ablation — overlapped double tree without duplicated NVLinks."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_channel_conflict(benchmark):
+    rows = run_once(benchmark, ablations.run_conflict_ablation)
+    print()
+    print(ablations.format_tables([], rows, []).split("\n\n")[0])
+    # Without the extra physical channels the two trees contend and the
+    # overlapped double tree loses a large part of its advantage
+    # (paper Observation #4's justification).
+    assert all(r.contention_slowdown > 1.3 for r in rows)

@@ -1,0 +1,13 @@
+"""Bench: ablation — detour routes vs PCIe host fallback."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_detour_vs_pcie(benchmark):
+    rows = run_once(benchmark, ablations.run_detour_ablation)
+    print()
+    print(ablations.format_tables(rows, [], []).split("\n\n")[0])
+    # The detour route must clearly beat routing through the host.
+    assert all(r.detour_speedup > 1.5 for r in rows)

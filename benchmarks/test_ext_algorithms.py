@@ -1,0 +1,20 @@
+"""Bench: extension — AllReduce algorithm design-space comparison."""
+
+from conftest import run_once
+
+from repro.experiments import ext_algorithms
+
+
+def test_ext_algorithm_comparison(benchmark):
+    rows = run_once(benchmark, ext_algorithms.run)
+    print()
+    print(ext_algorithms.format_table(rows))
+    by_algo_small = {
+        r.algorithm: r for r in rows if r.nbytes == min(x.nbytes for x in rows)
+    }
+    # Log-latency algorithms beat the ring on small messages.
+    assert (by_algo_small["halving-doubling"].time_ms
+            < by_algo_small["ring"].time_ms)
+    # Only the trees preserve chunk order (what chaining needs).
+    for row in rows:
+        assert row.in_order == ("tree" in row.algorithm)

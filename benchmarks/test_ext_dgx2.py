@@ -1,0 +1,13 @@
+"""Bench: extension — C-Cube on an NVSwitch (DGX-2) crossbar."""
+
+from conftest import run_once
+
+from repro.experiments import ext_dgx2
+
+
+def test_ext_dgx2(benchmark):
+    rows = run_once(benchmark, ext_dgx2.run)
+    print()
+    print(ext_dgx2.format_table(rows))
+    assert all(r.detour_transfers == 0 for r in rows if r.system == "dgx2")
+    assert all(r.overlap_speedup > 1.5 for r in rows)

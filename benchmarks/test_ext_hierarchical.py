@@ -1,0 +1,13 @@
+"""Bench: extension — hierarchical C-Cube across multi-GPU nodes."""
+
+from conftest import run_once
+
+from repro.experiments import ext_hierarchical
+
+
+def test_ext_hierarchical(benchmark):
+    rows = run_once(benchmark, ext_hierarchical.run)
+    print()
+    print(ext_hierarchical.format_table(rows))
+    assert all(r.total_speedup > 1.5 for r in rows)
+    assert all(r.turnaround_speedup > 5.0 for r in rows)

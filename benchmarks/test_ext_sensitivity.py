@@ -1,0 +1,13 @@
+"""Bench: extension — alpha/beta sensitivity of the overlap benefit."""
+
+from conftest import run_once
+
+from repro.experiments import ext_sensitivity
+
+
+def test_ext_sensitivity(benchmark):
+    rows = run_once(benchmark, ext_sensitivity.run)
+    print()
+    print(ext_sensitivity.format_table(rows))
+    assert all(1.0 < r.overlap_speedup <= 2.0 for r in rows)
+    assert max(r.turnaround_speedup for r in rows) > 10.0

@@ -1,0 +1,20 @@
+"""Bench: extension — automated double-tree embedding search."""
+
+from conftest import run_once
+
+from repro.experiments import ext_tree_search
+
+
+def test_ext_tree_search(benchmark):
+    rows = run_once(benchmark, ext_tree_search.run)
+    print()
+    print(ext_tree_search.format_table(rows))
+    by_key = {(r.topology, r.source): r for r in rows}
+    hand = by_key[("dgx1", "hand-crafted")]
+    found = by_key[("dgx1", "search")]
+    # The search matches or beats the hand-crafted embedding quality
+    # and never produces an infeasible pair.
+    assert found.conflicts <= hand.conflicts
+    assert found.detours <= hand.detours
+    assert all(r.infeasible == 0 for r in rows)
+    assert found.ccube_comm_ms <= hand.ccube_comm_ms * 1.01

@@ -1,0 +1,14 @@
+"""Bench: extension — strategies across the extended workload library."""
+
+from conftest import run_once
+
+from repro.experiments import ext_workloads
+
+
+def test_ext_workloads(benchmark):
+    rows = run_once(benchmark, ext_workloads.run)
+    print()
+    print(ext_workloads.format_table(rows))
+    for row in rows:
+        assert row.ccube_speedup_over_baseline >= 1.0
+        assert row.normalized["CC"] >= row.normalized["B"] - 1e-12

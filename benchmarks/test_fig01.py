@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 1 (AllReduce fraction per workload)."""
+
+from conftest import run_once
+
+from repro.experiments import fig01_allreduce_ratio as fig01
+
+
+def test_fig01_allreduce_ratio(benchmark):
+    rows = run_once(benchmark, fig01.run)
+    print()
+    print(fig01.format_table(rows))
+    fractions = [r.allreduce_fraction for r in rows]
+    assert max(fractions) > 0.5  # SSD up to ~60%
+    assert min(fractions) > 0.05  # even NCF pays ~10%

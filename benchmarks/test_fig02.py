@@ -1,0 +1,14 @@
+"""Bench: quantified paper Fig. 2 (overlap scheme comparison)."""
+
+from conftest import run_once
+
+from repro.experiments import fig02_overlap_comparison as fig02
+
+
+def test_fig02_overlap_schemes(benchmark):
+    rows = run_once(benchmark, fig02.run)
+    print()
+    print(fig02.format_table(rows))
+    for row in rows:
+        assert row.backward_overlap_norm > row.no_overlap_norm
+        assert row.ccube_norm > row.no_overlap_norm

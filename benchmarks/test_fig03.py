@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 3 (invocation granularity bandwidth)."""
+
+from conftest import run_once
+
+from repro.experiments import fig03_invocation as fig03
+
+
+def test_fig03_invocation_granularity(benchmark):
+    rows = run_once(benchmark, fig03.run)
+    print()
+    print(fig03.format_table(rows))
+    by_name = {r.scheme: r for r in rows}
+    assert by_name["layer-wise"].slowdown_vs_one_shot > 1.5
+    assert by_name["slicing"].slowdown_vs_one_shot > 4.0

@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Fig. 4 (analytical tree/ring ratio sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import fig04_model_ratio as fig04
+
+
+def test_fig04_model_ratio(benchmark):
+    rows = run_once(benchmark, fig04.run)
+    print()
+    print(fig04.format_table(rows))
+    assert all(r > 1.0 for r in rows[0].ratios)  # tree wins at 16 KB
+    assert rows[-1].ratios[0] < 1.0  # ring wins at 256 MB, P=8

@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 5 (4-node worked example, exact steps)."""
+
+from conftest import run_once
+
+from repro.experiments import fig05_walkthrough as fig05
+
+
+def test_fig05_worked_example(benchmark):
+    rows = run_once(benchmark, fig05.run)
+    print()
+    print(fig05.format_table(rows))
+    by_name = {r.algorithm: r for r in rows}
+    assert by_name["tree (Fig. 5a)"].total_steps == 10.0
+    assert by_name["overlapped tree (Fig. 5c)"].total_steps == 7.0

@@ -1,0 +1,19 @@
+"""Bench: regenerate paper Fig. 12 (C1 vs B on the embedded DGX-1)."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_comm_perf as fig12
+
+
+def test_fig12_overlap_speedup(benchmark):
+    rows = run_once(benchmark, fig12.run)
+    print()
+    print(fig12.format_table(rows))
+    big = [r for r in rows if r.nbytes >= 64 * 1024 * 1024]
+    # Paper: 75-80% improvement for 64 MB and larger.
+    assert all(1.6 < r.simulated_speedup < 2.0 for r in big)
+    # Fig. 12(b): model matches the simulation closely.
+    assert all(
+        abs(r.simulated_speedup - r.modeled_speedup) / r.modeled_speedup < 0.1
+        for r in rows
+    )

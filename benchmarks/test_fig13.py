@@ -1,0 +1,19 @@
+"""Bench: regenerate paper Fig. 13 (normalized overall performance)."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_overall as fig13
+
+
+def test_fig13_normalized_performance(benchmark):
+    rows = run_once(benchmark, fig13.run)
+    print()
+    print(fig13.format_table(rows))
+    stats = fig13.summarize(rows)
+    assert stats["C1/B mean"] > 1.03  # paper: ~10% average
+    assert stats["CC/B mean"] > 1.10  # paper: ~32% average
+    assert stats["CC/B max"] > 1.4  # paper: up to 61%
+    assert stats["CC best efficiency"] > 0.97  # paper: up to 98%
+    for row in rows:
+        if not (row.network == "zfnet" and row.batch == 16):
+            assert row.normalized["CC"] >= row.normalized["R"] - 1e-9

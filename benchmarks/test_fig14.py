@@ -1,0 +1,21 @@
+"""Bench: regenerate paper Fig. 14 (scale-out simulations)."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_scaleout as fig14
+
+
+def test_fig14_scaleout(benchmark):
+    rows = run_once(benchmark, fig14.run)
+    print()
+    print(fig14.format_table(rows))
+    # (a) C1 beats the ring, most at small messages / large node counts.
+    assert all(r.c1_over_ring > 1.0 for r in rows)
+    small = [r for r in rows if r.nbytes <= 16 * 1024]
+    assert max(r.c1_over_ring for r in small) > 10.0  # paper: up to 20x
+    # (b) turnaround: 1x at a single chunk, tens of x at 256 chunks.
+    for r in rows:
+        if r.nchunks == 1:
+            assert abs(r.turnaround_speedup - 1.0) < 0.05
+    many = [r for r in rows if r.nchunks == 256]
+    assert max(r.turnaround_speedup for r in many) > 25.0  # paper: avg 29x

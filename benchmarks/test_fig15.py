@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig. 15 (detour-node overhead)."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_detour as fig15
+
+
+def test_fig15_detour_overhead(benchmark):
+    rows = run_once(benchmark, fig15.run)
+    print()
+    print(fig15.format_table(rows))
+    gpu0 = next(r for r in rows if r.gpu == 0)
+    # Paper: only 3-4% throughput loss on the forwarding GPU.
+    assert 0.95 < gpu0.normalized_performance < 0.98
+    for row in rows:
+        if row.forwarding_kernels == 0:
+            assert row.normalized_performance > 0.999

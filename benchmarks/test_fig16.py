@@ -1,0 +1,15 @@
+"""Bench: regenerate paper Fig. 16 (comm/compute pattern cases)."""
+
+from conftest import run_once
+
+from repro.experiments import fig16_patterns as fig16
+
+
+def test_fig16_patterns(benchmark):
+    rows = run_once(benchmark, fig16.run)
+    print()
+    print(fig16.format_table(rows))
+    by_case = {r.case: r for r in rows}
+    assert by_case["case2"].bubble_ms > by_case["case1"].bubble_ms
+    assert (by_case["case3"].first_fwd_start_ms
+            > 2 * by_case["case1"].first_fwd_start_ms)

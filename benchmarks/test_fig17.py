@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig. 17 (ResNet-50 per-layer profile)."""
+
+from conftest import run_once
+
+from repro.experiments import fig17_resnet_layers as fig17
+
+
+def test_fig17_resnet_layer_profile(benchmark):
+    rows = run_once(benchmark, fig17.run)
+    print()
+    print(fig17.format_table(rows))
+    stats = fig17.trend_summary(rows)
+    assert stats["late mean param MB"] > 3 * stats["early mean param MB"]
+    assert stats["early mean fwd ms"] > stats["late mean fwd ms"]

@@ -1,0 +1,65 @@
+"""Functional proof-of-concept: the thread-backed virtual DGX-1.
+
+Runs the paper's overlapped double-tree AllReduce *for real*: one Python
+thread per persistent kernel (reduce/broadcast per GPU per tree, plus the
+static detour-forwarding kernels on GPU0), synchronized with the Fig.-11
+device-side semaphores.  Then chains the next iteration's forward pass
+through gradient queuing and shows each GPU dequeued its layers strictly
+in order, only after the layers' chunks arrived.
+
+Run:  python examples/functional_allreduce.py
+"""
+
+import numpy as np
+
+from repro.dnn.layers import LayerKind, LayerSpec, NetworkModel
+from repro.runtime.allreduce import TreeAllReduceRuntime
+from repro.runtime.queue_runtime import ChainedTrainingRuntime
+from repro.topology.dgx1_trees import DETOURED_EDGES, dgx1_trees
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    nnodes, chunks_per_tree = 8, 8
+    layers = tuple(
+        LayerSpec(name=f"L{i + 1}", params=1024 * (i + 1), fwd_flops=1e6,
+                  kind=LayerKind.CONV)
+        for i in range(6)
+    )
+    network = NetworkModel(name="demo", layers=layers)
+    grads = [rng.normal(size=network.total_params) for _ in range(nnodes)]
+    expected = np.sum(grads, axis=0)
+
+    runtime = TreeAllReduceRuntime(
+        dgx1_trees(),
+        total_elems=network.total_params,
+        chunks_per_tree=chunks_per_tree,
+        overlapped=True,
+        detour_map=DETOURED_EDGES,
+    )
+    chained = ChainedTrainingRuntime(runtime, network)
+    result = chained.run([g.copy() for g in grads])
+
+    print(f"virtual DGX-1: {nnodes} GPUs, double tree, "
+          f"{chunks_per_tree} chunks/tree, detours: {DETOURED_EDGES}")
+    print(f"AllReduce wall time: {result.report.wall_time * 1e3:.1f} ms "
+          f"(thread-level, not a performance number)")
+    max_err = max(
+        float(np.max(np.abs(out - expected))) for out in result.report.outputs
+    )
+    print(f"max |output - sum(inputs)| over all GPUs: {max_err:.3e}")
+
+    print("\nper-GPU forward dequeue order (layer indices):")
+    for gpu in range(nnodes):
+        order = [rec.layer for rec in result.compute_log[gpu]]
+        in_order = order == sorted(order)
+        print(f"  GPU{gpu}: {order}  in-order={in_order}")
+
+    identical = all(
+        np.array_equal(result.weights[0], w) for w in result.weights[1:]
+    )
+    print(f"\nall GPUs' chained weight updates identical: {identical}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: compare AllReduce strategies for ResNet-50 on a DGX-1.
+
+Builds the paper's five configurations (baseline double tree B, overlapped
+tree C1, computation chaining C2, NCCL-style ring R, and C-Cube CC),
+simulates one steady-state training iteration for each, and prints the
+communication time, gradient turnaround, and normalized performance.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Strategy, resnet50, simulate_iteration
+
+
+def main() -> None:
+    network = resnet50()
+    batch = 64
+    print(f"network: {network.name}  "
+          f"({network.total_params / 1e6:.1f}M params, "
+          f"{network.total_bytes / 2**20:.0f} MiB gradients)  batch={batch}")
+    print()
+    header = (f"{'strategy':<10} {'comm (ms)':>10} {'turnaround (ms)':>16} "
+              f"{'iteration (ms)':>15} {'normalized perf':>16}")
+    print(header)
+    print("-" * len(header))
+    for strategy in Strategy:
+        result = simulate_iteration(network, batch, strategy)
+        print(
+            f"{strategy.value:<10} {result.comm_total * 1e3:>10.2f} "
+            f"{result.turnaround * 1e3:>16.3f} "
+            f"{result.iteration_time * 1e3:>15.2f} "
+            f"{result.normalized_performance:>16.3f}"
+        )
+    print()
+    baseline = simulate_iteration(network, batch, Strategy.BASELINE)
+    ccube = simulate_iteration(network, batch, Strategy.CCUBE)
+    gain = baseline.iteration_time / ccube.iteration_time - 1.0
+    print(f"C-Cube end-to-end speedup over the baseline tree: {gain:.1%}")
+
+
+if __name__ == "__main__":
+    main()

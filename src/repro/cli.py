@@ -1,0 +1,141 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro compare --network resnet50 --batch 64 [--low-bandwidth]
+    python -m repro figures [fig12 fig13 ...]
+    python -m repro autotune --network vgg16 --batch 16
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+from repro.core.autotune import choose_strategy
+from repro.core.config import Bandwidth, CCubeConfig, Strategy
+from repro.core.pipeline import IterationPipeline
+from repro.dnn.networks import NETWORKS
+from repro.experiments.report import render_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="C-Cube (HPCA 2023) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser(
+        "compare", help="compare strategies on one workload"
+    )
+    compare.add_argument("--network", choices=sorted(NETWORKS), required=True)
+    compare.add_argument("--batch", type=int, default=64)
+    compare.add_argument("--low-bandwidth", action="store_true")
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("names", nargs="*", help="figNN ids (default: all)")
+
+    autotune = sub.add_parser(
+        "autotune", help="pick the best strategy for a workload"
+    )
+    autotune.add_argument("--network", choices=sorted(NETWORKS), required=True)
+    autotune.add_argument("--batch", type=int, default=64)
+    autotune.add_argument("--low-bandwidth", action="store_true")
+
+    sub.add_parser("info", help="print library and model summary")
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    network = NETWORKS[args.network]()
+    bandwidth = Bandwidth.LOW if args.low_bandwidth else Bandwidth.HIGH
+    config = CCubeConfig().scaled(bandwidth)
+    pipeline = IterationPipeline(
+        network=network, batch=args.batch, config=config
+    )
+    rows = []
+    for strategy in Strategy:
+        result = pipeline.run(strategy)
+        rows.append(
+            (
+                strategy.value,
+                result.comm_total * 1e3,
+                result.turnaround * 1e3,
+                result.iteration_time * 1e3,
+                f"{result.normalized_performance:.3f}",
+            )
+        )
+    print(
+        render_table(
+            ["strategy", "comm (ms)", "turnaround (ms)", "iteration (ms)",
+             "normalized"],
+            rows,
+            title=(
+                f"{args.network} batch={args.batch} "
+                f"bandwidth={bandwidth.value}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as run_figures
+
+    return run_figures(args.names or None)
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    network = NETWORKS[args.network]()
+    bandwidth = Bandwidth.LOW if args.low_bandwidth else Bandwidth.HIGH
+    choice = choose_strategy(
+        network, args.batch, config=CCubeConfig().scaled(bandwidth)
+    )
+    print(f"best strategy: {choice.best.value}")
+    print(f"speedup over baseline tree: {choice.speedup_over_baseline:.2f}x")
+    for strategy, result in sorted(
+        choice.results.items(), key=lambda kv: kv[1].iteration_time
+    ):
+        print(
+            f"  {strategy.value:<3} iteration="
+            f"{result.iteration_time * 1e3:9.3f} ms  "
+            f"normalized={result.normalized_performance:.3f}"
+        )
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — C-Cube (HPCA 2023) reproduction")
+    print("\nnetworks:")
+    for name, builder in sorted(NETWORKS.items()):
+        net = builder()
+        print(
+            f"  {name:<10} {len(net):>3} layers  "
+            f"{net.total_params / 1e6:7.1f}M params  "
+            f"{net.total_bytes / 2**20:7.1f} MiB gradients"
+        )
+    print("\nstrategies: " + ", ".join(
+        f"{s.value} ({s.algorithm})" for s in Strategy
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "compare": _cmd_compare,
+    "figures": _cmd_figures,
+    "autotune": _cmd_autotune,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Collective-communication schedules and their simulation.
+
+The builders compile chunked, pipelined collective algorithms into logical
+transfer DAGs; :mod:`repro.collectives.base` simulates them on abstract
+fabrics or embedded onto physical topologies;
+:mod:`repro.collectives.verification` proves schedules correct
+symbolically.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.collectives.base import (
+    AllReduceOutcome,
+    CollectiveSchedule,
+    simulate_on_fabric,
+    simulate_on_physical,
+)
+from repro.collectives.chunking import (
+    chunk_offsets,
+    chunks_covering,
+    optimal_chunk_count,
+    split_bytes,
+)
+from repro.collectives.double_tree import ccube_allreduce, double_tree_allreduce
+from repro.collectives.export import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_summary,
+    schedule_to_dict,
+    schedule_to_dot,
+)
+from repro.collectives.halving_doubling import (
+    halving_doubling_allreduce,
+    halving_doubling_time,
+)
+from repro.collectives.hierarchical import (
+    ClusterSpec,
+    hierarchical_allreduce,
+    simulate_hierarchical,
+)
+from repro.collectives.primitives import (
+    ring_all_gather,
+    ring_reduce_scatter,
+    tree_broadcast,
+    tree_reduce,
+)
+from repro.collectives.ring import DGX1_RING_ORDER, ring_allreduce
+from repro.collectives.tree import overlapped_tree_allreduce, tree_allreduce
+from repro.collectives.verification import (
+    check_allreduce,
+    check_allreduce_simulated,
+    delivers_in_order,
+    in_order_violations,
+    replay_dataflow,
+)
+
+__all__ = [
+    "AllReduceOutcome",
+    "CollectiveSchedule",
+    "simulate_on_fabric",
+    "simulate_on_physical",
+    "chunk_offsets",
+    "chunks_covering",
+    "optimal_chunk_count",
+    "split_bytes",
+    "ccube_allreduce",
+    "double_tree_allreduce",
+    "load_schedule",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_summary",
+    "schedule_to_dict",
+    "schedule_to_dot",
+    "halving_doubling_allreduce",
+    "halving_doubling_time",
+    "ClusterSpec",
+    "hierarchical_allreduce",
+    "simulate_hierarchical",
+    "ring_all_gather",
+    "ring_reduce_scatter",
+    "tree_broadcast",
+    "tree_reduce",
+    "DGX1_RING_ORDER",
+    "ring_allreduce",
+    "overlapped_tree_allreduce",
+    "tree_allreduce",
+    "check_allreduce",
+    "check_allreduce_simulated",
+    "delivers_in_order",
+    "in_order_violations",
+    "replay_dataflow",
+    "build_allreduce",
+]
+
+#: Builders by algorithm name, for :func:`build_allreduce`.
+ALGORITHMS = (
+    "ring",
+    "tree",
+    "overlapped_tree",
+    "double_tree",
+    "ccube",
+)
+
+
+def build_allreduce(
+    algorithm: str,
+    nnodes: int,
+    nbytes: float,
+    *,
+    nchunks: int = 1,
+    **kwargs: object,
+) -> CollectiveSchedule:
+    """Build an AllReduce schedule by algorithm name.
+
+    Args:
+        algorithm: one of :data:`ALGORITHMS`.
+        nnodes: node count.
+        nbytes: message size in bytes.
+        nchunks: pipeline chunk count (ignored by "ring", which always
+            uses P chunks per ring).
+        **kwargs: forwarded to the specific builder (``tree``, ``trees``,
+            ``order``, ``nrings``, ...).
+    """
+    if algorithm == "ring":
+        kwargs.pop("nchunks", None)
+        return ring_allreduce(nnodes, nbytes, **kwargs)  # type: ignore[arg-type]
+    if algorithm == "tree":
+        return tree_allreduce(nnodes, nbytes, nchunks=nchunks, **kwargs)  # type: ignore[arg-type]
+    if algorithm == "overlapped_tree":
+        return overlapped_tree_allreduce(
+            nnodes, nbytes, nchunks=nchunks, **kwargs  # type: ignore[arg-type]
+        )
+    if algorithm == "double_tree":
+        return double_tree_allreduce(
+            nnodes, nbytes, nchunks=nchunks, **kwargs  # type: ignore[arg-type]
+        )
+    if algorithm == "ccube":
+        return ccube_allreduce(nnodes, nbytes, nchunks=nchunks, **kwargs)  # type: ignore[arg-type]
+    raise ConfigError(
+        f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+    )

@@ -1,0 +1,188 @@
+"""Exporting collective schedules for external tools.
+
+Schedules are DAG programs; downstream users (visualizers, other
+simulators, NCCL-graph-style consumers) want them in a neutral format:
+
+- :func:`schedule_to_dict` — JSON-safe dump of every op and the chunk
+  bookkeeping (round-trippable via :func:`schedule_from_dict`),
+- :func:`schedule_summary` — aggregate statistics (ops per phase, bytes
+  per directed edge, pipeline depth),
+- :func:`schedule_to_dot` — a Graphviz ``digraph`` of the dependency
+  structure for small schedules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError, ScheduleError
+from repro.collectives.base import CollectiveSchedule
+from repro.sim.dag import Dag, Phase
+
+_SCHEMA_VERSION = 1
+
+
+def _key_to_list(key: object) -> list:
+    if isinstance(key, tuple):
+        return list(key)
+    return [key]
+
+
+def schedule_to_dict(schedule: CollectiveSchedule) -> dict[str, Any]:
+    """JSON-safe representation of a schedule."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "algorithm": schedule.algorithm,
+        "nnodes": schedule.nnodes,
+        "nbytes": schedule.nbytes,
+        "overlapped": schedule.overlapped,
+        "ntrees": schedule.ntrees,
+        "chunk_sizes": list(schedule.chunk_sizes),
+        "chunk_offsets": list(schedule.chunk_offsets),
+        "final_ops": {str(c): ops for c, ops in schedule.final_ops.items()},
+        "arrival_ops": [
+            [node, chunk, op_id]
+            for (node, chunk), op_id in sorted(schedule.arrival_ops.items())
+        ],
+        "ops": [
+            {
+                "id": op.op_id,
+                "resource": _key_to_list(op.resource),
+                "nbytes": op.nbytes,
+                "duration": op.duration,
+                "deps": list(op.deps),
+                "src": op.src,
+                "dst": op.dst,
+                "chunk": op.chunk,
+                "chunk_set": list(op.chunk_set),
+                "phase": op.phase.value,
+                "tree": op.tree,
+                "label": op.label,
+            }
+            for op in schedule.dag.ops
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> CollectiveSchedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output.
+
+    Raises:
+        ConfigError: on schema mismatch or malformed content.
+    """
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ConfigError(f"unsupported schedule schema {data.get('schema')}")
+    dag = Dag()
+    for raw in data["ops"]:
+        op_id = dag.add(
+            tuple(raw["resource"]),
+            nbytes=float(raw["nbytes"]),
+            duration=raw["duration"],
+            deps=[int(d) for d in raw["deps"]],
+            src=int(raw["src"]),
+            dst=int(raw["dst"]),
+            chunk=int(raw["chunk"]),
+            chunk_set=[int(c) for c in raw.get("chunk_set", [])],
+            phase=Phase(raw["phase"]),
+            tree=int(raw["tree"]),
+            label=str(raw["label"]),
+        )
+        if op_id != int(raw["id"]):
+            raise ConfigError("op ids must be dense and in order")
+    schedule = CollectiveSchedule(
+        dag=dag,
+        algorithm=str(data["algorithm"]),
+        nnodes=int(data["nnodes"]),
+        nbytes=float(data["nbytes"]),
+        chunk_sizes=[float(x) for x in data["chunk_sizes"]],
+        chunk_offsets=[float(x) for x in data["chunk_offsets"]],
+        final_ops={
+            int(c): [int(x) for x in ops]
+            for c, ops in data["final_ops"].items()
+        },
+        arrival_ops={
+            (int(node), int(chunk)): int(op_id)
+            for node, chunk, op_id in data["arrival_ops"]
+        },
+        overlapped=bool(data["overlapped"]),
+        ntrees=int(data["ntrees"]),
+    )
+    schedule.validate()
+    return schedule
+
+
+def save_schedule(schedule: CollectiveSchedule, path: str | Path) -> None:
+    """Write the schedule as JSON."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule)) + "\n")
+
+
+def load_schedule(path: str | Path) -> CollectiveSchedule:
+    """Read a schedule from JSON (see :func:`save_schedule`)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid schedule JSON: {exc}") from exc
+    return schedule_from_dict(data)
+
+
+def schedule_summary(schedule: CollectiveSchedule) -> dict[str, Any]:
+    """Aggregate statistics of a schedule.
+
+    Returns a dict with total op count, transfer counts and bytes per
+    phase, bytes per directed logical edge, and the DAG's depth (longest
+    dependency chain — the pipeline's critical length in op counts).
+    """
+    per_phase_count: dict[str, int] = {}
+    per_phase_bytes: dict[str, float] = {}
+    per_edge_bytes: dict[str, float] = {}
+    for op in schedule.dag.ops:
+        key = op.phase.value
+        per_phase_count[key] = per_phase_count.get(key, 0) + 1
+        if op.src >= 0 and op.dst >= 0 and op.src != op.dst:
+            per_phase_bytes[key] = per_phase_bytes.get(key, 0.0) + op.nbytes
+            edge = f"{op.src}->{op.dst}"
+            per_edge_bytes[edge] = per_edge_bytes.get(edge, 0.0) + op.nbytes
+    # Longest dependency chain via DP over a topological order.
+    depth = [0] * len(schedule.dag.ops)
+    for op_id in schedule.dag.topological_order():
+        op = schedule.dag.ops[op_id]
+        depth[op_id] = 1 + max((depth[d] for d in op.deps), default=0)
+    return {
+        "algorithm": schedule.algorithm,
+        "nnodes": schedule.nnodes,
+        "nchunks": schedule.nchunks,
+        "total_ops": len(schedule.dag),
+        "ops_per_phase": per_phase_count,
+        "bytes_per_phase": per_phase_bytes,
+        "bytes_per_edge": per_edge_bytes,
+        "dependency_depth": max(depth, default=0),
+    }
+
+
+def schedule_to_dot(
+    schedule: CollectiveSchedule, *, max_ops: int = 200
+) -> str:
+    """Graphviz digraph of the dependency structure (small schedules).
+
+    Raises:
+        ScheduleError: if the schedule exceeds ``max_ops`` (the output
+            would be unreadable).
+    """
+    if len(schedule.dag) > max_ops:
+        raise ScheduleError(
+            f"schedule has {len(schedule.dag)} ops; raise max_ops to export"
+        )
+    lines = [f'digraph "{schedule.algorithm}" {{', "  rankdir=LR;"]
+    for op in schedule.dag.ops:
+        label = op.label or f"op{op.op_id}"
+        shape = "box" if op.src != op.dst else "ellipse"
+        lines.append(
+            f'  n{op.op_id} [label="{label}" shape={shape}];'
+        )
+    for op in schedule.dag.ops:
+        for dep in op.deps:
+            lines.append(f"  n{dep} -> n{op.op_id};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Standalone collective primitives: reduce, broadcast, reduce-scatter,
+all-gather.
+
+AllReduce composes these (reduction + broadcast for trees, reduce-scatter
++ all-gather for rings); the standalone builders are useful on their own
+and for testing the phase pieces in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.collectives.base import CollectiveSchedule
+from repro.collectives.chunking import chunk_offsets, split_bytes
+from repro.sim.dag import Dag, Phase
+from repro.topology.embedding import edge_key
+from repro.topology.logical import BinaryTree, balanced_binary_tree
+
+
+def tree_reduce(
+    nnodes: int,
+    nbytes: float,
+    *,
+    nchunks: int,
+    tree: BinaryTree | None = None,
+) -> CollectiveSchedule:
+    """Pipelined tree reduction: every node's data summed at the root."""
+    if nchunks < 1:
+        raise ConfigError("need at least 1 chunk")
+    tree = tree or balanced_binary_tree(nnodes)
+    dag = Dag()
+    sizes = split_bytes(nbytes, nchunks)
+    final_ops: dict[int, list[int]] = {}
+    arrival_ops: dict[tuple[int, int], int] = {}
+    nodes_bottom_up = list(reversed(tree.bfs_order()))
+    up_op: dict[tuple[int, int], int] = {}
+    for chunk in range(nchunks):
+        for node in nodes_bottom_up:
+            if node == tree.root:
+                continue
+            deps = [up_op[(chunk, child)] for child in tree.children[node]]
+            up_op[(chunk, node)] = dag.add(
+                edge_key(node, tree.parent[node], 0),
+                nbytes=sizes[chunk],
+                deps=deps,
+                src=node,
+                dst=tree.parent[node],
+                chunk=chunk,
+                phase=Phase.REDUCE,
+                label=f"up c{chunk} {node}->{tree.parent[node]}",
+            )
+        finals = [up_op[(chunk, child)] for child in tree.children[tree.root]]
+        final_ops[chunk] = finals
+        arrival_ops[(tree.root, chunk)] = finals[-1]
+    schedule = CollectiveSchedule(
+        dag=dag,
+        algorithm="tree_reduce",
+        nnodes=tree.nnodes,
+        nbytes=nbytes,
+        chunk_sizes=sizes,
+        chunk_offsets=chunk_offsets(sizes),
+        final_ops=final_ops,
+        arrival_ops=arrival_ops,
+    )
+    schedule.validate()
+    return schedule
+
+
+def tree_broadcast(
+    nnodes: int,
+    nbytes: float,
+    *,
+    nchunks: int,
+    tree: BinaryTree | None = None,
+) -> CollectiveSchedule:
+    """Pipelined tree broadcast from the root to every node."""
+    if nchunks < 1:
+        raise ConfigError("need at least 1 chunk")
+    tree = tree or balanced_binary_tree(nnodes)
+    dag = Dag()
+    sizes = split_bytes(nbytes, nchunks)
+    final_ops: dict[int, list[int]] = {}
+    arrival_ops: dict[tuple[int, int], int] = {}
+    down_op: dict[tuple[int, int], int] = {}
+    for chunk in range(nchunks):
+        finals: list[int] = []
+        for node in tree.bfs_order():
+            for child in tree.children[node]:
+                deps = (
+                    [] if node == tree.root else [down_op[(chunk, node)]]
+                )
+                op_id = dag.add(
+                    edge_key(node, child, 0),
+                    nbytes=sizes[chunk],
+                    deps=deps,
+                    src=node,
+                    dst=child,
+                    chunk=chunk,
+                    phase=Phase.BROADCAST,
+                    label=f"down c{chunk} {node}->{child}",
+                )
+                down_op[(chunk, child)] = op_id
+                arrival_ops[(child, chunk)] = op_id
+                finals.append(op_id)
+        final_ops[chunk] = finals
+    schedule = CollectiveSchedule(
+        dag=dag,
+        algorithm="tree_broadcast",
+        nnodes=tree.nnodes,
+        nbytes=nbytes,
+        chunk_sizes=sizes,
+        chunk_offsets=chunk_offsets(sizes),
+        final_ops=final_ops,
+        arrival_ops=arrival_ops,
+    )
+    schedule.validate()
+    return schedule
+
+
+def ring_reduce_scatter(
+    nnodes: int,
+    nbytes: float,
+    *,
+    order: Sequence[int] | None = None,
+) -> CollectiveSchedule:
+    """Ring Reduce-Scatter: node at ring position ``(c + P - 1) % P`` ends
+    with the fully reduced chunk ``c``."""
+    if nnodes < 2:
+        raise ConfigError("ring needs at least 2 nodes")
+    order = list(order) if order is not None else list(range(nnodes))
+    dag = Dag()
+    sizes = split_bytes(nbytes, nnodes)
+    final_ops: dict[int, list[int]] = {}
+    arrival_ops: dict[tuple[int, int], int] = {}
+    for chunk in range(nnodes):
+        prev: int | None = None
+        for step in range(nnodes - 1):
+            src = order[(chunk + step) % nnodes]
+            dst = order[(chunk + step + 1) % nnodes]
+            prev = dag.add(
+                edge_key(src, dst, 0),
+                nbytes=sizes[chunk],
+                deps=[] if prev is None else [prev],
+                src=src,
+                dst=dst,
+                chunk=chunk,
+                phase=Phase.REDUCE_SCATTER,
+                label=f"rs c{chunk} s{step}",
+            )
+        assert prev is not None
+        final_ops[chunk] = [prev]
+        arrival_ops[(order[(chunk + nnodes - 1) % nnodes], chunk)] = prev
+    schedule = CollectiveSchedule(
+        dag=dag,
+        algorithm="ring_reduce_scatter",
+        nnodes=nnodes,
+        nbytes=nbytes,
+        chunk_sizes=sizes,
+        chunk_offsets=chunk_offsets(sizes),
+        final_ops=final_ops,
+        arrival_ops=arrival_ops,
+    )
+    schedule.validate()
+    return schedule
+
+
+def ring_all_gather(
+    nnodes: int,
+    nbytes: float,
+    *,
+    order: Sequence[int] | None = None,
+) -> CollectiveSchedule:
+    """Ring AllGather: chunk ``c`` starts at ring position ``c`` and is
+    circulated to every node (cost model: paper Eq. 1)."""
+    if nnodes < 2:
+        raise ConfigError("ring needs at least 2 nodes")
+    order = list(order) if order is not None else list(range(nnodes))
+    dag = Dag()
+    sizes = split_bytes(nbytes, nnodes)
+    final_ops: dict[int, list[int]] = {}
+    arrival_ops: dict[tuple[int, int], int] = {}
+    for chunk in range(nnodes):
+        prev: int | None = None
+        finals: list[int] = []
+        for step in range(nnodes - 1):
+            src = order[(chunk + step) % nnodes]
+            dst = order[(chunk + step + 1) % nnodes]
+            prev = dag.add(
+                edge_key(src, dst, 0),
+                nbytes=sizes[chunk],
+                deps=[] if prev is None else [prev],
+                src=src,
+                dst=dst,
+                chunk=chunk,
+                phase=Phase.ALL_GATHER,
+                label=f"ag c{chunk} s{step}",
+            )
+            arrival_ops[(dst, chunk)] = prev
+            finals.append(prev)
+        final_ops[chunk] = finals
+    schedule = CollectiveSchedule(
+        dag=dag,
+        algorithm="ring_all_gather",
+        nnodes=nnodes,
+        nbytes=nbytes,
+        chunk_sizes=sizes,
+        chunk_offsets=chunk_offsets(sizes),
+        final_ops=final_ops,
+        arrival_ops=arrival_ops,
+    )
+    schedule.validate()
+    return schedule

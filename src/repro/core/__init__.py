@@ -1,0 +1,62 @@
+"""The paper's primary contribution: the C-Cube architecture.
+
+- :mod:`repro.core.config` — the evaluated strategies (B, C1, C2, R, CC)
+  and system configuration,
+- :mod:`repro.core.gradient_queue` — gradient queuing (paper Fig. 9):
+  enqueue semaphore, layer-chunk table, layer index counter,
+- :mod:`repro.core.pipeline` — the training-iteration timeline that chains
+  communication with the *next* iteration's forward computation,
+- :mod:`repro.core.trainer` — multi-iteration training simulation and the
+  normalized-performance metric of the paper's Fig. 13,
+- :mod:`repro.core.patterns` — communication/computation pattern analysis
+  (paper Fig. 16 cases 1-3: bubbles and turnaround push-back).
+"""
+
+from repro.core.config import Bandwidth, CCubeConfig, Strategy
+from repro.core.gradient_queue import GradientQueue, LayerChunkTable
+from repro.core.pipeline import (
+    IterationPipeline,
+    IterationResult,
+    simulate_iteration,
+)
+from repro.core.trainer import TrainingConfig, normalized_performance, run_training
+from repro.core.patterns import PatternCase, analyze_pattern, synthetic_network
+from repro.core.autotune import ChunkChoice, StrategyChoice, choose_chunks, choose_strategy
+from repro.core.heterogeneity import (
+    HeterogeneousResult,
+    heterogeneous_iteration,
+)
+from repro.core.occupancy import OccupancyProfile, queue_occupancy
+from repro.core.timeline import render_iteration_timeline
+from repro.core.backward_overlap import (
+    BackwardOverlapResult,
+    simulate_backward_overlap,
+)
+
+__all__ = [
+    "Bandwidth",
+    "CCubeConfig",
+    "Strategy",
+    "GradientQueue",
+    "LayerChunkTable",
+    "IterationPipeline",
+    "IterationResult",
+    "simulate_iteration",
+    "TrainingConfig",
+    "normalized_performance",
+    "run_training",
+    "PatternCase",
+    "analyze_pattern",
+    "synthetic_network",
+    "ChunkChoice",
+    "StrategyChoice",
+    "choose_chunks",
+    "choose_strategy",
+    "BackwardOverlapResult",
+    "simulate_backward_overlap",
+    "render_iteration_timeline",
+    "OccupancyProfile",
+    "queue_occupancy",
+    "HeterogeneousResult",
+    "heterogeneous_iteration",
+]

@@ -1,0 +1,189 @@
+"""The backward-overlap baseline (paper Fig. 2(b), PyTorch-DDP style).
+
+Prior work overlaps communication with the *current* iteration's backward
+pass: as gradients become ready (backward runs from the last layer to the
+first), they are bucketed and AllReduced while earlier layers' backward
+still computes.  The paper's argument against this (Section II-B and
+footnote 2) is twofold:
+
+1. every bucket is a separate collective invocation, paying the Fig.-3
+   granularity penalty, and
+2. the *last* gradients to be produced (layer 1's) are the *first* the
+   next iteration needs, so if any earlier bucket's communication runs
+   long, layer 1's bucket queues behind it and the next forward stalls —
+   the exposed communication time is not minimized, whereas C-Cube's
+   forward-overlap exposes only the first chunk's turnaround.
+
+This module models that baseline faithfully so the comparison the paper
+makes qualitatively (footnote 8: PyTorch overlap "did not provide any
+significant performance improvement") can be reproduced quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.core.config import CCubeConfig
+from repro.dnn.compute_model import ComputeModel, V100_COMPUTE
+from repro.dnn.layers import NetworkModel
+from repro.models.costmodel import CostParams, ring_allreduce_time
+
+#: Default DDP bucket size (PyTorch's default is 25 MB).
+DEFAULT_BUCKET_BYTES = 25 * 1024 * 1024
+
+#: Fixed overhead per collective invocation (launch + stream sync).
+DEFAULT_INVOKE_OVERHEAD = 10e-6
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One gradient bucket: contiguous layers, flushed together.
+
+    Attributes:
+        layers: layer indices in the bucket (contiguous, forward order).
+        nbytes: total gradient bytes.
+        ready_time: when backward has produced all of its gradients.
+    """
+
+    layers: tuple[int, ...]
+    nbytes: float
+    ready_time: float
+
+
+@dataclass(frozen=True)
+class BackwardOverlapResult:
+    """Timing of one steady-state iteration under backward overlap.
+
+    All times measured from the start of the backward pass.
+
+    Attributes:
+        buckets: the bucket schedule.
+        comm_start / comm_end: per bucket, when its AllReduce ran.
+        backward_time: total backward duration.
+        exposed_comm: communication time after backward finished (what
+            delays the next forward pass).
+        iteration_time: fwd + bwd + exposed communication.
+        ideal_time: compute-only iteration time.
+    """
+
+    buckets: tuple[Bucket, ...]
+    comm_start: tuple[float, ...]
+    comm_end: tuple[float, ...]
+    backward_time: float
+    forward_time: float
+    exposed_comm: float
+    iteration_time: float
+    ideal_time: float
+
+    @property
+    def normalized_performance(self) -> float:
+        return self.ideal_time / self.iteration_time
+
+
+def build_buckets(
+    network: NetworkModel,
+    backward_finish: list[float],
+    *,
+    bucket_bytes: float = DEFAULT_BUCKET_BYTES,
+) -> list[Bucket]:
+    """Group layers into buckets in backward (last-to-first) order.
+
+    A bucket flushes when it reaches ``bucket_bytes`` (DDP semantics);
+    its ready time is the latest backward finish among its layers.
+    """
+    if bucket_bytes <= 0:
+        raise ConfigError("bucket size must be positive")
+    buckets: list[Bucket] = []
+    current: list[int] = []
+    current_bytes = 0.0
+    for layer_idx in reversed(range(len(network))):
+        current.append(layer_idx)
+        current_bytes += network.layers[layer_idx].param_bytes
+        if current_bytes >= bucket_bytes:
+            buckets.append(
+                Bucket(
+                    layers=tuple(sorted(current)),
+                    nbytes=current_bytes,
+                    ready_time=max(backward_finish[i] for i in current),
+                )
+            )
+            current, current_bytes = [], 0.0
+    if current:
+        buckets.append(
+            Bucket(
+                layers=tuple(sorted(current)),
+                nbytes=current_bytes,
+                ready_time=max(backward_finish[i] for i in current),
+            )
+        )
+    return buckets
+
+
+def simulate_backward_overlap(
+    network: NetworkModel,
+    batch: int,
+    *,
+    config: CCubeConfig | None = None,
+    compute: ComputeModel = V100_COMPUTE,
+    bucket_bytes: float = DEFAULT_BUCKET_BYTES,
+    invoke_overhead: float = DEFAULT_INVOKE_OVERHEAD,
+) -> BackwardOverlapResult:
+    """One steady-state iteration of the Fig.-2(b) scheme.
+
+    Backward runs layer L..1; each bucket's AllReduce (ring, as NCCL
+    would run it, at the aggregate ring bandwidth) starts when the bucket
+    is ready and the communication stream is free.  The next forward
+    starts when the *last* bucket (layer 1's) completes — the data
+    dependency of Fig. 2(a).
+    """
+    config = config or CCubeConfig()
+    if batch < 1:
+        raise ConfigError("batch must be >= 1")
+
+    bwd_times = [
+        compute.backward_time(layer, batch) for layer in network.layers
+    ]
+    backward_finish = [0.0] * len(network)
+    cursor = 0.0
+    for layer_idx in reversed(range(len(network))):
+        cursor += bwd_times[layer_idx]
+        backward_finish[layer_idx] = cursor
+    backward_time = cursor
+    forward_time = sum(
+        compute.forward_time(layer, batch) for layer in network.layers
+    )
+
+    # NCCL's rings aggregate bandwidth across lanes; beta scales down.
+    params = CostParams(
+        alpha=config.alpha, beta=config.beta / config.nrings
+    )
+    buckets = build_buckets(
+        network, backward_finish, bucket_bytes=bucket_bytes
+    )
+    comm_start: list[float] = []
+    comm_end: list[float] = []
+    stream_free = 0.0
+    for bucket in buckets:
+        start = max(bucket.ready_time, stream_free)
+        duration = invoke_overhead + ring_allreduce_time(
+            config.nnodes, bucket.nbytes, params
+        )
+        comm_start.append(start)
+        comm_end.append(start + duration)
+        stream_free = start + duration
+
+    last_comm = comm_end[-1] if comm_end else backward_time
+    exposed = max(0.0, last_comm - backward_time)
+    ideal = forward_time + backward_time
+    iteration = ideal + exposed
+    return BackwardOverlapResult(
+        buckets=tuple(buckets),
+        comm_start=tuple(comm_start),
+        comm_end=tuple(comm_end),
+        backward_time=backward_time,
+        forward_time=forward_time,
+        exposed_comm=exposed,
+        iteration_time=iteration,
+        ideal_time=ideal,
+    )

@@ -1,0 +1,108 @@
+"""Strategies and configuration for the C-Cube evaluation.
+
+The paper compares five configurations throughout Section V:
+
+- **B** — baseline double-tree AllReduce (phases separated), detour routes.
+- **C1** — overlapped tree: reduction/broadcast chained within the
+  communication.
+- **C2** — computation chaining (gradient queuing) on top of the baseline
+  double tree, without the overlapped tree.
+- **CC** — C-Cube: C1 + C2 combined.
+- **R** — NCCL-style ring AllReduce (no chaining possible: the ring does
+  not preserve chunk order, Observation #3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class Strategy(enum.Enum):
+    """Evaluated system configurations (paper Section V-B)."""
+
+    BASELINE = "B"
+    OVERLAPPED_TREE = "C1"
+    COMPUTE_CHAINING = "C2"
+    RING = "R"
+    CCUBE = "CC"
+
+    @property
+    def algorithm(self) -> str:
+        """Collective algorithm the strategy uses."""
+        return _ALGORITHM[self]
+
+    @property
+    def chains_computation(self) -> bool:
+        """Whether gradient queuing overlaps forward compute with comm."""
+        return self in (Strategy.COMPUTE_CHAINING, Strategy.CCUBE)
+
+    @property
+    def overlaps_phases(self) -> bool:
+        """Whether reduction and broadcast are chained (C1 component)."""
+        return self in (Strategy.OVERLAPPED_TREE, Strategy.CCUBE)
+
+
+_ALGORITHM = {
+    Strategy.BASELINE: "double_tree",
+    Strategy.OVERLAPPED_TREE: "ccube",
+    Strategy.COMPUTE_CHAINING: "double_tree",
+    Strategy.RING: "ring",
+    Strategy.CCUBE: "ccube",
+}
+
+
+class Bandwidth(enum.Enum):
+    """The paper's two interconnect settings.
+
+    "high" uses the full NVLink bandwidth; "low" models a slower
+    interconnect (the paper emulates it by giving the AllReduce kernel 4x
+    fewer threads, i.e. one quarter of the bandwidth).
+    """
+
+    HIGH = "high"
+    LOW = "low"
+
+    @property
+    def beta_scale(self) -> float:
+        return 1.0 if self is Bandwidth.HIGH else 4.0
+
+
+@dataclass(frozen=True)
+class CCubeConfig:
+    """System configuration shared by the evaluation harness.
+
+    Attributes:
+        nnodes: number of GPUs.
+        alpha: per-chunk-transfer latency.
+        beta: seconds per byte per NVLink direction.
+        nrings: concurrent rings the ring baseline uses (NCCL builds
+            several rings on the DGX-1 to use all NVLinks).
+        max_chunks: cap on the pipeline chunk count.
+    """
+
+    nnodes: int = 8
+    alpha: float = 2e-6
+    beta: float = 1.0 / 25e9
+    nrings: int = 4
+    max_chunks: int = 512
+
+    def __post_init__(self) -> None:
+        if self.nnodes < 2:
+            raise ConfigError("need at least 2 GPUs")
+        if self.nrings < 1:
+            raise ConfigError("need at least 1 ring")
+        if self.alpha < 0 or self.beta <= 0:
+            raise ConfigError("bad alpha/beta")
+
+    def scaled(self, bandwidth: Bandwidth) -> "CCubeConfig":
+        """This config at the given bandwidth setting."""
+        return CCubeConfig(
+            nnodes=self.nnodes,
+            alpha=self.alpha,
+            beta=self.beta * bandwidth.beta_scale,
+            nrings=self.nrings,
+            max_chunks=self.max_chunks,
+        )

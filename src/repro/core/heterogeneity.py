@@ -1,0 +1,104 @@
+"""Heterogeneous-GPU (straggler) analysis of the chained pipeline.
+
+Synchronous data-parallel training runs at the pace of its slowest GPU:
+every iteration ends with an AllReduce that cannot complete until every
+rank contributed.  This module composes per-GPU chained timelines and
+takes the synchronization maximum, quantifying two effects the paper
+touches implicitly:
+
+- the detour GPUs' forwarding overhead (Fig. 15's 3-4%) becomes a
+  *global* slowdown of the same magnitude, because everyone waits;
+- compute jitter is partially absorbed by chaining: a slow GPU's forward
+  stalls less on gradient chunks (they arrived while it lagged), so the
+  iteration-time spread is smaller than the raw compute spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.collectives.base import AllReduceOutcome
+from repro.core.config import CCubeConfig, Strategy
+from repro.core.pipeline import IterationPipeline, IterationResult
+from repro.dnn.compute_model import ComputeModel, V100_COMPUTE
+from repro.dnn.layers import NetworkModel
+
+
+@dataclass(frozen=True)
+class HeterogeneousResult:
+    """Synchronous iteration under per-GPU compute speeds.
+
+    Attributes:
+        per_gpu: each GPU's chained timeline (same communication).
+        iteration_time: the synchronized iteration time (max over GPUs).
+        slowdown_vs_uniform: iteration time relative to all GPUs running
+            at scale 1.0.
+        absorbed_jitter: 1 - (iteration spread / compute spread); how
+            much of the compute-time spread chaining hid (0 = none).
+    """
+
+    per_gpu: tuple[IterationResult, ...]
+    iteration_time: float
+    slowdown_vs_uniform: float
+    absorbed_jitter: float
+
+
+def heterogeneous_iteration(
+    network: NetworkModel,
+    batch: int,
+    strategy: Strategy,
+    compute_scales: Sequence[float],
+    *,
+    config: CCubeConfig | None = None,
+    compute: ComputeModel = V100_COMPUTE,
+    on_dgx1: bool = True,
+    comm: AllReduceOutcome | None = None,
+) -> HeterogeneousResult:
+    """Compose the synchronized iteration over per-GPU compute scales.
+
+    Args:
+        compute_scales: one multiplier per GPU (> 1 = slower GPU), e.g.
+            ``[1.034, 1, 1, 1, 1, 1, 1, 1]`` for the Fig.-15 detour node.
+
+    Raises:
+        ConfigError: if the scale count disagrees with the system size.
+    """
+    config = config or CCubeConfig()
+    if len(compute_scales) != config.nnodes:
+        raise ConfigError(
+            f"need {config.nnodes} compute scales, got {len(compute_scales)}"
+        )
+    if any(scale <= 0 for scale in compute_scales):
+        raise ConfigError("compute scales must be positive")
+
+    baseline_pipeline = IterationPipeline(
+        network=network, batch=batch, config=config, compute=compute,
+        on_dgx1=on_dgx1,
+    )
+    comm = comm or baseline_pipeline.comm_outcome(strategy)
+    uniform = baseline_pipeline.run(strategy, comm=comm)
+
+    results = []
+    for scale in compute_scales:
+        pipeline = IterationPipeline(
+            network=network, batch=batch, config=config, compute=compute,
+            on_dgx1=on_dgx1, compute_scale=scale,
+        )
+        results.append(pipeline.run(strategy, comm=comm))
+    iteration_time = max(r.iteration_time for r in results)
+
+    compute_times = [r.ideal_time for r in results]
+    iter_times = [r.iteration_time for r in results]
+    compute_spread = max(compute_times) - min(compute_times)
+    iter_spread = max(iter_times) - min(iter_times)
+    absorbed = (
+        1.0 - iter_spread / compute_spread if compute_spread > 0 else 0.0
+    )
+    return HeterogeneousResult(
+        per_gpu=tuple(results),
+        iteration_time=iteration_time,
+        slowdown_vs_uniform=iteration_time / uniform.iteration_time,
+        absorbed_jitter=max(0.0, absorbed),
+    )

@@ -1,0 +1,97 @@
+"""Gradient-queue occupancy analysis.
+
+The paper argues gradient queuing costs essentially no memory because
+reduced chunks are stored back "in the same memory address as where they
+started reduction" — the gradient buffer *is* the queue.  This module
+quantifies the claim's other half: how much data is *logically queued*
+(arrived but not yet consumed by a forward layer) over the iteration.
+If chunks had to be staged in a separate buffer, the peak occupancy
+would be its required size; with buffer reuse it is simply how far
+communication runs ahead of computation.
+
+A well-chained iteration (Case 1) consumes chunks almost as fast as they
+arrive, so peak occupancy stays a small fraction of the gradient size;
+an unchained strategy buffers everything (peak = 100%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.collectives.base import AllReduceOutcome
+from repro.collectives.chunking import chunks_covering
+from repro.core.pipeline import IterationResult
+from repro.dnn.layers import NetworkModel
+
+
+@dataclass(frozen=True)
+class OccupancyProfile:
+    """Queue occupancy over one iteration.
+
+    Attributes:
+        events: (time, delta_bytes) chronological list — positive for
+            chunk arrivals, negative for layer consumption.
+        peak_bytes: maximum outstanding (arrived, unconsumed) bytes.
+        peak_fraction: peak as a fraction of the total gradient bytes.
+        final_bytes: outstanding bytes at the end (0 for a complete
+            iteration).
+    """
+
+    events: tuple[tuple[float, float], ...]
+    peak_bytes: float
+    peak_fraction: float
+    final_bytes: float
+
+
+def queue_occupancy(
+    network: NetworkModel,
+    comm: AllReduceOutcome,
+    result: IterationResult,
+) -> OccupancyProfile:
+    """Compute the queue-occupancy profile of one chained iteration.
+
+    Chunks enqueue at their availability time; layer *i* consumes its
+    bytes at ``result.fwd_start[i]`` (the dequeue).
+
+    Raises:
+        ConfigError: if the network and result disagree on layer count.
+    """
+    if len(network) != len(result.fwd_start):
+        raise ConfigError("network/result layer count mismatch")
+    schedule = comm.schedule
+    events: list[tuple[float, float]] = []
+    for chunk, when in comm.chunk_available.items():
+        events.append((when, schedule.chunk_sizes[chunk]))
+
+    # Layer i consumes the bytes of chunks whose *last* covering layer is
+    # i — a chunk stays queued until every layer needing it has started.
+    last_layer_of_chunk: dict[int, int] = {}
+    for layer_idx in range(len(network)):
+        lo, hi = network.byte_range(layer_idx)
+        if hi <= lo:
+            continue
+        for chunk in chunks_covering(
+            schedule.chunk_sizes, (float(lo), float(hi))
+        ):
+            last_layer_of_chunk[chunk] = layer_idx
+    for chunk, layer_idx in last_layer_of_chunk.items():
+        events.append(
+            (result.fwd_start[layer_idx], -schedule.chunk_sizes[chunk])
+        )
+
+    # At identical timestamps the enqueue happens first: a layer's
+    # dequeue check only passes once its last chunk has posted.
+    events.sort(key=lambda ev: (ev[0], -ev[1]))
+    outstanding = 0.0
+    peak = 0.0
+    for _when, delta in events:
+        outstanding += delta
+        peak = max(peak, outstanding)
+    total = float(schedule.nbytes)
+    return OccupancyProfile(
+        events=tuple(events),
+        peak_bytes=peak,
+        peak_fraction=peak / total if total else 0.0,
+        final_bytes=outstanding,
+    )

@@ -1,0 +1,127 @@
+"""Multi-iteration training simulation and Fig.-13 metrics.
+
+A training run alternates compute (forward + backward) with the one-shot
+AllReduce; after the first iteration the pipeline reaches steady state,
+where each iteration's cost is the chained timeline of
+:class:`repro.core.pipeline.IterationPipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.core.config import Bandwidth, CCubeConfig, Strategy
+from repro.core.pipeline import IterationPipeline, IterationResult
+from repro.dnn.compute_model import ComputeModel, V100_COMPUTE
+from repro.dnn.layers import NetworkModel
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """One Fig.-13 configuration point.
+
+    Attributes:
+        network: workload model.
+        batch: per-GPU batch size.
+        strategy: evaluated configuration (B / C1 / C2 / R / CC).
+        bandwidth: interconnect setting (high = full NVLink, low = 1/4).
+        system: node count and channel parameters.
+        compute: per-GPU compute model.
+        on_dgx1: embed tree strategies on the physical DGX-1 model.
+    """
+
+    network: NetworkModel
+    batch: int
+    strategy: Strategy
+    bandwidth: Bandwidth = Bandwidth.HIGH
+    system: CCubeConfig = field(default_factory=CCubeConfig)
+    compute: ComputeModel = V100_COMPUTE
+    on_dgx1: bool = True
+
+    def pipeline(self, *, compute_scale: float = 1.0) -> IterationPipeline:
+        return IterationPipeline(
+            network=self.network,
+            batch=self.batch,
+            config=self.system.scaled(self.bandwidth),
+            compute=self.compute,
+            on_dgx1=self.on_dgx1,
+            compute_scale=compute_scale,
+        )
+
+
+@dataclass(frozen=True)
+class TrainingRun:
+    """Outcome of a simulated multi-iteration run.
+
+    Attributes:
+        config: the configuration that produced the run.
+        first_iteration_time: iteration 0 (no overlapping communication
+            yet — compute only, then the first AllReduce fully exposed).
+        steady_iteration: the steady-state iteration timeline.
+        iteration_times: per-iteration wall times.
+    """
+
+    config: TrainingConfig
+    first_iteration_time: float
+    steady_iteration: IterationResult
+    iteration_times: tuple[float, ...]
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.iteration_times)
+
+    @property
+    def throughput(self) -> float:
+        """Samples per second per GPU at steady state."""
+        return self.config.batch / self.steady_iteration.iteration_time
+
+
+def run_training(config: TrainingConfig, *, iterations: int = 10) -> TrainingRun:
+    """Simulate ``iterations`` training iterations.
+
+    Iteration 0 has no prior communication to overlap: it costs the pure
+    compute time (its AllReduce overlaps with iteration 1's timeline).
+    Later iterations all cost the steady-state chained timeline.
+    """
+    if iterations < 1:
+        raise ConfigError("need at least 1 iteration")
+    pipeline = config.pipeline()
+    comm = pipeline.comm_outcome(config.strategy)
+    steady = pipeline.run(config.strategy, comm=comm)
+    first = steady.ideal_time
+    times = [first] + [steady.iteration_time] * (iterations - 1)
+    return TrainingRun(
+        config=config,
+        first_iteration_time=first,
+        steady_iteration=steady,
+        iteration_times=tuple(times),
+    )
+
+
+def normalized_performance(
+    network: NetworkModel,
+    batch: int,
+    strategy: Strategy,
+    *,
+    bandwidth: Bandwidth = Bandwidth.HIGH,
+    system: CCubeConfig | None = None,
+    compute: ComputeModel = V100_COMPUTE,
+    on_dgx1: bool = True,
+) -> float:
+    """Fig.-13 metric for one configuration point.
+
+    1.0 means communication is entirely hidden (ideal linear speedup of
+    data-parallel training); lower values expose communication time.
+    """
+    config = TrainingConfig(
+        network=network,
+        batch=batch,
+        strategy=strategy,
+        bandwidth=bandwidth,
+        system=system or CCubeConfig(),
+        compute=compute,
+        on_dgx1=on_dgx1,
+    )
+    run = run_training(config, iterations=2)
+    return run.steady_iteration.normalized_performance

@@ -1,0 +1,50 @@
+"""Per-layer DNN workload models.
+
+C-Cube never changes the training math — only *when* each layer's forward
+pass may start — so the workload model a reproduction needs is each
+layer's (parameter bytes, forward/backward compute time) profile.  The
+networks here are generated from the real architectures' layer shapes
+(convolution kernel/channel/feature-map sizes), so parameter counts match
+the published models and the compute-vs-params trend across depth (paper
+Fig. 17) emerges from the architecture itself rather than being hardcoded.
+"""
+
+from repro.dnn.layers import LayerKind, LayerSpec, NetworkModel
+from repro.dnn.compute_model import ComputeModel, V100_COMPUTE
+from repro.dnn.networks import (
+    NETWORKS,
+    alexnet,
+    bert_base,
+    resnet152,
+    resnet50,
+    vgg16,
+    zfnet,
+)
+from repro.dnn.profiles import MLPERF_PROFILES, WorkloadProfile
+from repro.dnn.serialize import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+__all__ = [
+    "LayerKind",
+    "LayerSpec",
+    "NetworkModel",
+    "ComputeModel",
+    "V100_COMPUTE",
+    "alexnet",
+    "bert_base",
+    "resnet152",
+    "resnet50",
+    "vgg16",
+    "zfnet",
+    "NETWORKS",
+    "MLPERF_PROFILES",
+    "WorkloadProfile",
+    "load_network",
+    "network_from_dict",
+    "network_to_dict",
+    "save_network",
+]

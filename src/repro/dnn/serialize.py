@@ -1,0 +1,98 @@
+"""Serialization of network models to/from plain dicts and JSON files.
+
+Lets users define custom workloads outside Python (the experiment
+harness only needs each layer's name, parameter count, forward FLOPs,
+operator class, and channel count) and persist profiled networks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.dnn.layers import LayerKind, LayerSpec, NetworkModel
+
+_SCHEMA_VERSION = 1
+
+
+def network_to_dict(network: NetworkModel) -> dict[str, Any]:
+    """Plain-dict representation (JSON-safe) of a network model."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "name": network.name,
+        "layers": [
+            {
+                "name": layer.name,
+                "params": layer.params,
+                "fwd_flops": layer.fwd_flops,
+                "kind": layer.kind.value,
+                "channels": layer.channels,
+            }
+            for layer in network.layers
+        ],
+    }
+
+
+def network_from_dict(data: dict[str, Any]) -> NetworkModel:
+    """Rebuild a network model from :func:`network_to_dict` output.
+
+    Raises:
+        ConfigError: on missing fields, bad kinds, or schema mismatch.
+    """
+    if not isinstance(data, dict):
+        raise ConfigError("network spec must be a dict")
+    schema = data.get("schema", _SCHEMA_VERSION)
+    if schema != _SCHEMA_VERSION:
+        raise ConfigError(f"unsupported network schema {schema}")
+    try:
+        name = data["name"]
+        raw_layers = data["layers"]
+    except KeyError as missing:
+        raise ConfigError(f"network spec missing field {missing}") from None
+    if not isinstance(raw_layers, list) or not raw_layers:
+        raise ConfigError("network spec needs a non-empty layer list")
+    layers = []
+    for i, raw in enumerate(raw_layers):
+        try:
+            kind = LayerKind(raw.get("kind", LayerKind.CONV.value))
+        except ValueError:
+            raise ConfigError(
+                f"layer {i}: unknown kind {raw.get('kind')!r}"
+            ) from None
+        try:
+            layers.append(
+                LayerSpec(
+                    name=str(raw["name"]),
+                    params=int(raw["params"]),
+                    fwd_flops=float(raw["fwd_flops"]),
+                    kind=kind,
+                    channels=int(raw.get("channels", 0)),
+                )
+            )
+        except KeyError as missing:
+            raise ConfigError(
+                f"layer {i} missing field {missing}"
+            ) from None
+    return NetworkModel(name=str(name), layers=tuple(layers))
+
+
+def save_network(network: NetworkModel, path: str | Path) -> None:
+    """Write the network spec as JSON."""
+    Path(path).write_text(
+        json.dumps(network_to_dict(network), indent=2) + "\n"
+    )
+
+
+def load_network(path: str | Path) -> NetworkModel:
+    """Read a network spec from a JSON file.
+
+    Raises:
+        ConfigError: if the file is not valid JSON or fails validation.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid network JSON: {exc}") from exc
+    return network_from_dict(data)

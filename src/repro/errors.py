@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the package raises with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class TopologyError(ReproError):
+    """A physical or logical topology is malformed or unsupported."""
+
+
+class RoutingError(TopologyError):
+    """No route (minimal or detour) exists between two nodes."""
+
+
+class EmbeddingError(TopologyError):
+    """A logical topology cannot be embedded into a physical topology."""
+
+
+class ScheduleError(ReproError):
+    """A collective schedule is malformed (bad deps, wrong result, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """The DAG executor stalled with unfinished operations (dependency cycle)."""
+
+
+class RuntimeClusterError(ReproError):
+    """The thread-backed virtual GPU cluster failed or misbehaved."""
+
+
+class ConfigError(ReproError):
+    """Invalid user-supplied configuration value."""

@@ -1,0 +1,109 @@
+"""CSV export of experiment results.
+
+Every experiment returns a list of flat dataclass rows; this module turns
+any such list into CSV (for plotting outside Python) and can dump the
+whole evaluation in one call::
+
+    python -m repro.experiments.export out_dir/
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+def rows_to_csv(rows: Sequence[object], path: str | Path) -> None:
+    """Write dataclass rows as CSV (one column per field).
+
+    Dict-valued fields (e.g. Fig. 13's per-strategy map) are flattened
+    into ``field.key`` columns.
+
+    Raises:
+        ConfigError: for empty input or non-dataclass rows.
+    """
+    if not rows:
+        raise ConfigError("nothing to export")
+    if not dataclasses.is_dataclass(rows[0]):
+        raise ConfigError("rows must be dataclasses")
+
+    def flatten(row: object) -> dict[str, object]:
+        out: dict[str, object] = {}
+        for key, value in dataclasses.asdict(row).items():  # type: ignore[arg-type]
+            if isinstance(value, dict):
+                for sub, subval in value.items():
+                    out[f"{key}.{sub}"] = subval
+            elif isinstance(value, (list, tuple)):
+                out[key] = ";".join(str(v) for v in value)
+            else:
+                out[key] = value
+        return out
+
+    flat = [flatten(row) for row in rows]
+    fieldnames = list(flat[0].keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(flat)
+
+
+def export_all(out_dir: str | Path) -> list[Path]:
+    """Run every experiment and write one CSV per figure; returns paths."""
+    from repro.experiments import (
+        ext_algorithms,
+        ext_dgx2,
+        ext_hierarchical,
+        ext_sensitivity,
+        ext_tree_search,
+        ext_workloads,
+        fig01_allreduce_ratio,
+        fig02_overlap_comparison,
+        fig03_invocation,
+        fig04_model_ratio,
+        fig05_walkthrough,
+        fig12_comm_perf,
+        fig13_overall,
+        fig14_scaleout,
+        fig15_detour,
+        fig16_patterns,
+        fig17_resnet_layers,
+    )
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    jobs = {
+        "fig01.csv": fig01_allreduce_ratio.run,
+        "fig02.csv": fig02_overlap_comparison.run,
+        "fig03.csv": fig03_invocation.run,
+        "fig04.csv": fig04_model_ratio.run,
+        "fig05.csv": fig05_walkthrough.run,
+        "fig12.csv": fig12_comm_perf.run,
+        "fig13.csv": fig13_overall.run,
+        "fig14.csv": fig14_scaleout.run,
+        "fig15.csv": fig15_detour.run,
+        "fig16.csv": fig16_patterns.run,
+        "fig17.csv": fig17_resnet_layers.run,
+        "ext_algorithms.csv": ext_algorithms.run,
+        "ext_dgx2.csv": ext_dgx2.run,
+        "ext_hierarchical.csv": ext_hierarchical.run,
+        "ext_tree_search.csv": ext_tree_search.run,
+        "ext_workloads.csv": ext_workloads.run,
+        "ext_sensitivity.csv": ext_sensitivity.run,
+    }
+    written = []
+    for filename, runner in jobs.items():
+        path = out / filename
+        rows_to_csv(runner(), path)
+        written.append(path)
+    return written
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else "experiment_csv"
+    for written_path in export_all(target):
+        print(written_path)

@@ -1,0 +1,85 @@
+"""Extension study — hierarchical C-Cube across multi-GPU nodes.
+
+Scales C-Cube beyond one machine: a cluster of DGX-1-class nodes runs the
+three-phase hierarchical AllReduce (intra-node reduce, inter-node
+AllReduce over the slow fabric, intra-node broadcast), with and without
+chunk-level chaining across phase boundaries.  Reports total time and
+gradient turnaround; the overlapped variant chains all three phases per
+chunk, so the first chunk's turnaround stays near one traversal of the
+whole hierarchy while the non-overlapped variant pays two global barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.hierarchical import ClusterSpec, simulate_hierarchical
+from repro.experiments.report import format_bytes, render_table
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class HierRow:
+    """One (cluster size, message size) point."""
+
+    nnodes: int
+    nbytes: float
+    nchunks: int
+    baseline_ms: float
+    overlapped_ms: float
+    baseline_turnaround_ms: float
+    overlapped_turnaround_ms: float
+
+    @property
+    def total_speedup(self) -> float:
+        return self.baseline_ms / self.overlapped_ms
+
+    @property
+    def turnaround_speedup(self) -> float:
+        return self.baseline_turnaround_ms / self.overlapped_turnaround_ms
+
+
+def run(
+    *,
+    node_counts: tuple[int, ...] = (2, 4, 8, 16),
+    nbytes: int = 64 * _MB,
+    nchunks: int = 64,
+    gpus_per_node: int = 8,
+) -> list[HierRow]:
+    rows = []
+    for nnodes in node_counts:
+        cluster = ClusterSpec(nnodes=nnodes, gpus_per_node=gpus_per_node)
+        base = simulate_hierarchical(
+            cluster, float(nbytes), nchunks=nchunks, overlapped=False
+        )
+        over = simulate_hierarchical(
+            cluster, float(nbytes), nchunks=nchunks, overlapped=True
+        )
+        rows.append(
+            HierRow(
+                nnodes=nnodes,
+                nbytes=float(nbytes),
+                nchunks=nchunks,
+                baseline_ms=base.total_time * 1e3,
+                overlapped_ms=over.total_time * 1e3,
+                baseline_turnaround_ms=base.turnaround * 1e3,
+                overlapped_turnaround_ms=over.turnaround * 1e3,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[HierRow]) -> str:
+    return render_table(
+        ["nodes", "message", "chunks", "barriers (ms)", "chained (ms)",
+         "speedup", "turnaround speedup"],
+        [
+            (r.nnodes, format_bytes(r.nbytes), r.nchunks, r.baseline_ms,
+             r.overlapped_ms, f"{r.total_speedup:.2f}x",
+             f"{r.turnaround_speedup:.1f}x")
+            for r in rows
+        ],
+        title="Extension — hierarchical C-Cube across "
+              "multi-GPU nodes (8 GPUs/node)",
+    )

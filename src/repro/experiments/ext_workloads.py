@@ -1,0 +1,82 @@
+"""Extension study — strategies across the extended workload library.
+
+Runs the five strategies over all six workload models (the paper's three
+CNNs plus ResNet-152, AlexNet, and BERT-Base) at one configuration
+point, showing how C-Cube's benefit depends on the layer profile:
+CNN-shaped networks (Case 1) chain best; the uniform transformer profile
+sits between the paper's Case 1 and Case 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Bandwidth, CCubeConfig, Strategy
+from repro.core.pipeline import IterationPipeline
+from repro.dnn.networks import NETWORKS
+from repro.experiments.report import render_table
+
+STRATEGY_ORDER = (
+    Strategy.BASELINE,
+    Strategy.OVERLAPPED_TREE,
+    Strategy.COMPUTE_CHAINING,
+    Strategy.RING,
+    Strategy.CCUBE,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadRow:
+    """One network's strategy comparison."""
+
+    network: str
+    grad_mb: float
+    normalized: dict[str, float]
+    ccube_speedup_over_baseline: float
+
+
+def run(
+    *,
+    batch: int = 32,
+    bandwidth: Bandwidth = Bandwidth.LOW,
+    system: CCubeConfig | None = None,
+) -> list[WorkloadRow]:
+    system = (system or CCubeConfig()).scaled(bandwidth)
+    rows = []
+    for name in sorted(NETWORKS):
+        network = NETWORKS[name]()
+        pipeline = IterationPipeline(
+            network=network, batch=batch, config=system
+        )
+        results = {s: pipeline.run(s) for s in STRATEGY_ORDER}
+        rows.append(
+            WorkloadRow(
+                network=name,
+                grad_mb=network.total_bytes / 2**20,
+                normalized={
+                    s.value: results[s].normalized_performance
+                    for s in STRATEGY_ORDER
+                },
+                ccube_speedup_over_baseline=(
+                    results[Strategy.BASELINE].iteration_time
+                    / results[Strategy.CCUBE].iteration_time
+                ),
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[WorkloadRow]) -> str:
+    return render_table(
+        ["network", "grads (MiB)"]
+        + [s.value for s in STRATEGY_ORDER]
+        + ["CC/B speedup"],
+        [
+            (r.network, r.grad_mb,
+             *(f"{r.normalized[s.value]:.3f}" for s in STRATEGY_ORDER),
+             f"{r.ccube_speedup_over_baseline:.2f}x")
+            for r in rows
+        ],
+        title="Extension — strategies across the workload library "
+              "(batch 32, low bandwidth)",
+    )

@@ -1,0 +1,64 @@
+"""Paper Fig. 4 — analytical ring-vs-tree performance ratio.
+
+Plots ``(1/T_tree) / (1/T_ring)`` over node count P and message size N
+(paper Eq. 2 vs Eq. 6).  Above 1.0 the tree algorithm wins.  Expected
+shape: the tree wins for small messages (latency-dominated, its latency
+term is O(log P) vs the ring's O(P)) and for large node counts; the ring
+wins by a modest margin (≈ 1/(2 - 2/P), up to ~14% at P = 8) for large
+messages on small systems, where it is bandwidth-optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_bytes, render_table
+from repro.models.costmodel import CostParams, tree_over_ring_ratio
+
+_KB = 1024
+_MB = 1024 * 1024
+
+#: Default sweep (node counts and message sizes, paper-style ranges).
+DEFAULT_NODES = (8, 16, 32, 64, 128, 256, 512, 1024)
+DEFAULT_SIZES = (16 * _KB, 256 * _KB, 1 * _MB, 16 * _MB, 64 * _MB, 256 * _MB)
+
+#: Link parameters in the style the paper takes from the NCCL 2.4 blog.
+DEFAULT_PARAMS = CostParams(alpha=5e-6, beta=1.0 / 12.5e9)
+
+
+@dataclass(frozen=True)
+class Fig04Row:
+    """Tree/ring performance ratios for one message size across P."""
+
+    nbytes: float
+    ratios: tuple[float, ...]  # aligned with the node sweep
+
+
+def run(
+    *,
+    nodes: tuple[int, ...] = DEFAULT_NODES,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    params: CostParams = DEFAULT_PARAMS,
+) -> list[Fig04Row]:
+    return [
+        Fig04Row(
+            nbytes=float(size),
+            ratios=tuple(
+                tree_over_ring_ratio(p, float(size), params) for p in nodes
+            ),
+        )
+        for size in sizes
+    ]
+
+
+def format_table(
+    rows: list[Fig04Row], *, nodes: tuple[int, ...] = DEFAULT_NODES
+) -> str:
+    return render_table(
+        ["message"] + [f"P={p}" for p in nodes],
+        [
+            (format_bytes(r.nbytes), *(f"{x:.2f}" for x in r.ratios))
+            for r in rows
+        ],
+        title="Fig. 4 — (1/T_tree)/(1/T_ring); >1 means tree wins",
+    )

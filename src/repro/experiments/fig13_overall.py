@@ -1,0 +1,115 @@
+"""Paper Fig. 13 — normalized overall training performance.
+
+For {ZFNet, VGG-16, ResNet-50} x batch {16, 64, 256} x {low, high}
+bandwidth, compares the five strategies (B, C1, C2, R, CC), normalized to
+ideal linear speedup (1.0 = communication fully hidden).
+
+Expected shapes (paper Section V-B2): C1 ≈ +10% over B on average (up to
++20%); C2 slightly above C1; CC ≈ +32% on average (up to +61%); R beats
+C1 on this small system but CC beats R except for ZFNet at small batch;
+efficiency rises with batch size and with bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Bandwidth, CCubeConfig, Strategy
+from repro.core.pipeline import IterationPipeline
+from repro.dnn.networks import NETWORKS
+from repro.experiments.report import render_table
+
+DEFAULT_BATCHES = (16, 64, 256)
+DEFAULT_NETWORKS = ("zfnet", "vgg16", "resnet50")
+STRATEGY_ORDER = (
+    Strategy.BASELINE,
+    Strategy.OVERLAPPED_TREE,
+    Strategy.COMPUTE_CHAINING,
+    Strategy.RING,
+    Strategy.CCUBE,
+)
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    """One (network, batch, bandwidth) point: normalized perf per strategy."""
+
+    network: str
+    batch: int
+    bandwidth: str
+    normalized: dict[str, float]  # strategy value -> normalized perf
+
+    def speedup(self, strategy: Strategy, over: Strategy) -> float:
+        return self.normalized[strategy.value] / self.normalized[over.value]
+
+
+def run(
+    *,
+    networks: tuple[str, ...] = DEFAULT_NETWORKS,
+    batches: tuple[int, ...] = DEFAULT_BATCHES,
+    bandwidths: tuple[Bandwidth, ...] = (Bandwidth.LOW, Bandwidth.HIGH),
+    system: CCubeConfig | None = None,
+) -> list[Fig13Row]:
+    system = system or CCubeConfig()
+    rows = []
+    for bandwidth in bandwidths:
+        scaled = system.scaled(bandwidth)
+        for net_name in networks:
+            network = NETWORKS[net_name]()
+            # The AllReduce outcome depends only on (strategy, bytes, bw):
+            # simulate once per strategy and reuse across batch sizes.
+            probe = IterationPipeline(
+                network=network, batch=batches[0], config=scaled
+            )
+            comms = {s: probe.comm_outcome(s) for s in STRATEGY_ORDER}
+            for batch in batches:
+                pipeline = IterationPipeline(
+                    network=network, batch=batch, config=scaled
+                )
+                normalized = {
+                    s.value: pipeline.run(s, comm=comms[s]).normalized_performance
+                    for s in STRATEGY_ORDER
+                }
+                rows.append(
+                    Fig13Row(
+                        network=net_name,
+                        batch=batch,
+                        bandwidth=bandwidth.value,
+                        normalized=normalized,
+                    )
+                )
+    return rows
+
+
+def summarize(rows: list[Fig13Row]) -> dict[str, float]:
+    """Headline aggregates matching the paper's claims."""
+    def ratios(a: Strategy, b: Strategy) -> list[float]:
+        return [r.speedup(a, b) for r in rows]
+
+    c1_over_b = ratios(Strategy.OVERLAPPED_TREE, Strategy.BASELINE)
+    cc_over_b = ratios(Strategy.CCUBE, Strategy.BASELINE)
+    cc_over_r = ratios(Strategy.CCUBE, Strategy.RING)
+    return {
+        "C1/B mean": sum(c1_over_b) / len(c1_over_b),
+        "C1/B max": max(c1_over_b),
+        "CC/B mean": sum(cc_over_b) / len(cc_over_b),
+        "CC/B max": max(cc_over_b),
+        "CC/R max": max(cc_over_r),
+        "CC best efficiency": max(r.normalized["CC"] for r in rows),
+    }
+
+
+def format_table(rows: list[Fig13Row]) -> str:
+    table = render_table(
+        ["network", "batch", "bw"] + [s.value for s in STRATEGY_ORDER],
+        [
+            (r.network, r.batch, r.bandwidth,
+             *(f"{r.normalized[s.value]:.3f}" for s in STRATEGY_ORDER))
+            for r in rows
+        ],
+        title="Fig. 13 — normalized performance (1.0 = ideal speedup)",
+    )
+    stats = summarize(rows)
+    lines = [table, ""]
+    lines += [f"  {key}: {value:.3f}" for key, value in stats.items()]
+    return "\n".join(lines)

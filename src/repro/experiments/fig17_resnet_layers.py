@@ -1,0 +1,67 @@
+"""Paper Fig. 17 — ResNet-50 per-layer parameter size vs compute time.
+
+Shows the Case-1 trend C-Cube exploits: as layer index grows, parameter
+(gradient) size increases while per-layer compute time decreases, because
+CNNs grow channel counts while feature maps shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.compute_model import ComputeModel, V100_COMPUTE
+from repro.dnn.networks import resnet50
+from repro.experiments.report import render_table
+
+
+@dataclass(frozen=True)
+class Fig17Row:
+    """One ResNet-50 layer."""
+
+    index: int
+    name: str
+    param_bytes: int
+    fwd_time_ms: float
+
+
+def run(
+    *, batch: int = 64, compute: ComputeModel = V100_COMPUTE
+) -> list[Fig17Row]:
+    net = resnet50()
+    return [
+        Fig17Row(
+            index=i,
+            name=layer.name,
+            param_bytes=layer.param_bytes,
+            fwd_time_ms=compute.forward_time(layer, batch) * 1e3,
+        )
+        for i, layer in enumerate(net.layers)
+    ]
+
+
+def trend_summary(rows: list[Fig17Row]) -> dict[str, float]:
+    """First-half vs second-half averages, quantifying the Fig.-17 trend."""
+    half = len(rows) // 2
+    early, late = rows[:half], rows[half:]
+
+    def mean(vals: list[float]) -> float:
+        return sum(vals) / len(vals)
+
+    return {
+        "early mean param MB": mean([r.param_bytes for r in early]) / 1e6,
+        "late mean param MB": mean([r.param_bytes for r in late]) / 1e6,
+        "early mean fwd ms": mean([r.fwd_time_ms for r in early]),
+        "late mean fwd ms": mean([r.fwd_time_ms for r in late]),
+    }
+
+
+def format_table(rows: list[Fig17Row]) -> str:
+    table = render_table(
+        ["#", "layer", "param bytes", "fwd time (ms)"],
+        [(r.index, r.name, r.param_bytes, r.fwd_time_ms) for r in rows],
+        title="Fig. 17 — ResNet-50 per-layer params vs compute (batch 64)",
+    )
+    stats = trend_summary(rows)
+    lines = [table, ""]
+    lines += [f"  {key}: {value:.3f}" for key, value in stats.items()]
+    return "\n".join(lines)

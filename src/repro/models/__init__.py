@@ -1,0 +1,53 @@
+"""Analytical alpha-beta cost models (paper Section II-C, Eq. 1-7)."""
+
+from repro.models.costmodel import (
+    CostParams,
+    optimal_chunks,
+    ring_allreduce_time,
+    ring_allgather_time,
+    tree_allreduce_time,
+    tree_phase_time,
+    overlapped_tree_time,
+    turnaround_baseline,
+    turnaround_overlapped,
+    tree_over_ring_ratio,
+)
+from repro.models.scalability import (
+    bandwidth_dominated_threshold,
+    overlap_benefit,
+    overlap_benefit_saturation_bytes,
+    ring_tree_crossover_bytes,
+    ring_tree_crossover_nodes,
+    scalability_report,
+)
+from repro.models.invocation import (
+    InvocationModel,
+    one_shot_time,
+    layer_wise_time,
+    sliced_time,
+    effective_bandwidth,
+)
+
+__all__ = [
+    "CostParams",
+    "optimal_chunks",
+    "ring_allreduce_time",
+    "ring_allgather_time",
+    "tree_allreduce_time",
+    "tree_phase_time",
+    "overlapped_tree_time",
+    "turnaround_baseline",
+    "turnaround_overlapped",
+    "tree_over_ring_ratio",
+    "bandwidth_dominated_threshold",
+    "overlap_benefit",
+    "overlap_benefit_saturation_bytes",
+    "ring_tree_crossover_bytes",
+    "ring_tree_crossover_nodes",
+    "scalability_report",
+    "InvocationModel",
+    "one_shot_time",
+    "layer_wise_time",
+    "sliced_time",
+    "effective_bandwidth",
+]

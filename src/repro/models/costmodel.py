@@ -1,0 +1,144 @@
+"""Linear (alpha-beta) cost models from the paper's Section II-C.
+
+Notation (paper):
+
+- ``N`` — message size in bytes,
+- ``K`` — number of pipeline chunks,
+- ``P`` — number of processors,
+- ``alpha`` — per-transfer latency,
+- ``beta`` — seconds per byte (1 / bandwidth).
+
+Equations:
+
+- Eq. 1: ``T_allgather = (P-1) (alpha + beta N / P)``
+- Eq. 2: ``T_ring = 2 (P-1) alpha + 2 ((P-1)/P) beta N``
+- Eq. 3: ``T_phase = (log2 P + K)(alpha + beta N / K)`` per tree phase
+- Eq. 4: ``K_opt = sqrt(log2(P) beta N / alpha)``
+- Eq. 6: ``T_tree = 2 log2(P) alpha + 2 beta N + 4 sqrt(alpha beta N log2 P)``
+- Eq. 7: ``T_overlap = 2 log2(P) alpha + beta N + 3 sqrt(alpha beta N log2 P)``
+
+Eq. 7 is the overlapped tree: chaining reduction and broadcast makes the
+pipeline a single pass over an effectively doubled tree height —
+``2 log2(P) + K`` steps instead of ``2 (log2(P) + K)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Bundle of model parameters.
+
+    Attributes:
+        alpha: per-transfer latency (seconds).
+        beta: seconds per byte.
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ConfigError("alpha and beta must be non-negative")
+
+
+def _check(nnodes: int, nbytes: float) -> None:
+    if nnodes < 2:
+        raise ConfigError("need at least 2 nodes")
+    if nbytes <= 0:
+        raise ConfigError("message size must be positive")
+
+
+def ring_allgather_time(nnodes: int, nbytes: float, p: CostParams) -> float:
+    """Eq. 1: one ring phase (AllGather or Reduce-Scatter)."""
+    _check(nnodes, nbytes)
+    return (nnodes - 1) * (p.alpha + p.beta * nbytes / nnodes)
+
+
+def ring_allreduce_time(nnodes: int, nbytes: float, p: CostParams) -> float:
+    """Eq. 2: ring AllReduce = Reduce-Scatter + AllGather."""
+    return 2.0 * ring_allgather_time(nnodes, nbytes, p)
+
+
+def tree_phase_time(
+    nnodes: int, nbytes: float, nchunks: int, p: CostParams
+) -> float:
+    """Eq. 3: one pipelined tree phase with K chunks."""
+    _check(nnodes, nbytes)
+    if nchunks < 1:
+        raise ConfigError("need at least 1 chunk")
+    steps = math.log2(nnodes) + nchunks
+    return steps * (p.alpha + p.beta * nbytes / nchunks)
+
+
+def optimal_chunks(nnodes: int, nbytes: float, p: CostParams) -> float:
+    """Eq. 4: the (real-valued) chunk count minimising Eq. 3."""
+    _check(nnodes, nbytes)
+    if p.alpha == 0:
+        return math.inf
+    return math.sqrt(math.log2(nnodes) * p.beta * nbytes / p.alpha)
+
+
+def tree_allreduce_time(nnodes: int, nbytes: float, p: CostParams) -> float:
+    """Eq. 6: baseline tree AllReduce at the optimal chunk count."""
+    _check(nnodes, nbytes)
+    logp = math.log2(nnodes)
+    return (
+        2.0 * logp * p.alpha
+        + 2.0 * p.beta * nbytes
+        + 4.0 * math.sqrt(p.alpha * p.beta * nbytes * logp)
+    )
+
+
+def overlapped_tree_time(nnodes: int, nbytes: float, p: CostParams) -> float:
+    """Eq. 7: overlapped (C1) tree AllReduce at the optimal chunk count."""
+    _check(nnodes, nbytes)
+    logp = math.log2(nnodes)
+    return (
+        2.0 * logp * p.alpha
+        + p.beta * nbytes
+        + 3.0 * math.sqrt(p.alpha * p.beta * nbytes * logp)
+    )
+
+
+def turnaround_baseline(
+    nnodes: int, nbytes: float, nchunks: int, p: CostParams
+) -> float:
+    """Gradient turnaround of the baseline tree: the first chunk is ready
+    only after the full reduction phase plus its own trip down the tree."""
+    _check(nnodes, nbytes)
+    logp = math.log2(nnodes)
+    chunk_time = p.alpha + p.beta * nbytes / nchunks
+    return (logp + nchunks) * chunk_time + logp * chunk_time
+
+
+def turnaround_overlapped(
+    nnodes: int, nbytes: float, nchunks: int, p: CostParams
+) -> float:
+    """Gradient turnaround of the overlapped tree: the first chunk turns
+    around after one up-and-down traversal — ``2 log2(P)`` steps —
+    independent of K (paper Fig. 7(b))."""
+    _check(nnodes, nbytes)
+    logp = math.log2(nnodes)
+    chunk_time = p.alpha + p.beta * nbytes / nchunks
+    return 2.0 * logp * chunk_time
+
+
+def tree_over_ring_ratio(nnodes: int, nbytes: float, p: CostParams) -> float:
+    """Paper Fig. 4's metric: ``(1/T_tree) / (1/T_ring)`` — above 1 means
+    the tree algorithm outperforms the ring."""
+    return ring_allreduce_time(nnodes, nbytes, p) / tree_allreduce_time(
+        nnodes, nbytes, p
+    )
+
+
+def overlap_speedup_model(nnodes: int, nbytes: float, p: CostParams) -> float:
+    """Modelled C1-over-baseline speedup (paper Fig. 12(b) comparison)."""
+    return tree_allreduce_time(nnodes, nbytes, p) / overlapped_tree_time(
+        nnodes, nbytes, p
+    )

@@ -1,0 +1,95 @@
+"""Invocation-granularity model: one-shot vs layer-wise vs slicing (Fig. 3).
+
+The paper measures NCCL AllReduce bandwidth on a DGX-1 for three ways of
+invoking the collective over ResNet-50's gradients:
+
+- **one-shot** — a single AllReduce over all N bytes after backward ends,
+- **layer-wise** — one AllReduce per layer, as its gradients become ready,
+- **slicing** — AllReduce per fixed-size slice (fine-grained).
+
+Every invocation pays a fixed overhead (host launch, kernel setup,
+re-synchronization), so finer granularity loses bandwidth: the paper
+reports roughly 2x loss for layer-wise and over 4x for slicing.  This is
+the motivation for C-Cube's one-shot baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.models.costmodel import CostParams, ring_allreduce_time
+
+
+@dataclass(frozen=True)
+class InvocationModel:
+    """Cost parameters for repeated collective invocations.
+
+    Attributes:
+        nnodes: number of GPUs.
+        params: alpha-beta parameters of one AllReduce (with beta the
+            inverse of the *aggregate* algorithm bandwidth, e.g. several
+            NCCL rings).
+        invoke_overhead: fixed cost per collective invocation (seconds) —
+            host-side launch plus stream synchronization.
+        peak_bandwidth: hardware peak used for normalization (bytes/s).
+    """
+
+    nnodes: int
+    params: CostParams
+    invoke_overhead: float = 20e-6
+    peak_bandwidth: float = 100e9
+
+    def __post_init__(self) -> None:
+        if self.invoke_overhead < 0:
+            raise ConfigError("invocation overhead must be non-negative")
+        if self.peak_bandwidth <= 0:
+            raise ConfigError("peak bandwidth must be positive")
+
+    def allreduce_time(self, nbytes: float) -> float:
+        """One invocation over ``nbytes``: overhead + algorithm time."""
+        return self.invoke_overhead + ring_allreduce_time(
+            self.nnodes, nbytes, self.params
+        )
+
+
+def one_shot_time(model: InvocationModel, layer_bytes: Sequence[float]) -> float:
+    """Single AllReduce over the whole gradient buffer."""
+    total = sum(layer_bytes)
+    if total <= 0:
+        raise ConfigError("total gradient size must be positive")
+    return model.allreduce_time(total)
+
+
+def layer_wise_time(model: InvocationModel, layer_bytes: Sequence[float]) -> float:
+    """One AllReduce per layer (coarse-grain overlap schemes)."""
+    if not layer_bytes:
+        raise ConfigError("need at least one layer")
+    return sum(model.allreduce_time(b) for b in layer_bytes)
+
+
+def sliced_time(
+    model: InvocationModel,
+    layer_bytes: Sequence[float],
+    *,
+    slice_bytes: float = 512 * 1024,
+) -> float:
+    """One AllReduce per fixed-size slice (fine-grain schemes)."""
+    if slice_bytes <= 0:
+        raise ConfigError("slice size must be positive")
+    total = sum(layer_bytes)
+    if total <= 0:
+        raise ConfigError("total gradient size must be positive")
+    nslices = max(1, round(total / slice_bytes))
+    per_slice = total / nslices
+    return nslices * model.allreduce_time(per_slice)
+
+
+def effective_bandwidth(
+    model: InvocationModel, total_bytes: float, elapsed: float
+) -> float:
+    """Achieved bandwidth normalized to the hardware peak (0..1]."""
+    if elapsed <= 0:
+        raise ConfigError("elapsed time must be positive")
+    return (total_bytes / elapsed) / model.peak_bandwidth

@@ -1,0 +1,151 @@
+"""Closed-form scalability analysis on top of the Eq. 1-7 models.
+
+Answers the "where do the curves cross" questions the paper's Fig. 4 and
+Fig. 14 pose, without running the simulator:
+
+- :func:`ring_tree_crossover_nodes` — smallest node count at which the
+  (baseline) tree AllReduce beats the ring for a given message size,
+- :func:`ring_tree_crossover_bytes` — largest message size at which the
+  tree still beats the ring for a given node count,
+- :func:`overlap_benefit` — the C1/B speedup as a function of size (it
+  climbs from 1x toward 2x as bandwidth dominates),
+- :func:`bandwidth_dominated_threshold` — the size beyond which the
+  bandwidth term exceeds the latency term of the tree model.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.models.costmodel import (
+    CostParams,
+    overlapped_tree_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+
+
+def ring_tree_crossover_nodes(
+    nbytes: float,
+    params: CostParams,
+    *,
+    max_nodes: int = 1 << 20,
+) -> int | None:
+    """Smallest P (power of two) where the tree beats the ring, or None
+    if no crossover exists up to ``max_nodes``."""
+    if nbytes <= 0:
+        raise ConfigError("message size must be positive")
+    p = 2
+    while p <= max_nodes:
+        if tree_allreduce_time(p, nbytes, params) <= ring_allreduce_time(
+            p, nbytes, params
+        ):
+            return p
+        p *= 2
+    return None
+
+
+def ring_tree_crossover_bytes(
+    nnodes: int,
+    params: CostParams,
+    *,
+    lo: float = 1.0,
+    hi: float = 1e15,
+) -> float | None:
+    """Largest N at which the tree still beats the ring for ``nnodes``
+    (bisection), or None if the ring wins already at ``lo`` or the tree
+    still wins at ``hi``.
+
+    The tree wins small messages (log-P latency), the ring wins large
+    ones on small systems (bandwidth-optimal), so there is at most one
+    crossover in N for a fixed P.
+    """
+    def tree_wins(n: float) -> bool:
+        return tree_allreduce_time(nnodes, n, params) <= ring_allreduce_time(
+            nnodes, n, params
+        )
+
+    if not tree_wins(lo):
+        return None
+    if tree_wins(hi):
+        return None
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)  # geometric bisection over decades
+        if tree_wins(mid):
+            lo = mid
+        else:
+            hi = mid
+        if hi / lo < 1.0001:
+            break
+    return lo
+
+
+def overlap_benefit(nbytes: float, nnodes: int, params: CostParams) -> float:
+    """C1-over-baseline speedup, 1.0 <= value <= 2.0 (paper Fig. 12)."""
+    return tree_allreduce_time(nnodes, nbytes, params) / overlapped_tree_time(
+        nnodes, nbytes, params
+    )
+
+
+def overlap_benefit_saturation_bytes(
+    nnodes: int,
+    params: CostParams,
+    *,
+    target: float = 1.8,
+    lo: float = 1.0,
+    hi: float = 1e15,
+) -> float | None:
+    """Message size at which the overlap benefit reaches ``target``
+    (bisection; the benefit is monotone increasing in N), or None if the
+    target is unreachable below ``hi``."""
+    if not 1.0 < target < 2.0:
+        raise ConfigError("target must be in (1, 2)")
+    if overlap_benefit(hi, nnodes, params) < target:
+        return None
+    if overlap_benefit(lo, nnodes, params) >= target:
+        return lo
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)
+        if overlap_benefit(mid, nnodes, params) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi / lo < 1.0001:
+            break
+    return hi
+
+
+def bandwidth_dominated_threshold(nnodes: int, params: CostParams) -> float:
+    """Message size where the tree model's bandwidth term (2 beta N)
+    equals its latency term (2 log2(P) alpha).
+
+    Raises:
+        ConfigError: for latency-free channels (beta == 0).
+    """
+    if params.beta == 0:
+        raise ConfigError("beta must be positive")
+    return math.log2(nnodes) * params.alpha / params.beta
+
+
+def scalability_report(
+    params: CostParams,
+    *,
+    sizes: tuple[float, ...] = (16e3, 1e6, 64e6),
+    node_counts: tuple[int, ...] = (8, 64, 512),
+) -> dict[str, object]:
+    """Bundle of the analyses above for a quick textual report."""
+    return {
+        "crossover_nodes": {
+            size: ring_tree_crossover_nodes(size, params) for size in sizes
+        },
+        "crossover_bytes": {
+            p: ring_tree_crossover_bytes(p, params) for p in node_counts
+        },
+        "overlap_benefit_64MB": {
+            p: overlap_benefit(64e6, p, params) for p in node_counts
+        },
+        "bandwidth_threshold": {
+            p: bandwidth_dominated_threshold(p, params) for p in node_counts
+        },
+    }

@@ -1,0 +1,56 @@
+"""Thread-backed functional virtual-GPU cluster.
+
+The paper's proof-of-concept runs CUDA *persistent kernels* on 8 GPUs,
+synchronized entirely device-side (no host round-trips) with lock /
+unlock / post / wait / check built from atomicCAS, atomicExch and thread
+fences (paper Fig. 11).  This package reproduces that system with one
+Python thread per kernel:
+
+- :mod:`repro.runtime.sync` — the Fig.-11 primitives over emulated atomics,
+- :mod:`repro.runtime.memory` — gradient buffers and chunk slicing,
+- :mod:`repro.runtime.cluster` — virtual GPUs, channels (direct and
+  detour-forwarded), and the persistent-kernel thread pool,
+- :mod:`repro.runtime.allreduce` — the chunked, pipelined double-tree
+  AllReduce with optional phase overlap (C1) and detour forwarding,
+- :mod:`repro.runtime.queue_runtime` — gradient queuing + forward-compute
+  chaining over the same semaphores (C2/CC).
+
+Everything is *functionally real*: the AllReduce produces numerically
+exact sums, chunks flow in the same order as on the real system, and the
+gradient queue's in-order dequeue property is enforced by the same
+check-semaphore pattern the paper uses.
+"""
+
+from repro.runtime.sync import (
+    AtomicCell,
+    DeviceLock,
+    DeviceSemaphore,
+    SpinConfig,
+)
+from repro.runtime.memory import ChunkLayout, GradientBuffer
+from repro.runtime.allreduce import RunReport, TreeAllReduceRuntime
+from repro.runtime.queue_runtime import ChainedTrainingRuntime, ComputeRecord
+from repro.runtime.ring_runtime import RingAllReduceRuntime, RingRunReport
+from repro.runtime.training import (
+    FunctionalTrainer,
+    quadratic_gradient,
+    serial_reference,
+)
+
+__all__ = [
+    "AtomicCell",
+    "DeviceLock",
+    "DeviceSemaphore",
+    "SpinConfig",
+    "ChunkLayout",
+    "GradientBuffer",
+    "RunReport",
+    "TreeAllReduceRuntime",
+    "ChainedTrainingRuntime",
+    "ComputeRecord",
+    "FunctionalTrainer",
+    "quadratic_gradient",
+    "serial_reference",
+    "RingAllReduceRuntime",
+    "RingRunReport",
+]

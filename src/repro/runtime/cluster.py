@@ -1,0 +1,204 @@
+"""Virtual GPU cluster plumbing: links, relays, and the kernel pool.
+
+Links model NVLink P2P writes between GPUs:
+
+- an :class:`UpLink` carries partial-sum chunks child -> parent during
+  reduction, into a staging (receive) buffer at the parent, flow-controlled
+  by a bounded :class:`~repro.runtime.sync.DeviceSemaphore` — the
+  receive-buffer management the paper builds post/wait for;
+- a :class:`DownLink` carries fully reduced chunks parent -> child during
+  broadcast, written *directly into the child's gradient buffer* (the
+  paper reuses the gradient memory address as the gradient queue).
+
+A link whose endpoints share no physical NVLink is built with a
+``relay_via`` GPU: the sender writes the intermediate GPU's staging
+buffer, and a *forwarding kernel* (its own persistent thread, as in the
+paper's static detour routing) copies each chunk onward in order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import RuntimeClusterError
+from repro.runtime.memory import ChunkLayout, GradientBuffer
+from repro.runtime.sync import DeviceSemaphore, SpinConfig
+
+
+class UpLink:
+    """Reduction-direction link (child -> parent), with optional relay.
+
+    ``delay_fn``, when given, returns a sleep duration applied before
+    every send — fault/jitter injection used to verify the
+    synchronization protocol is timing-independent.
+    """
+
+    def __init__(
+        self,
+        layout: ChunkLayout,
+        *,
+        capacity: int,
+        spin: SpinConfig,
+        name: str,
+        relay_via: int | None = None,
+        delay_fn: Callable[[], float] | None = None,
+    ):
+        self._layout = layout
+        self.relay_via = relay_via
+        self._delay_fn = delay_fn
+        self._staging = np.zeros(layout.total_elems)
+        self._sem = DeviceSemaphore(capacity, spin=spin, name=f"{name}.up")
+        if relay_via is not None:
+            self._mid = np.zeros(layout.total_elems)
+            self._mid_sem = DeviceSemaphore(
+                capacity, spin=spin, name=f"{name}.up.mid"
+            )
+
+    def send(self, chunk: int, values: np.ndarray) -> None:
+        """Child side: deliver its partial sum for ``chunk``."""
+        if self._delay_fn is not None:
+            time.sleep(self._delay_fn())
+        if self.relay_via is not None:
+            self._mid[self._layout.slice_of(chunk)] = values
+            self._mid_sem.post()
+        else:
+            self._staging[self._layout.slice_of(chunk)] = values
+            self._sem.post()
+
+    def recv(self, chunk: int) -> np.ndarray:
+        """Parent side: block for and return the chunk payload."""
+        self._sem.wait()
+        return self._staging[self._layout.slice_of(chunk)].copy()
+
+    def relay_kernel(self, chunks: Sequence[int]) -> Callable[[], None]:
+        """Forwarding kernel body for the intermediate GPU (chunk order)."""
+        if self.relay_via is None:
+            raise RuntimeClusterError("relay kernel on a direct link")
+
+        def kernel() -> None:
+            for chunk in chunks:
+                self._mid_sem.wait()
+                sl = self._layout.slice_of(chunk)
+                self._staging[sl] = self._mid[sl]
+                self._sem.post()
+
+        return kernel
+
+
+class DownLink:
+    """Broadcast-direction link (parent -> child), with optional relay.
+
+    Writes land directly in the child's gradient buffer; the semaphore
+    tells the child's broadcast kernel a chunk arrived.
+    """
+
+    def __init__(
+        self,
+        layout: ChunkLayout,
+        child_buffer: GradientBuffer,
+        *,
+        capacity: int,
+        spin: SpinConfig,
+        name: str,
+        relay_via: int | None = None,
+        delay_fn: Callable[[], float] | None = None,
+    ):
+        self._layout = layout
+        self._child = child_buffer
+        self.relay_via = relay_via
+        self._delay_fn = delay_fn
+        self._sem = DeviceSemaphore(capacity, spin=spin, name=f"{name}.down")
+        if relay_via is not None:
+            self._mid = np.zeros(layout.total_elems)
+            self._mid_sem = DeviceSemaphore(
+                capacity, spin=spin, name=f"{name}.down.mid"
+            )
+
+    def send(self, chunk: int, values: np.ndarray) -> None:
+        """Parent side: deliver the fully reduced ``chunk``."""
+        if self._delay_fn is not None:
+            time.sleep(self._delay_fn())
+        if self.relay_via is not None:
+            self._mid[self._layout.slice_of(chunk)] = values
+            self._mid_sem.post()
+        else:
+            self._child.overwrite(chunk, values)
+            self._sem.post()
+
+    def recv_wait(self) -> None:
+        """Child side: block until the next chunk (in order) arrived."""
+        self._sem.wait()
+
+    def relay_kernel(self, chunks: Sequence[int]) -> Callable[[], None]:
+        """Forwarding kernel body for the intermediate GPU (chunk order)."""
+        if self.relay_via is None:
+            raise RuntimeClusterError("relay kernel on a direct link")
+
+        def kernel() -> None:
+            for chunk in chunks:
+                self._mid_sem.wait()
+                sl = self._layout.slice_of(chunk)
+                self._child.data[sl] = self._mid[sl]
+                self._sem.post()
+
+        return kernel
+
+
+@dataclass
+class KernelPool:
+    """Runs persistent-kernel bodies as threads; fails loudly together.
+
+    Attributes:
+        join_timeout: seconds to wait for all kernels before declaring the
+            run hung.
+    """
+
+    join_timeout: float = 60.0
+    _entries: list[tuple[str, Callable[[], None]]] = field(default_factory=list)
+
+    def add(self, name: str, body: Callable[[], None]) -> None:
+        self._entries.append((name, body))
+
+    def run(self) -> None:
+        """Start every kernel, join all, re-raise the first failure.
+
+        Raises:
+            RuntimeClusterError: on kernel failure or join timeout.
+        """
+        failures: list[tuple[str, BaseException]] = []
+        fail_lock = threading.Lock()
+
+        def wrap(name: str, body: Callable[[], None]) -> Callable[[], None]:
+            def runner() -> None:
+                try:
+                    body()
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    with fail_lock:
+                        failures.append((name, exc))
+
+            return runner
+
+        threads = [
+            threading.Thread(target=wrap(name, body), name=name, daemon=True)
+            for name, body in self._entries
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + self.join_timeout
+        for thread in threads:
+            remaining = deadline - time.monotonic()
+            thread.join(timeout=max(0.0, remaining))
+        alive = [t.name for t in threads if t.is_alive()]
+        if failures:
+            name, exc = failures[0]
+            raise RuntimeClusterError(
+                f"kernel {name!r} failed: {exc!r}"
+                + (f" ({len(failures) - 1} more failures)" if len(failures) > 1 else "")
+            ) from exc
+        if alive:
+            raise RuntimeClusterError(f"kernels did not finish: {alive}")

@@ -1,0 +1,127 @@
+"""Gradient buffers and chunk layout for the functional runtime.
+
+The paper stores reduced gradient chunks back into "the same memory
+address as where they started reduction", so the gradient buffer itself
+serves as the gradient queue.  :class:`GradientBuffer` mirrors that: one
+flat array per GPU, addressed through a shared :class:`ChunkLayout` that
+assigns contiguous element ranges to global chunk ids (each tree of a
+double tree owning one contiguous half, as in the schedules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ChunkLayout:
+    """Partition of ``total_elems`` into per-tree contiguous chunk runs.
+
+    Attributes:
+        total_elems: gradient element count.
+        tree_chunks: per tree, the list of global chunk ids it carries
+            (in pipeline order).
+        bounds: per global chunk id, its (start, stop) element range.
+    """
+
+    total_elems: int
+    tree_chunks: tuple[tuple[int, ...], ...]
+    bounds: tuple[tuple[int, int], ...]
+
+    @property
+    def nchunks(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def ntrees(self) -> int:
+        return len(self.tree_chunks)
+
+    def slice_of(self, chunk: int) -> slice:
+        start, stop = self.bounds[chunk]
+        return slice(start, stop)
+
+    def chunk_elems(self, chunk: int) -> int:
+        start, stop = self.bounds[chunk]
+        return stop - start
+
+    def tree_of(self, chunk: int) -> int:
+        for tree, chunks in enumerate(self.tree_chunks):
+            if chunk in chunks:
+                return tree
+        raise ConfigError(f"chunk {chunk} not in any tree")
+
+    @staticmethod
+    def split(
+        total_elems: int, *, ntrees: int, chunks_per_tree: int
+    ) -> "ChunkLayout":
+        """Split elements into ``ntrees`` halves of ``chunks_per_tree``
+        near-equal chunks each (global chunk ids are contiguous per tree).
+        """
+        if total_elems < ntrees * chunks_per_tree:
+            raise ConfigError(
+                "buffer too small for the requested chunk count"
+            )
+        bounds: list[tuple[int, int]] = []
+        tree_chunks: list[tuple[int, ...]] = []
+        cursor = 0
+        next_chunk = 0
+        for tree in range(ntrees):
+            tree_elems = total_elems // ntrees
+            if tree == ntrees - 1:
+                tree_elems = total_elems - cursor
+            ids = []
+            tree_cursor = 0
+            for k in range(chunks_per_tree):
+                size = tree_elems // chunks_per_tree
+                if k == chunks_per_tree - 1:
+                    size = tree_elems - tree_cursor
+                bounds.append((cursor + tree_cursor, cursor + tree_cursor + size))
+                ids.append(next_chunk)
+                next_chunk += 1
+                tree_cursor += size
+            tree_chunks.append(tuple(ids))
+            cursor += tree_elems
+        return ChunkLayout(
+            total_elems=total_elems,
+            tree_chunks=tuple(tree_chunks),
+            bounds=tuple(bounds),
+        )
+
+
+class GradientBuffer:
+    """One GPU's gradient memory, chunk-addressed.
+
+    The buffer doubles as the gradient queue (paper Section III-D): a
+    broadcast delivery writes the fully reduced chunk in place, and the
+    enqueue semaphore is the only extra state.
+    """
+
+    def __init__(self, data: np.ndarray, layout: ChunkLayout):
+        if data.ndim != 1:
+            raise ConfigError("gradient buffer must be one-dimensional")
+        if len(data) != layout.total_elems:
+            raise ConfigError(
+                f"buffer has {len(data)} elems, layout expects "
+                f"{layout.total_elems}"
+            )
+        self.data = data.astype(np.float64, copy=True)
+        self.layout = layout
+
+    def chunk(self, chunk_id: int) -> np.ndarray:
+        """View of one chunk's elements (writable)."""
+        return self.data[self.layout.slice_of(chunk_id)]
+
+    def accumulate(self, chunk_id: int, values: np.ndarray) -> None:
+        """Reduce ``values`` into the chunk (the reduction kernel's add)."""
+        self.chunk(chunk_id)[:] += values
+
+    def overwrite(self, chunk_id: int, values: np.ndarray) -> None:
+        """Replace the chunk with the fully reduced payload (broadcast)."""
+        self.chunk(chunk_id)[:] = values
+
+    def snapshot(self) -> np.ndarray:
+        return self.data.copy()

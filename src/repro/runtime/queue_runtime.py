@@ -1,0 +1,168 @@
+"""Gradient queuing + forward-compute chaining over the functional runtime.
+
+This is the C-Cube "C2" component running for real: per GPU, a compute
+kernel walks the layers in forward order and, before each layer, performs
+the gradient-queue dequeue — a non-consuming ``check`` on the enqueue
+semaphore against the layer-chunk table (paper Fig. 9) — then applies the
+parameter update using the *reduced* gradients and "computes" the layer.
+Because the check consumes nothing and the layer index counter only
+advances, forward order is strictly increasing by construction, and a
+dequeue can never observe a chunk that has not been enqueued.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.dnn.layers import BYTES_PER_PARAM, NetworkModel
+from repro.runtime.allreduce import RunReport, TreeAllReduceRuntime
+from repro.runtime.memory import ChunkLayout, GradientBuffer
+
+
+@dataclass(frozen=True)
+class ComputeRecord:
+    """One layer's forward start on one GPU.
+
+    Attributes:
+        gpu: GPU id.
+        layer: layer index (forward order).
+        timestamp: monotonic time the dequeue succeeded.
+    """
+
+    gpu: int
+    layer: int
+    timestamp: float
+
+
+def layer_requirements(
+    network: NetworkModel, layout: ChunkLayout
+) -> list[tuple[int, ...]]:
+    """The layer-chunk table in runtime terms: per layer, per tree, the
+    cumulative enqueue count required before the layer may dequeue."""
+    if network.total_params != layout.total_elems:
+        raise ConfigError(
+            f"network has {network.total_params} params, layout "
+            f"{layout.total_elems} elems"
+        )
+    requirements: list[tuple[int, ...]] = []
+    for layer_idx in range(len(network)):
+        lo_b, hi_b = network.byte_range(layer_idx)
+        lo, hi = lo_b // BYTES_PER_PARAM, hi_b // BYTES_PER_PARAM
+        per_tree = [0] * layout.ntrees
+        for t, chunks in enumerate(layout.tree_chunks):
+            for pos, chunk in enumerate(chunks, start=1):
+                start, stop = layout.bounds[chunk]
+                if start < hi and stop > lo:
+                    per_tree[t] = max(per_tree[t], pos)
+        requirements.append(tuple(per_tree))
+    return requirements
+
+
+@dataclass
+class ChainedRunResult:
+    """Outcome of one chained AllReduce + forward pass.
+
+    Attributes:
+        report: the underlying AllReduce report.
+        compute_log: per-GPU compute records, in execution order.
+        weights: per-GPU weight arrays after the chained update step.
+    """
+
+    report: RunReport
+    compute_log: dict[int, list[ComputeRecord]]
+    weights: list[np.ndarray]
+
+
+class ChainedTrainingRuntime:
+    """Runs AllReduce and the next iteration's forward pass chained.
+
+    Args:
+        runtime: the configured functional AllReduce.
+        network: workload whose layers gate on the gradient queue
+            (``network.total_params`` must equal the runtime's element
+            count).
+        learning_rate: SGD step applied during each layer's dequeue,
+            making the chained update numerically observable.
+    """
+
+    def __init__(
+        self,
+        runtime: TreeAllReduceRuntime,
+        network: NetworkModel,
+        *,
+        learning_rate: float = 0.1,
+    ):
+        self.runtime = runtime
+        self.network = network
+        self.learning_rate = learning_rate
+        self.requirements = layer_requirements(network, runtime.layout)
+
+    def run(
+        self,
+        grads: list[np.ndarray],
+        weights: list[np.ndarray] | None = None,
+    ) -> ChainedRunResult:
+        """AllReduce ``grads`` while chaining each GPU's forward pass.
+
+        Args:
+            grads: per-GPU gradient arrays.
+            weights: per-GPU weight arrays (zeros if omitted); each GPU
+                updates its own copy layer by layer as layers dequeue, so
+                afterwards all copies must be identical (the reduced
+                gradients are identical everywhere).
+        """
+        nnodes = self.runtime.nnodes
+        if weights is None:
+            weights = [
+                np.zeros(self.runtime.layout.total_elems) for _ in range(nnodes)
+            ]
+        if len(weights) != nnodes:
+            raise ConfigError(f"expected {nnodes} weight arrays")
+        sems = self.runtime.make_enqueue_sems()
+        logs: dict[int, list[ComputeRecord]] = {g: [] for g in range(nnodes)}
+
+        def factory(buffers: list[GradientBuffer]):
+            return [
+                (
+                    f"compute g{gpu}",
+                    self._compute_kernel(
+                        gpu, buffers[gpu], weights[gpu], sems, logs[gpu]
+                    ),
+                )
+                for gpu in range(nnodes)
+            ]
+
+        report = self.runtime.run(
+            grads, kernel_factory=factory, enqueue_sems=sems
+        )
+        return ChainedRunResult(report=report, compute_log=logs, weights=weights)
+
+    def _compute_kernel(
+        self,
+        gpu: int,
+        buffer: GradientBuffer,
+        weights: np.ndarray,
+        sems: dict,
+        log: list[ComputeRecord],
+    ):
+        def kernel() -> None:
+            for layer_idx, per_tree in enumerate(self.requirements):
+                # Dequeue: check each stream's enqueue semaphore against
+                # the layer-chunk table entry (Fig. 9 (c)(e)(g)).
+                for t, needed in enumerate(per_tree):
+                    if needed:
+                        sems[(gpu, t)].check(needed)
+                log.append(
+                    ComputeRecord(
+                        gpu=gpu, layer=layer_idx, timestamp=time.monotonic()
+                    )
+                )
+                lo_b, hi_b = self.network.byte_range(layer_idx)
+                sl = slice(lo_b // BYTES_PER_PARAM, hi_b // BYTES_PER_PARAM)
+                weights[sl] -= self.learning_rate * buffer.data[sl]
+
+        return kernel

@@ -1,0 +1,188 @@
+"""Device-side synchronization primitives (paper Fig. 11).
+
+The paper implements lock/unlock with ``atomicCAS``/``atomicExch`` plus
+thread fences, then builds counting semaphores (``post``/``wait``) to
+manage receive buffers and a non-consuming ``check`` used by gradient
+queuing ("each layer needs to check whether its own gradients are fully
+reduced ... before forward computation").
+
+Here the "hardware" atomicity of CAS/exchange is emulated with one Python
+lock per cell; the *algorithms on top* — the spinning CAS loop, the
+bounded post, the consuming wait, the non-consuming check — follow the
+paper's pseudocode line by line.  Spins yield the GIL and carry a timeout
+so a broken schedule deadlocks loudly instead of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import RuntimeClusterError
+
+
+@dataclass(frozen=True)
+class SpinConfig:
+    """Spin-loop behaviour.
+
+    Attributes:
+        timeout: seconds before a spinning primitive raises
+            :class:`RuntimeClusterError` (deadlock guard).
+        pause: sleep inserted per spin iteration (0 yields the GIL).
+    """
+
+    timeout: float = 30.0
+    pause: float = 0.0
+
+
+class AtomicCell:
+    """A single integer cell with atomic compare-and-swap / exchange.
+
+    Emulates a device memory word accessed with ``atomicCAS`` /
+    ``atomicExch``; the internal lock stands in for the memory
+    controller's atomicity.
+    """
+
+    def __init__(self, value: int = 0):
+        self._value = value
+        self._hw = threading.Lock()
+
+    def load(self) -> int:
+        with self._hw:
+            return self._value
+
+    def store(self, value: int) -> None:
+        with self._hw:
+            self._value = value
+
+    def compare_and_swap(self, expected: int, new: int) -> int:
+        """atomicCAS: swap to ``new`` iff currently ``expected``; returns
+        the value observed *before* the operation."""
+        with self._hw:
+            old = self._value
+            if old == expected:
+                self._value = new
+            return old
+
+    def exchange(self, new: int) -> int:
+        """atomicExch: unconditionally store ``new``; returns the old value."""
+        with self._hw:
+            old = self._value
+            self._value = new
+            return old
+
+    def add(self, delta: int) -> int:
+        """atomicAdd; returns the value before the addition."""
+        with self._hw:
+            old = self._value
+            self._value = old + delta
+            return old
+
+
+class DeviceLock:
+    """Fig. 11 ``lock``/``unlock``: a CAS spinlock over an atomic cell."""
+
+    def __init__(self, spin: SpinConfig | None = None):
+        self._cell = AtomicCell(0)
+        self._spin = spin or SpinConfig()
+
+    def lock(self) -> None:
+        deadline = time.monotonic() + self._spin.timeout
+        while self._cell.compare_and_swap(0, 1) != 0:
+            if time.monotonic() > deadline:
+                raise RuntimeClusterError("device lock acquisition timed out")
+            time.sleep(self._spin.pause)
+        # threadfence(): Python's lock release/acquire orders memory.
+
+    def unlock(self) -> None:
+        # threadfence() before release, as in the paper's pseudocode.
+        if self._cell.exchange(0) != 1:
+            raise RuntimeClusterError("unlock of a lock that was not held")
+
+    def __enter__(self) -> "DeviceLock":
+        self.lock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unlock()
+
+
+class DeviceSemaphore:
+    """Fig. 11 ``post``/``wait``/``check`` over a lock-protected counter.
+
+    ``post`` increments the count, blocking while the count equals the
+    buffer capacity (``value`` in the paper — bounded receive buffers);
+    ``wait`` blocks while the count is zero then decrements; ``check``
+    blocks until the count has *reached* a threshold without consuming —
+    the primitive gradient queuing's dequeue uses.
+
+    ``check`` observes the count monotonically, so it also tracks the
+    total number of posts (``total_posted``), which never decreases even
+    though ``wait`` consumes from ``count``.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        spin: SpinConfig | None = None,
+        name: str = "",
+    ):
+        if capacity < 1:
+            raise RuntimeClusterError(f"semaphore {name!r}: capacity must be >= 1")
+        self._lock = DeviceLock(spin)
+        self._count = 0
+        self._total_posted = 0
+        self._capacity = capacity
+        self._spin = spin or SpinConfig()
+        self.name = name
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def total_posted(self) -> int:
+        with self._lock:
+            return self._total_posted
+
+    def _spin_until(self, predicate, what: str) -> None:
+        """Spin (lock-step, as in the paper) until ``predicate()`` holds.
+
+        The predicate is evaluated with the lock held; between attempts
+        the lock is released so posters can make progress.
+        """
+        deadline = time.monotonic() + self._spin.timeout
+        self._lock.lock()
+        while not predicate():
+            self._lock.unlock()
+            if time.monotonic() > deadline:
+                raise RuntimeClusterError(
+                    f"semaphore {self.name!r}: {what} timed out"
+                )
+            time.sleep(self._spin.pause)
+            self._lock.lock()
+        # leave with lock held; callers below finish and unlock
+
+    def post(self) -> None:
+        """Producer: one item available (blocks while buffer full)."""
+        self._spin_until(lambda: self._count < self._capacity, "post")
+        self._count += 1
+        self._total_posted += 1
+        self._lock.unlock()
+
+    def wait(self) -> None:
+        """Consumer: take one item (blocks while empty)."""
+        self._spin_until(lambda: self._count > 0, "wait")
+        self._count -= 1
+        self._lock.unlock()
+
+    def check(self, value: int) -> None:
+        """Block until at least ``value`` items were ever posted; does not
+        consume (paper: gradient queuing's dequeue test)."""
+        self._spin_until(lambda: self._total_posted >= value, f"check({value})")
+        self._lock.unlock()

@@ -1,0 +1,164 @@
+"""Multi-iteration functional training over the virtual cluster.
+
+A full (small-scale) data-parallel SGD loop on the thread-backed runtime:
+each iteration, every virtual GPU computes a local gradient from the
+shared weights and its own data shard, the gradients are AllReduced with
+the chosen tree configuration, and the update is applied layer by layer
+through the gradient queue — i.e., C-Cube's chained update path runs end
+to end for several iterations.
+
+The point is the paper's accuracy-neutrality claim at training-loop
+scope: the chained, overlapped execution must produce *exactly* the
+weights a straightforward serial implementation computes (same reduction
+tree, so bit-identical floating point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.dnn.layers import NetworkModel
+from repro.runtime.allreduce import TreeAllReduceRuntime
+from repro.runtime.queue_runtime import ChainedTrainingRuntime
+
+#: Computes one GPU's local gradient: (weights, gpu, iteration) -> grad.
+GradientFn = Callable[[np.ndarray, int, int], np.ndarray]
+
+
+def quadratic_gradient(targets: list[np.ndarray]) -> GradientFn:
+    """Gradient of ``0.5 * ||w - t_gpu||^2`` per GPU — a convex toy
+    problem where each GPU holds a different data shard (its target)."""
+
+    def fn(weights: np.ndarray, gpu: int, iteration: int) -> np.ndarray:
+        del iteration
+        return weights - targets[gpu]
+
+    return fn
+
+
+@dataclass
+class FunctionalTrainingResult:
+    """Outcome of a functional training run.
+
+    Attributes:
+        weights: final shared weights (identical across GPUs — asserted).
+        weight_history: weights after each iteration.
+        dequeue_orders: per iteration, per GPU, the layer dequeue order.
+    """
+
+    weights: np.ndarray
+    weight_history: list[np.ndarray]
+    dequeue_orders: list[dict[int, list[int]]]
+
+
+class FunctionalTrainer:
+    """Runs data-parallel SGD iterations on the virtual cluster.
+
+    Args:
+        runtime: configured AllReduce runtime (trees, chunks, overlap).
+        network: layer table gating the gradient queue.
+        gradient_fn: per-GPU local gradient function.
+        learning_rate: SGD step size (applied to the *summed* gradient,
+            as the runtime reduces with sum — fold any 1/P into it).
+    """
+
+    def __init__(
+        self,
+        runtime: TreeAllReduceRuntime,
+        network: NetworkModel,
+        gradient_fn: GradientFn,
+        *,
+        learning_rate: float = 0.05,
+    ):
+        if network.total_params != runtime.layout.total_elems:
+            raise ConfigError("network size must match the runtime layout")
+        self.runtime = runtime
+        self.network = network
+        self.gradient_fn = gradient_fn
+        self.learning_rate = learning_rate
+
+    def train(
+        self, initial_weights: np.ndarray, *, iterations: int
+    ) -> FunctionalTrainingResult:
+        """Run ``iterations`` chained training steps.
+
+        Raises:
+            ConfigError: on shape mismatch or non-positive iterations.
+        """
+        if iterations < 1:
+            raise ConfigError("need at least 1 iteration")
+        if len(initial_weights) != self.network.total_params:
+            raise ConfigError("initial weights have the wrong size")
+        nnodes = self.runtime.nnodes
+        weights = np.asarray(initial_weights, dtype=np.float64).copy()
+        history: list[np.ndarray] = []
+        dequeue_orders: list[dict[int, list[int]]] = []
+
+        chained = ChainedTrainingRuntime(
+            self.runtime, self.network, learning_rate=self.learning_rate
+        )
+        for iteration in range(iterations):
+            grads = [
+                np.asarray(
+                    self.gradient_fn(weights, gpu, iteration),
+                    dtype=np.float64,
+                )
+                for gpu in range(nnodes)
+            ]
+            per_gpu_weights = [weights.copy() for _ in range(nnodes)]
+            result = chained.run(grads, weights=per_gpu_weights)
+            for w in result.weights[1:]:
+                if not np.array_equal(result.weights[0], w):
+                    raise ConfigError(
+                        "GPUs diverged — the collective is broken"
+                    )
+            weights = result.weights[0]
+            history.append(weights.copy())
+            dequeue_orders.append(
+                {
+                    gpu: [rec.layer for rec in result.compute_log[gpu]]
+                    for gpu in range(nnodes)
+                }
+            )
+        return FunctionalTrainingResult(
+            weights=weights,
+            weight_history=history,
+            dequeue_orders=dequeue_orders,
+        )
+
+
+def serial_reference(
+    network: NetworkModel,
+    gradient_fn: GradientFn,
+    initial_weights: np.ndarray,
+    *,
+    nnodes: int,
+    iterations: int,
+    learning_rate: float = 0.05,
+    reduce_order: Callable[[list[np.ndarray]], np.ndarray] | None = None,
+) -> np.ndarray:
+    """The single-process SGD the distributed run must reproduce.
+
+    Args:
+        reduce_order: how to sum the per-GPU gradients; pass the same
+            tree-reduction order as the runtime for bit-exact comparison,
+            or leave None for plain ``np.sum`` (then compare with
+            tolerances).
+    """
+    del network
+    weights = np.asarray(initial_weights, dtype=np.float64).copy()
+    for iteration in range(iterations):
+        grads = [
+            np.asarray(gradient_fn(weights, gpu, iteration), dtype=np.float64)
+            for gpu in range(nnodes)
+        ]
+        if reduce_order is not None:
+            total = reduce_order(grads)
+        else:
+            total = np.sum(grads, axis=0)
+        weights = weights - learning_rate * total
+    return weights

@@ -1,0 +1,41 @@
+"""Discrete-event timing simulator.
+
+The simulator executes a directed acyclic graph of operations
+(:class:`~repro.sim.dag.Op`) on a set of serializing resources
+(:mod:`repro.sim.resources`).  Each op occupies exactly one resource for its
+whole service time (store-and-forward at chunk granularity), and may depend
+on any number of other ops.  This is exactly the level of detail the paper's
+evaluation needs: which physical channel is busy when, and when each chunk
+finishes each phase.
+"""
+
+from repro.sim.dag import Dag, Op, Phase
+from repro.sim.engine import DagSimulator, SimResult
+from repro.sim.resources import Channel, Processor, Resource
+from repro.sim.analysis import (
+    critical_path,
+    phase_overlap,
+    phase_windows,
+    render_gantt,
+    resource_utilization,
+)
+from repro.sim.trace import TraceRecord, busy_intervals, utilization
+
+__all__ = [
+    "Dag",
+    "Op",
+    "Phase",
+    "DagSimulator",
+    "SimResult",
+    "Channel",
+    "Processor",
+    "Resource",
+    "TraceRecord",
+    "busy_intervals",
+    "utilization",
+    "critical_path",
+    "phase_overlap",
+    "phase_windows",
+    "render_gantt",
+    "resource_utilization",
+]

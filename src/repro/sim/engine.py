@@ -1,0 +1,214 @@
+"""Event-driven executor for operation DAGs.
+
+The executor is deliberately simple and deterministic:
+
+- every resource serves at most one op at a time,
+- an op becomes *ready* when all its dependencies complete,
+- a free resource starts the op that became ready earliest (ties broken by
+  op id), i.e. FIFO service within a resource,
+- a transfer occupies its channel for the full ``alpha + beta * n``
+  (store-and-forward at chunk granularity — the same abstraction NCCL-style
+  pipelined collectives and the paper's timing diagrams use).
+
+Determinism matters: schedules are compared across algorithms, so two runs
+of the same DAG must produce identical timings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.dag import Dag, Op, Phase
+from repro.sim.resources import Resource
+from repro.sim.trace import TraceRecord
+
+
+@dataclass
+class SimResult:
+    """Timing outcome of executing a DAG.
+
+    Attributes:
+        start: per-op start times, indexed by op id.
+        finish: per-op finish times, indexed by op id.
+        makespan: completion time of the last op.
+        trace: chronological list of :class:`TraceRecord`.
+    """
+
+    start: list[float]
+    finish: list[float]
+    makespan: float
+    trace: list[TraceRecord] = field(default_factory=list)
+
+    def finish_of(self, ops: Iterable[Op]) -> float:
+        """Latest finish time over ``ops`` (0.0 for an empty set)."""
+        return max((self.finish[op.op_id] for op in ops), default=0.0)
+
+    def first_finish_of(self, ops: Iterable[Op]) -> float:
+        """Earliest finish time over ``ops``.
+
+        Raises:
+            SimulationError: if ``ops`` is empty.
+        """
+        times = [self.finish[op.op_id] for op in ops]
+        if not times:
+            raise SimulationError("first_finish_of() called with no ops")
+        return min(times)
+
+    def busy_time(self, resource: Hashable) -> float:
+        """Total occupied time of a resource across the run."""
+        return sum(
+            rec.finish - rec.start for rec in self.trace if rec.resource == resource
+        )
+
+
+class DagSimulator:
+    """Executes :class:`~repro.sim.dag.Dag` instances on a fixed resource set.
+
+    Args:
+        resources: mapping from resource key to resource object.  Every
+            resource referenced by a DAG must be present.
+    """
+
+    def __init__(self, resources: Mapping[Hashable, Resource]):
+        self._resources = dict(resources)
+
+    @property
+    def resources(self) -> dict[Hashable, Resource]:
+        """The resource map (shared, not copied — treat as read-only)."""
+        return self._resources
+
+    def run(self, dag: Dag, *, validate: bool = True) -> SimResult:
+        """Execute ``dag`` and return per-op timings.
+
+        Args:
+            dag: the operation DAG to execute.
+            validate: run :meth:`Dag.validate` first (cheap; disable only
+                in tight benchmark loops on already-validated DAGs).
+
+        Raises:
+            SimulationError: if an op references an unknown resource.
+            DeadlockError: if execution stalls before all ops complete.
+        """
+        if validate:
+            dag.validate()
+        missing = dag.resources() - self._resources.keys()
+        if missing:
+            raise SimulationError(f"DAG references unknown resources: {missing!r}")
+
+        n = len(dag.ops)
+        start = [0.0] * n
+        finish = [0.0] * n
+        trace: list[TraceRecord] = []
+        if n == 0:
+            return SimResult(start=start, finish=finish, makespan=0.0, trace=trace)
+
+        pending = [len(op.deps) for op in dag.ops]
+        children: list[list[int]] = [[] for _ in range(n)]
+        for op in dag.ops:
+            for d in op.deps:
+                children[d].append(op.op_id)
+
+        # Per-resource FIFO of ready ops: heap of (ready_time, op_id).
+        ready: dict[Hashable, list[tuple[float, int]]] = {
+            key: [] for key in dag.resources()
+        }
+        busy: dict[Hashable, bool] = {key: False for key in dag.resources()}
+        # Event heap of op completions: (time, op_id).
+        events: list[tuple[float, int]] = []
+        completed = 0
+
+        def start_next(resource: Hashable, now: float) -> None:
+            """If ``resource`` is idle and has ready work, start the next op."""
+            if busy[resource] or not ready[resource]:
+                return
+            _, op_id = heapq.heappop(ready[resource])
+            op = dag.ops[op_id]
+            service = self._resources[resource].service_time(op)
+            if service < 0:
+                raise SimulationError(f"op {op_id} has negative service time")
+            busy[resource] = True
+            start[op_id] = now
+            finish[op_id] = now + service
+            trace.append(
+                TraceRecord(
+                    op_id=op_id,
+                    resource=resource,
+                    start=now,
+                    finish=now + service,
+                    label=op.label,
+                )
+            )
+            heapq.heappush(events, (now + service, op_id))
+
+        for op in dag.ops:
+            if pending[op.op_id] == 0:
+                heapq.heappush(ready[op.resource], (0.0, op.op_id))
+        for key in ready:
+            start_next(key, 0.0)
+
+        while events:
+            now, op_id = heapq.heappop(events)
+            op = dag.ops[op_id]
+            busy[op.resource] = False
+            completed += 1
+            touched = {op.resource}
+            for child_id in children[op_id]:
+                pending[child_id] -= 1
+                if pending[child_id] == 0:
+                    child = dag.ops[child_id]
+                    heapq.heappush(ready[child.resource], (now, child_id))
+                    touched.add(child.resource)
+            for key in touched:
+                start_next(key, now)
+
+        if completed != n:
+            raise DeadlockError(
+                f"simulation stalled: {completed}/{n} ops completed"
+            )
+        return SimResult(
+            start=start, finish=finish, makespan=max(finish), trace=trace
+        )
+
+
+def makespan(
+    dag: Dag, resources: Mapping[Hashable, Resource], *, validate: bool = True
+) -> float:
+    """Convenience wrapper: simulate ``dag`` and return only the makespan."""
+    return DagSimulator(resources).run(dag, validate=validate).makespan
+
+
+def phase_finish_times(dag: Dag, result: SimResult) -> dict[Phase, float]:
+    """Latest finish time per phase present in the DAG."""
+    out: dict[Phase, float] = {}
+    for op in dag.ops:
+        t = result.finish[op.op_id]
+        if op.phase not in out or t > out[op.phase]:
+            out[op.phase] = t
+    return out
+
+
+def chunk_completion_times(
+    dag: Dag,
+    result: SimResult,
+    *,
+    phase: Phase = Phase.BROADCAST,
+    key: Callable[[Op], bool] | None = None,
+) -> dict[int, float]:
+    """Completion time of each chunk's last op in ``phase``.
+
+    For an AllReduce DAG this gives, per chunk, the instant the reduced
+    chunk is available everywhere — the quantity gradient queuing consumes.
+    """
+    out: dict[int, float] = {}
+    for op in dag.ops:
+        if op.phase is not phase or op.chunk < 0:
+            continue
+        if key is not None and not key(op):
+            continue
+        t = result.finish[op.op_id]
+        if op.chunk not in out or t > out[op.chunk]:
+            out[op.chunk] = t
+    return out

@@ -1,0 +1,93 @@
+"""Resources the simulator schedules ops onto.
+
+Two resource kinds cover everything the paper needs:
+
+- :class:`Channel` — a unidirectional physical link modelled with the
+  classic linear (alpha-beta) communication cost: a transfer of ``n`` bytes
+  occupies the channel for ``alpha + beta * n`` seconds.  A bidirectional
+  NVLink is two Channel resources, one per direction (paper Observation #2
+  relies on exactly this).
+- :class:`Processor` — a serializing compute resource (a GPU's SMs, or the
+  slice of them given to forwarding/reduction kernels).  Service time is
+  taken from the op's explicit ``duration``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import SimulationError
+from repro.sim.dag import Op
+
+
+class Resource(Protocol):
+    """Anything that can serve ops, one at a time."""
+
+    def service_time(self, op: Op) -> float:
+        """Time the resource is occupied by ``op``."""
+        ...
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A unidirectional link with latency ``alpha`` and inverse-bandwidth
+    ``beta`` (seconds per byte).
+
+    Attributes:
+        alpha: per-message latency in seconds.
+        beta: seconds per byte (1 / bandwidth).
+        name: optional human-readable name for traces.
+    """
+
+    alpha: float
+    beta: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise SimulationError(
+                f"channel {self.name!r}: alpha and beta must be non-negative"
+            )
+
+    @property
+    def bandwidth(self) -> float:
+        """Bytes per second (``inf`` when beta == 0)."""
+        return float("inf") if self.beta == 0 else 1.0 / self.beta
+
+    def transfer_time(self, nbytes: float) -> float:
+        """alpha + beta * nbytes for an ``nbytes``-byte message."""
+        if nbytes < 0:
+            raise SimulationError("transfer size must be non-negative")
+        return self.alpha + self.beta * nbytes
+
+    def service_time(self, op: Op) -> float:
+        if op.duration is not None:
+            return op.duration
+        return self.transfer_time(op.nbytes)
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A serializing compute resource; ops must carry explicit durations.
+
+    Attributes:
+        name: optional human-readable name for traces.
+        speedup: divides op durations — a value of 2.0 runs everything
+            twice as fast.  Used e.g. to model detour nodes donating a
+            fraction of their SMs to forwarding kernels.
+    """
+
+    name: str = ""
+    speedup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speedup <= 0:
+            raise SimulationError(f"processor {self.name!r}: speedup must be > 0")
+
+    def service_time(self, op: Op) -> float:
+        if op.duration is None:
+            raise SimulationError(
+                f"processor {self.name!r} got op {op.op_id} without a duration"
+            )
+        return op.duration / self.speedup

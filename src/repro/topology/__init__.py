@@ -1,0 +1,60 @@
+"""Physical and logical topologies, routing, and embedding.
+
+*Physical* topologies (:mod:`repro.topology.base`, :mod:`~repro.topology.dgx1`,
+:mod:`~repro.topology.switch`) describe real connectivity: which
+unidirectional channels exist between which devices, with what alpha/beta.
+
+*Logical* topologies (:mod:`repro.topology.logical`) describe the shape a
+collective algorithm communicates over: a ring order, a binary tree, or the
+Sanders two-tree pair.
+
+:mod:`repro.topology.routing` finds minimal and detour (non-minimal) routes;
+:mod:`repro.topology.embedding` rewrites a logical-edge DAG onto physical
+channels, inserting detour hops where direct links do not exist.
+"""
+
+from repro.topology.base import LinkKind, LinkSpec, PhysicalTopology
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.dgx1_trees import DETOURED_EDGES, dgx1_trees
+from repro.topology.dgx2 import dgx2_topology
+from repro.topology.logical import BinaryTree, balanced_binary_tree, ring_order, two_trees
+from repro.topology.routing import Router
+from repro.topology.switch import fat_tree_topology, switch_topology
+from repro.topology.embedding import embed_on_physical
+from repro.topology.visualize import (
+    adjacency_table,
+    render_embedding,
+    render_tree,
+)
+from repro.topology.tree_search import (
+    PairCost,
+    detour_map_for,
+    evaluate_pair,
+    search_tree_pair,
+)
+
+__all__ = [
+    "LinkKind",
+    "LinkSpec",
+    "PhysicalTopology",
+    "DETOUR_NODES",
+    "dgx1_topology",
+    "DETOURED_EDGES",
+    "dgx1_trees",
+    "dgx2_topology",
+    "BinaryTree",
+    "balanced_binary_tree",
+    "ring_order",
+    "two_trees",
+    "Router",
+    "fat_tree_topology",
+    "switch_topology",
+    "embed_on_physical",
+    "PairCost",
+    "detour_map_for",
+    "evaluate_pair",
+    "search_tree_pair",
+    "adjacency_table",
+    "render_embedding",
+    "render_tree",
+]

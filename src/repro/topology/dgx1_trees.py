@@ -1,0 +1,82 @@
+"""The double binary tree pair embedded on the DGX-1 (paper Fig. 10).
+
+The paper embeds the two-tree algorithm onto the DGX-1 hybrid mesh-cube,
+with three textual constraints we reproduce exactly:
+
+1. the two trees conflict only on the GPU2-GPU3 and GPU6-GPU7 channel
+   pairs, in *opposite* phase directions (one tree's uplink is the other's
+   downlink) — exactly where the DGX-1 has duplicated NVLinks, so the
+   overlapped double tree can give each tree its own physical lane;
+2. the logical edge GPU2-GPU4 has no physical NVLink, so it takes a
+   *detour* through GPU0 (Section IV-A's example: "communication from
+   GPU2 to GPU4 is made through GPU0");
+3. every other tree edge maps onto a physically present NVLink, and apart
+   from the duplicated pairs the two trees' physical channels are disjoint.
+
+The exact rank placement inside the trees is not published (Fig. 10(a) is
+a diagram); this module's pair is *a* placement satisfying all published
+constraints, which is what the evaluation's behaviour depends on.
+"""
+
+from __future__ import annotations
+
+from repro.topology.logical import BinaryTree
+
+#: Logical edges that require a detour route, with the intermediate GPU
+#: the paper names.
+DETOURED_EDGES = {(2, 4): 0}
+
+
+def _tree_from_children(root: int, children: dict[int, tuple[int, ...]]) -> BinaryTree:
+    parent = {c: p for p, kids in children.items() for c in kids}
+    tree = BinaryTree(root=root, parent=parent, children=children)
+    tree.validate()
+    return tree
+
+
+def dgx1_tree_first() -> BinaryTree:
+    """Tree 1: root GPU3.
+
+    Edges: 2-3 (doubled pair), 0-3, 2-6, 5-6, 6-7 (doubled pair), 4-5, 1-5.
+    All edges are physical NVLinks; no detour needed.
+    """
+    return _tree_from_children(
+        root=3,
+        children={
+            3: (2, 0),
+            2: (6,),
+            6: (5, 7),
+            5: (4, 1),
+            0: (),
+            7: (),
+            4: (),
+            1: (),
+        },
+    )
+
+
+def dgx1_tree_second() -> BinaryTree:
+    """Tree 2: root GPU4.
+
+    Edges: 2-4 (**detour via GPU0** — not physically linked), 4-7,
+    2-3 (doubled pair, opposite orientation to tree 1), 1-2, 0-1,
+    6-7 (doubled pair, opposite orientation), 5-7.
+    """
+    return _tree_from_children(
+        root=4,
+        children={
+            4: (2, 7),
+            2: (3, 1),
+            1: (0,),
+            7: (6, 5),
+            3: (),
+            0: (),
+            6: (),
+            5: (),
+        },
+    )
+
+
+def dgx1_trees() -> tuple[BinaryTree, BinaryTree]:
+    """The DGX-1 two-tree pair (tree 1, tree 2)."""
+    return dgx1_tree_first(), dgx1_tree_second()

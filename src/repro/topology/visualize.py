@@ -1,0 +1,81 @@
+"""Plain-text rendering of physical topologies and logical trees.
+
+Small inspection helpers for examples, docs, and debugging embeddings:
+
+- :func:`adjacency_table` — the physical connectivity as a lane-count
+  matrix (``2`` marks the DGX-1's doubled links),
+- :func:`render_tree` — an indented tree diagram with phase directions,
+- :func:`render_embedding` — a tree pair against a topology, marking
+  each edge as direct, doubled-lane, or detoured.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import PhysicalTopology
+from repro.topology.logical import BinaryTree
+from repro.topology.routing import Router
+
+
+def adjacency_table(topo: PhysicalTopology) -> str:
+    """Lane-count matrix of the GPU-to-GPU channels."""
+    n = topo.nnodes
+    if n > 32:
+        raise TopologyError("adjacency table is unreadable beyond 32 nodes")
+    header = "     " + " ".join(f"g{v:<2}" for v in range(n))
+    lines = [header]
+    for u in range(n):
+        cells = []
+        for v in range(n):
+            if u == v:
+                cells.append(" . ")
+            else:
+                lanes = topo.lane_count(u, v)
+                cells.append(f" {lanes if lanes else '-'} ")
+        lines.append(f"g{u:<3} " + " ".join(c.strip().center(3) for c in cells))
+    return "\n".join(lines)
+
+
+def render_tree(tree: BinaryTree, *, title: str = "") -> str:
+    """Indented diagram; children listed under their parent."""
+    lines = [title] if title else []
+
+    def walk(node: int, depth: int) -> None:
+        marker = "root" if node == tree.root else "├─"
+        lines.append("  " * depth + f"{marker} GPU{node}")
+        for child in tree.children[node]:
+            walk(child, depth + 1)
+
+    walk(tree.root, 0)
+    return "\n".join(lines)
+
+
+def render_embedding(
+    pair: tuple[BinaryTree, BinaryTree],
+    topo: PhysicalTopology,
+    router: Router | None = None,
+) -> str:
+    """Describe how each tree edge maps onto the physical topology."""
+    router = router or Router(topo)
+    lines = []
+    for index, tree in enumerate(pair):
+        lines.append(f"tree {index + 1} (root GPU{tree.root}):")
+        for child, parent in tree.up_edges():
+            if topo.has_link(child, parent):
+                lanes = topo.lane_count(child, parent)
+                kind = "doubled" if lanes > 1 else "direct"
+                lines.append(
+                    f"  GPU{child} -> GPU{parent}  [{kind}]"
+                )
+            else:
+                path = router.detour_route(child, parent)
+                if path is None:
+                    lines.append(
+                        f"  GPU{child} -> GPU{parent}  [INFEASIBLE]"
+                    )
+                else:
+                    lines.append(
+                        f"  GPU{child} -> GPU{parent}  "
+                        f"[detour via GPU{path[1]}]"
+                    )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CCubeConfig
+from repro.dnn.layers import LayerKind, LayerSpec, NetworkModel
+from repro.runtime.sync import SpinConfig
+from repro.topology.dgx1 import dgx1_topology
+from repro.topology.switch import FabricSpec
+
+
+@pytest.fixture
+def small_config() -> CCubeConfig:
+    """8-node system with round alpha/beta for easy hand-checks."""
+    return CCubeConfig(nnodes=8, alpha=1e-6, beta=1e-9, nrings=2, max_chunks=64)
+
+
+@pytest.fixture
+def fabric() -> FabricSpec:
+    """Abstract 8-endpoint fabric with dedicated logical channels."""
+    return FabricSpec(nnodes=8, alpha=1e-6, beta=1e-9, lanes=2, name="test")
+
+
+@pytest.fixture
+def dgx1():
+    return dgx1_topology()
+
+
+@pytest.fixture
+def tiny_network() -> NetworkModel:
+    """Six layers with distinct sizes; total 21504 params."""
+    layers = tuple(
+        LayerSpec(
+            name=f"L{i + 1}",
+            params=1024 * (i + 1),
+            fwd_flops=1e7 * (6 - i),
+            kind=LayerKind.CONV,
+            channels=64 * (i + 1),
+        )
+        for i in range(6)
+    )
+    return NetworkModel(name="tiny", layers=layers)
+
+
+@pytest.fixture
+def fast_spin() -> SpinConfig:
+    """Short-timeout spin config so broken runtime tests fail quickly."""
+    return SpinConfig(timeout=10.0, pause=0.0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,97 @@
+"""Tests for the backward-overlap (Fig. 2(b) / DDP-style) baseline."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.backward_overlap import (
+    build_buckets,
+    simulate_backward_overlap,
+)
+from repro.core.config import Bandwidth, CCubeConfig
+from repro.dnn.layers import LayerSpec, NetworkModel
+
+
+def make_network(layer_params, flops=1e8):
+    layers = tuple(
+        LayerSpec(name=f"L{i}", params=p, fwd_flops=flops)
+        for i, p in enumerate(layer_params)
+    )
+    return NetworkModel(name="b", layers=layers)
+
+
+class TestBuckets:
+    def test_buckets_fill_in_backward_order(self):
+        net = make_network([100, 100, 100, 100])
+        finish = [4.0, 3.0, 2.0, 1.0]  # backward: L4 first
+        buckets = build_buckets(net, finish, bucket_bytes=800)
+        # 800 bytes = 2 layers of 400 bytes each.
+        assert buckets[0].layers == (2, 3)
+        assert buckets[1].layers == (0, 1)
+
+    def test_bucket_ready_time_is_latest_layer(self):
+        net = make_network([100, 100])
+        finish = [2.0, 1.0]
+        buckets = build_buckets(net, finish, bucket_bytes=1e9)
+        assert buckets[0].ready_time == 2.0
+
+    def test_tail_bucket_flushes(self):
+        net = make_network([100, 100, 100])
+        buckets = build_buckets(net, [3.0, 2.0, 1.0], bucket_bytes=800)
+        covered = sorted(i for b in buckets for i in b.layers)
+        assert covered == [0, 1, 2]
+
+    def test_bad_bucket_size(self):
+        net = make_network([100])
+        with pytest.raises(ConfigError):
+            build_buckets(net, [1.0], bucket_bytes=0)
+
+
+class TestSimulation:
+    def test_exposed_comm_nonnegative(self, tiny_network):
+        result = simulate_backward_overlap(tiny_network, 32)
+        assert result.exposed_comm >= 0.0
+
+    def test_iteration_is_ideal_plus_exposed(self, tiny_network):
+        result = simulate_backward_overlap(tiny_network, 32)
+        assert result.iteration_time == pytest.approx(
+            result.ideal_time + result.exposed_comm
+        )
+
+    def test_comm_starts_only_after_bucket_ready(self, tiny_network):
+        result = simulate_backward_overlap(tiny_network, 32)
+        for bucket, start in zip(result.buckets, result.comm_start):
+            assert start >= bucket.ready_time - 1e-15
+
+    def test_comm_stream_serializes(self, tiny_network):
+        result = simulate_backward_overlap(
+            tiny_network, 32, bucket_bytes=4096
+        )
+        for end, nxt in zip(result.comm_end, result.comm_start[1:]):
+            assert nxt >= end - 1e-15
+
+    def test_small_buckets_hurt_when_comm_bound(self):
+        # Many small layers and little compute: fine buckets multiply the
+        # per-invocation overhead (Fig. 3's penalty) and the comm stream
+        # becomes the bottleneck, so the iteration slows down.
+        net = make_network([1_000_000] * 64, flops=1e6)
+        coarse = simulate_backward_overlap(net, 16, bucket_bytes=64e6)
+        fine = simulate_backward_overlap(net, 16, bucket_bytes=1e6)
+        assert len(fine.buckets) > len(coarse.buckets)
+        assert fine.iteration_time > coarse.iteration_time
+
+    def test_overlap_beats_no_overlap(self, tiny_network):
+        """Backward overlap must at least beat fully exposed one-shot."""
+        from repro.core.config import Strategy
+        from repro.core.pipeline import IterationPipeline
+
+        config = CCubeConfig().scaled(Bandwidth.LOW)
+        ddp = simulate_backward_overlap(tiny_network, 32, config=config)
+        baseline = IterationPipeline(
+            network=tiny_network, batch=32, config=config
+        ).run(Strategy.BASELINE)
+        assert (ddp.normalized_performance
+                >= baseline.normalized_performance - 1e-12)
+
+    def test_invalid_batch(self, tiny_network):
+        with pytest.raises(ConfigError):
+            simulate_backward_overlap(tiny_network, 0)

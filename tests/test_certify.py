@@ -1,0 +1,26 @@
+"""The reproduction certificate must pass in full."""
+
+import pytest
+
+from repro.experiments import certify
+
+
+class TestCertificate:
+    @pytest.fixture(scope="class")
+    def claims(self):
+        return certify.run()
+
+    def test_every_figure_covered(self, claims):
+        figures = {c.source.replace("Fig. ", "").rstrip("ab")
+                   for c in claims}
+        assert figures == {"1", "3", "4", "5", "12", "13", "14", "15",
+                           "16", "17"}
+
+    def test_all_claims_pass(self, claims):
+        failing = [(c.source, c.statement, c.measured)
+                   for c in claims if not c.passed]
+        assert not failing, failing
+
+    def test_format_reports_score(self, claims):
+        text = certify.format_table(claims)
+        assert f"{len(claims)}/{len(claims)} claims reproduced" in text

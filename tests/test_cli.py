@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCompare:
+    def test_compare_prints_all_strategies(self, capsys):
+        assert main(["compare", "--network", "zfnet", "--batch", "16"]) == 0
+        out = capsys.readouterr().out
+        for strategy in ("B", "C1", "C2", "R", "CC"):
+            assert f"\n{strategy} " in out or out.startswith(f"{strategy} ")
+
+    def test_compare_low_bandwidth_flag(self, capsys):
+        assert main([
+            "compare", "--network", "zfnet", "--batch", "16",
+            "--low-bandwidth",
+        ]) == 0
+        assert "bandwidth=low" in capsys.readouterr().out
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--network", "lenet-9000"])
+
+
+class TestInfo:
+    def test_info_lists_networks(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("zfnet", "vgg16", "resnet50"):
+            assert name in out
+        assert "strategies" in out
+
+
+class TestAutotune:
+    def test_autotune_reports_best(self, capsys):
+        assert main(["autotune", "--network", "zfnet", "--batch", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "best strategy" in out
+        assert "speedup over baseline" in out
+
+
+class TestFigures:
+    def test_single_figure(self, capsys):
+        assert main(["figures", "fig04"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

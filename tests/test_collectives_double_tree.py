@@ -1,0 +1,113 @@
+"""Tests for the double-tree AllReduce (baseline B and C-Cube comm)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.base import simulate_on_fabric, simulate_on_physical
+from repro.collectives.double_tree import ccube_allreduce, double_tree_allreduce
+from repro.collectives.tree import tree_allreduce
+from repro.collectives.verification import (
+    check_allreduce,
+    check_allreduce_simulated,
+    delivers_in_order,
+)
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.dgx1_trees import dgx1_trees
+from repro.topology.routing import Router
+from repro.topology.switch import FabricSpec
+
+
+def fabric_for(n, lanes=2):
+    return FabricSpec(nnodes=n, alpha=1e-6, beta=1e-9, lanes=lanes)
+
+
+class TestScheduleShape:
+    def test_two_trees_two_halves(self):
+        schedule = double_tree_allreduce(8, 8000.0, nchunks=4)
+        assert schedule.ntrees == 2
+        assert schedule.nchunks == 8
+        trees = {op.tree for op in schedule.dag.ops}
+        assert trees == {0, 1}
+
+    def test_chunk_offsets_cover_buffer(self):
+        schedule = double_tree_allreduce(8, 8000.0, nchunks=4)
+        assert schedule.chunk_offsets[0] == 0.0
+        last = schedule.chunk_offsets[-1] + schedule.chunk_sizes[-1]
+        assert last == pytest.approx(8000.0)
+
+    def test_each_tree_carries_half(self):
+        schedule = double_tree_allreduce(8, 8000.0, nchunks=4)
+        tree0_bytes = sum(schedule.chunk_sizes[c] for c in range(4))
+        assert tree0_bytes == pytest.approx(4000.0)
+
+
+class TestCorrectness:
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        k=st.integers(min_value=1, max_value=4),
+        overlapped=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_symbolic_allreduce(self, n, k, overlapped):
+        schedule = double_tree_allreduce(
+            n, float(n * k * 20), nchunks=k, overlapped=overlapped
+        )
+        check_allreduce(schedule)
+
+    def test_dgx1_trees_symbolically_correct(self):
+        schedule = ccube_allreduce(8, 1600.0, nchunks=2, trees=dgx1_trees())
+        check_allreduce(schedule)
+
+    def test_simulated_on_physical_dgx1_correct(self):
+        topo = dgx1_topology()
+        router = Router(topo, detour_preference=DETOUR_NODES)
+        schedule = ccube_allreduce(8, 16e6, nchunks=8, trees=dgx1_trees())
+        outcome = simulate_on_physical(schedule, topo, router=router)
+        check_allreduce_simulated(outcome)
+
+
+class TestTiming:
+    def test_double_tree_beats_single_tree(self):
+        single = simulate_on_fabric(
+            tree_allreduce(8, 64e6, nchunks=32), fabric_for(8)
+        )
+        double = simulate_on_fabric(
+            double_tree_allreduce(8, 64e6, nchunks=32), fabric_for(8)
+        )
+        assert double.total_time < single.total_time
+
+    def test_overlapped_double_tree_fastest(self):
+        base = simulate_on_fabric(
+            double_tree_allreduce(8, 64e6, nchunks=64), fabric_for(8)
+        )
+        over = simulate_on_fabric(
+            ccube_allreduce(8, 64e6, nchunks=64), fabric_for(8)
+        )
+        assert over.total_time < base.total_time
+        assert base.total_time / over.total_time > 1.5
+
+    def test_overlap_contention_without_lanes(self):
+        """On a fabric with a single lane per edge, the two trees of the
+        overlapped double tree share conflicting channels and lose some
+        of the overlap benefit (paper Section IV-A)."""
+        schedule = ccube_allreduce(8, 64e6, nchunks=64)
+        free = simulate_on_fabric(schedule, fabric_for(8, lanes=2))
+        contended = simulate_on_fabric(schedule, fabric_for(8, lanes=1))
+        assert contended.total_time > free.total_time * 1.2
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("overlapped", [False, True])
+    def test_per_tree_in_order_delivery(self, overlapped):
+        schedule = double_tree_allreduce(
+            8, 8e5, nchunks=8, overlapped=overlapped
+        )
+        outcome = simulate_on_fabric(schedule, fabric_for(8))
+        assert delivers_in_order(outcome)
+
+    def test_turnaround_is_first_chunk_of_either_tree(self):
+        schedule = ccube_allreduce(8, 8e5, nchunks=8)
+        outcome = simulate_on_fabric(schedule, fabric_for(8))
+        assert outcome.turnaround == pytest.approx(
+            min(outcome.chunk_available.values())
+        )

@@ -1,0 +1,111 @@
+"""Tests for standalone collective primitives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.base import simulate_on_fabric
+from repro.collectives.primitives import (
+    ring_all_gather,
+    ring_reduce_scatter,
+    tree_broadcast,
+    tree_reduce,
+)
+from repro.collectives.verification import replay_dataflow
+from repro.models.costmodel import CostParams, ring_allgather_time
+from repro.topology.switch import FabricSpec
+
+
+def fabric_for(n):
+    return FabricSpec(nnodes=n, alpha=1e-6, beta=1e-9)
+
+
+class TestTreeReduce:
+    @given(n=st.integers(min_value=2, max_value=16),
+           k=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_root_collects_everything(self, n, k):
+        schedule = tree_reduce(n, float(n * k * 10), nchunks=k)
+        state = replay_dataflow(schedule)
+        from repro.topology.logical import balanced_binary_tree
+
+        root = balanced_binary_tree(n).root
+        full = frozenset(range(n))
+        for chunk in range(k):
+            assert state[root][chunk] == full
+
+    def test_non_root_nodes_incomplete(self):
+        schedule = tree_reduce(8, 800.0, nchunks=1)
+        state = replay_dataflow(schedule)
+        from repro.topology.logical import balanced_binary_tree
+
+        tree = balanced_binary_tree(8)
+        for leaf in tree.leaves():
+            assert state[leaf][0] == frozenset({leaf})
+
+    def test_timing_scales_with_chunks(self):
+        fast = simulate_on_fabric(tree_reduce(8, 8e6, nchunks=16),
+                                  fabric_for(8))
+        slow = simulate_on_fabric(tree_reduce(8, 8e6, nchunks=1),
+                                  fabric_for(8))
+        assert fast.total_time < slow.total_time
+
+
+class TestTreeBroadcast:
+    @given(n=st.integers(min_value=2, max_value=16),
+           k=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_everyone_gets_roots_data(self, n, k):
+        schedule = tree_broadcast(n, float(n * k * 10), nchunks=k)
+        state = replay_dataflow(schedule)
+        from repro.topology.logical import balanced_binary_tree
+
+        root = balanced_binary_tree(n).root
+        for node in range(n):
+            for chunk in range(k):
+                assert state[node][chunk] == frozenset({root})
+
+    def test_pipelined_broadcast_time(self):
+        # The last chunk leaves the root in slot K-1 and takes `height`
+        # hops: (height + K - 1) chunk-times.  (Paper Eq. 3's
+        # `log P + K` step count is the same quantity up to its step
+        # convention.)
+        n, k, size = 8, 8, 8e6
+        schedule = tree_broadcast(n, size, nchunks=k)
+        outcome = simulate_on_fabric(schedule, fabric_for(n))
+        chunk_time = 1e-6 + 1e-9 * size / k
+        expected = (3 + k - 1) * chunk_time
+        assert outcome.total_time == pytest.approx(expected, rel=0.01)
+
+
+class TestRingPhases:
+    def test_reduce_scatter_owners(self):
+        n = 6
+        schedule = ring_reduce_scatter(n, float(n * 10))
+        state = replay_dataflow(schedule)
+        full = frozenset(range(n))
+        for chunk in range(n):
+            owner = (chunk + n - 1) % n
+            assert state[owner][chunk] == full
+
+    def test_all_gather_distributes(self):
+        n = 6
+        schedule = ring_all_gather(n, float(n * 10))
+        state = replay_dataflow(schedule)
+        for node in range(n):
+            for chunk in range(n):
+                assert chunk in state[node][chunk] or node == chunk
+
+    def test_all_gather_matches_eq1(self):
+        n, size = 8, 8e6
+        schedule = ring_all_gather(n, size)
+        outcome = simulate_on_fabric(schedule, fabric_for(n))
+        expected = ring_allgather_time(
+            n, size, CostParams(alpha=1e-6, beta=1e-9)
+        )
+        assert outcome.total_time == pytest.approx(expected, rel=1e-6)
+
+    def test_reduce_scatter_is_half_an_allreduce(self):
+        n, size = 8, 8e6
+        rs = simulate_on_fabric(ring_reduce_scatter(n, size), fabric_for(n))
+        ag = simulate_on_fabric(ring_all_gather(n, size), fabric_for(n))
+        assert rs.total_time == pytest.approx(ag.total_time, rel=1e-6)

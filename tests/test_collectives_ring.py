@@ -1,0 +1,120 @@
+"""Tests for the ring AllReduce schedule."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.collectives.base import simulate_on_fabric
+from repro.collectives.ring import DGX1_RING_ORDER, ring_allreduce
+from repro.collectives.verification import (
+    check_allreduce,
+    check_allreduce_simulated,
+    delivers_in_order,
+    in_order_violations,
+)
+from repro.models.costmodel import CostParams, ring_allreduce_time
+from repro.sim.dag import Phase
+from repro.topology.switch import FabricSpec
+
+
+def fabric_for(n, alpha=1e-6, beta=1e-9, lanes=4):
+    return FabricSpec(nnodes=n, alpha=alpha, beta=beta, lanes=lanes)
+
+
+class TestScheduleShape:
+    def test_chunk_count_is_p_per_ring(self):
+        schedule = ring_allreduce(4, 4000.0)
+        assert schedule.nchunks == 4
+
+    def test_multi_ring_chunks(self):
+        schedule = ring_allreduce(4, 4000.0, nrings=2)
+        assert schedule.nchunks == 8
+        assert schedule.ntrees == 2
+
+    def test_op_count(self):
+        # Per chunk: (P-1) reduce-scatter + (P-1) all-gather transfers.
+        schedule = ring_allreduce(5, 5000.0)
+        assert len(schedule.dag) == 5 * 2 * 4
+
+    def test_phases_present(self):
+        schedule = ring_allreduce(4, 4000.0)
+        phases = {op.phase for op in schedule.dag.ops}
+        assert phases == {Phase.REDUCE_SCATTER, Phase.ALL_GATHER}
+
+    def test_rings_use_distinct_lanes(self):
+        schedule = ring_allreduce(4, 4000.0, nrings=2)
+        lanes = {op.resource[3] for op in schedule.dag.ops}
+        assert lanes == {0, 1}
+
+    def test_custom_order_used(self):
+        schedule = ring_allreduce(4, 400.0, order=[3, 1, 0, 2])
+        srcs = {op.src for op in schedule.dag.ops}
+        assert srcs == {0, 1, 2, 3}
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            ring_allreduce(1, 100.0)
+        with pytest.raises(ConfigError):
+            ring_allreduce(4, 100.0, nrings=0)
+        with pytest.raises(ConfigError):
+            ring_allreduce(4, 100.0, order=[0, 1, 2, 2])
+
+
+class TestCorrectness:
+    @given(n=st.integers(min_value=2, max_value=12))
+    @settings(max_examples=11, deadline=None)
+    def test_symbolic_allreduce(self, n):
+        check_allreduce(ring_allreduce(n, float(n * 100)))
+
+    def test_symbolic_with_rings(self):
+        check_allreduce(ring_allreduce(6, 6000.0, nrings=3))
+
+    def test_simulated_order_also_correct(self):
+        schedule = ring_allreduce(6, 6000.0)
+        outcome = simulate_on_fabric(schedule, fabric_for(6))
+        check_allreduce_simulated(outcome)
+
+    def test_dgx1_order_is_valid_permutation(self):
+        check_allreduce(ring_allreduce(8, 800.0, order=DGX1_RING_ORDER))
+
+
+class TestTiming:
+    def test_matches_eq2(self):
+        n, p = 8_000_000.0, 8
+        params = CostParams(alpha=1e-6, beta=1e-9)
+        schedule = ring_allreduce(p, n)
+        outcome = simulate_on_fabric(schedule, fabric_for(p))
+        expected = ring_allreduce_time(p, n, params)
+        assert outcome.total_time == pytest.approx(expected, rel=1e-6)
+
+    def test_rings_halve_time(self):
+        n, p = 8_000_000.0, 8
+        one = simulate_on_fabric(ring_allreduce(p, n), fabric_for(p))
+        two = simulate_on_fabric(ring_allreduce(p, n, nrings=2), fabric_for(p))
+        assert two.total_time < one.total_time
+        assert two.total_time == pytest.approx(one.total_time / 2, rel=0.05)
+
+    def test_turnaround_close_to_total(self):
+        # Ring chunks all finish within one step of each other: there is
+        # no early turnaround to exploit (unlike the overlapped tree).
+        schedule = ring_allreduce(8, 8_000_000.0)
+        outcome = simulate_on_fabric(schedule, fabric_for(8))
+        assert outcome.turnaround > 0.85 * outcome.total_time
+
+
+class TestOrdering:
+    def test_ring_does_not_deliver_chunks_in_order(self):
+        """Observation #3: the ring preserves no global chunk order, so
+        gradient queuing cannot chain on it."""
+        schedule = ring_allreduce(8, 8_000_000.0)
+        outcome = simulate_on_fabric(schedule, fabric_for(8))
+        assert not delivers_in_order(outcome)
+        assert in_order_violations(outcome)
+
+    def test_arrival_known_for_every_node_chunk(self):
+        schedule = ring_allreduce(4, 4000.0)
+        outcome = simulate_on_fabric(schedule, fabric_for(4))
+        for node in range(4):
+            arrivals = outcome.node_arrivals(node)
+            assert len(arrivals) == 4
+            assert all(t > 0 for t in arrivals)

@@ -1,0 +1,76 @@
+"""Tests for the strategy-to-schedule glue (repro.core.comm)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.comm import build_strategy_schedule, simulate_strategy_comm
+from repro.core.config import CCubeConfig, Strategy
+
+
+class TestBuildStrategySchedule:
+    def test_ring_uses_config_rings(self, small_config):
+        schedule = build_strategy_schedule(
+            Strategy.RING, 8000.0, small_config
+        )
+        assert schedule.ntrees == small_config.nrings
+
+    def test_tree_strategies_use_dgx1_pair(self, small_config):
+        schedule = build_strategy_schedule(
+            Strategy.CCUBE, 8000.0, small_config
+        )
+        roots = {
+            op.dst for op in schedule.dag.ops
+            if op.label.startswith("reduced")
+        }
+        assert roots == {3, 4}  # the DGX-1 pair's roots
+
+    def test_generic_trees_off_dgx1(self):
+        config = CCubeConfig(nnodes=16)
+        schedule = build_strategy_schedule(
+            Strategy.BASELINE, 16000.0, config, on_dgx1=False
+        )
+        assert schedule.nnodes == 16
+
+    def test_dgx1_requires_eight_nodes(self):
+        config = CCubeConfig(nnodes=16)
+        with pytest.raises(ConfigError, match="nnodes == 8"):
+            build_strategy_schedule(
+                Strategy.BASELINE, 16000.0, config, on_dgx1=True
+            )
+
+    def test_overlap_flag_follows_strategy(self, small_config):
+        base = build_strategy_schedule(
+            Strategy.COMPUTE_CHAINING, 8000.0, small_config
+        )
+        over = build_strategy_schedule(
+            Strategy.OVERLAPPED_TREE, 8000.0, small_config
+        )
+        assert not base.overlapped
+        assert over.overlapped
+
+
+class TestSimulateStrategyComm:
+    def test_all_strategies_simulate(self, small_config):
+        for strategy in Strategy:
+            outcome = simulate_strategy_comm(
+                strategy, 64000.0, small_config
+            )
+            assert outcome.total_time > 0
+
+    def test_off_dgx1_uses_fabric(self):
+        config = CCubeConfig(nnodes=16)
+        outcome = simulate_strategy_comm(
+            Strategy.CCUBE, 64000.0, config, on_dgx1=False
+        )
+        assert outcome.total_time > 0
+
+    def test_overlapped_faster_on_both_paths(self, small_config):
+        for on_dgx1 in (True, False):
+            config = small_config if on_dgx1 else CCubeConfig(nnodes=8)
+            base = simulate_strategy_comm(
+                Strategy.BASELINE, 8e6, config, on_dgx1=on_dgx1
+            )
+            over = simulate_strategy_comm(
+                Strategy.CCUBE, 8e6, config, on_dgx1=on_dgx1
+            )
+            assert over.total_time < base.total_time

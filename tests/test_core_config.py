@@ -1,0 +1,61 @@
+"""Tests for strategies and system configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.config import Bandwidth, CCubeConfig, Strategy
+
+
+class TestStrategy:
+    def test_five_strategies(self):
+        assert {s.value for s in Strategy} == {"B", "C1", "C2", "R", "CC"}
+
+    def test_algorithms(self):
+        assert Strategy.BASELINE.algorithm == "double_tree"
+        assert Strategy.OVERLAPPED_TREE.algorithm == "ccube"
+        assert Strategy.COMPUTE_CHAINING.algorithm == "double_tree"
+        assert Strategy.RING.algorithm == "ring"
+        assert Strategy.CCUBE.algorithm == "ccube"
+
+    def test_chaining_flags(self):
+        assert Strategy.CCUBE.chains_computation
+        assert Strategy.COMPUTE_CHAINING.chains_computation
+        assert not Strategy.BASELINE.chains_computation
+        assert not Strategy.RING.chains_computation
+        assert not Strategy.OVERLAPPED_TREE.chains_computation
+
+    def test_overlap_flags(self):
+        assert Strategy.CCUBE.overlaps_phases
+        assert Strategy.OVERLAPPED_TREE.overlaps_phases
+        assert not Strategy.BASELINE.overlaps_phases
+        assert not Strategy.COMPUTE_CHAINING.overlaps_phases
+
+
+class TestBandwidth:
+    def test_scales(self):
+        assert Bandwidth.HIGH.beta_scale == 1.0
+        assert Bandwidth.LOW.beta_scale == 4.0
+
+    def test_config_scaling(self):
+        config = CCubeConfig(beta=1e-9)
+        low = config.scaled(Bandwidth.LOW)
+        assert low.beta == pytest.approx(4e-9)
+        assert low.alpha == config.alpha
+        assert config.scaled(Bandwidth.HIGH).beta == config.beta
+
+
+class TestCCubeConfig:
+    def test_defaults_are_dgx1_like(self):
+        config = CCubeConfig()
+        assert config.nnodes == 8
+        assert config.beta == pytest.approx(1 / 25e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CCubeConfig(nnodes=1)
+        with pytest.raises(ConfigError):
+            CCubeConfig(nrings=0)
+        with pytest.raises(ConfigError):
+            CCubeConfig(beta=0.0)
+        with pytest.raises(ConfigError):
+            CCubeConfig(alpha=-1e-6)

@@ -1,0 +1,76 @@
+"""Tests for the heterogeneous-GPU (straggler) analysis."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.config import Strategy
+from repro.core.heterogeneity import heterogeneous_iteration
+
+
+class TestHeterogeneousIteration:
+    def test_uniform_scales_match_baseline(self, tiny_network, small_config):
+        result = heterogeneous_iteration(
+            tiny_network, 32, Strategy.CCUBE, [1.0] * 8, config=small_config
+        )
+        assert result.slowdown_vs_uniform == pytest.approx(1.0)
+
+    def test_iteration_paced_by_slowest_gpu(self, tiny_network, small_config):
+        scales = [1.0] * 8
+        scales[3] = 1.5
+        result = heterogeneous_iteration(
+            tiny_network, 32, Strategy.CCUBE, scales, config=small_config
+        )
+        slowest = max(result.per_gpu, key=lambda r: r.iteration_time)
+        assert result.iteration_time == slowest.iteration_time
+        assert result.slowdown_vs_uniform > 1.0
+
+    def test_detour_overhead_becomes_global(self, tiny_network, small_config):
+        """A 3.4% slower detour GPU slows the whole job ~3.4% (compute-
+        dominated case)."""
+        scales = [1.034] + [1.0] * 7
+        result = heterogeneous_iteration(
+            tiny_network, 256, Strategy.CCUBE, scales, config=small_config
+        )
+        assert 1.02 < result.slowdown_vs_uniform < 1.04
+
+    def test_chaining_absorbs_some_jitter_when_comm_bound(
+        self, small_config
+    ):
+        """If the fast GPUs were stalled on communication anyway, a
+        slightly slower GPU loses less than its raw compute deficit."""
+        from repro.core.patterns import PatternCase, synthetic_network
+
+        network = synthetic_network(
+            PatternCase.DECREASING_COMPUTE,
+            total_params=64_000_000,
+            total_flops=4e8,
+        )
+        scales = [1.0] * 7 + [1.2]
+        result = heterogeneous_iteration(
+            network, 16, Strategy.CCUBE, scales, config=small_config
+        )
+        assert result.absorbed_jitter > 0.0
+
+    def test_wrong_scale_count_rejected(self, tiny_network, small_config):
+        with pytest.raises(ConfigError, match="scales"):
+            heterogeneous_iteration(
+                tiny_network, 32, Strategy.CCUBE, [1.0] * 4,
+                config=small_config,
+            )
+
+    def test_nonpositive_scale_rejected(self, tiny_network, small_config):
+        with pytest.raises(ConfigError, match="positive"):
+            heterogeneous_iteration(
+                tiny_network, 32, Strategy.CCUBE, [1.0] * 7 + [0.0],
+                config=small_config,
+            )
+
+    def test_per_gpu_results_share_communication(
+        self, tiny_network, small_config
+    ):
+        scales = [1.0, 1.1] + [1.0] * 6
+        result = heterogeneous_iteration(
+            tiny_network, 32, Strategy.CCUBE, scales, config=small_config
+        )
+        comm_totals = {r.comm_total for r in result.per_gpu}
+        assert len(comm_totals) == 1

@@ -1,0 +1,81 @@
+"""Tests for gradient-queue occupancy analysis."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.config import CCubeConfig, Strategy
+from repro.core.occupancy import queue_occupancy
+from repro.core.pipeline import IterationPipeline
+
+
+@pytest.fixture
+def pipeline(tiny_network, small_config):
+    return IterationPipeline(
+        network=tiny_network, batch=32, config=small_config
+    )
+
+
+class TestOccupancy:
+    def test_all_chunks_eventually_consumed(self, pipeline, tiny_network):
+        comm = pipeline.comm_outcome(Strategy.CCUBE)
+        result = pipeline.run(Strategy.CCUBE, comm=comm)
+        profile = queue_occupancy(tiny_network, comm, result)
+        assert profile.final_bytes == pytest.approx(0.0, abs=1.0)
+
+    def test_peak_bounded_by_total(self, pipeline, tiny_network):
+        comm = pipeline.comm_outcome(Strategy.CCUBE)
+        result = pipeline.run(Strategy.CCUBE, comm=comm)
+        profile = queue_occupancy(tiny_network, comm, result)
+        assert 0 < profile.peak_bytes <= tiny_network.total_bytes + 1.0
+        assert 0 < profile.peak_fraction <= 1.0
+
+    def test_unchained_strategy_buffers_everything(
+        self, pipeline, tiny_network
+    ):
+        """Without chaining, forward starts after the whole collective:
+        every byte sits queued at the peak."""
+        comm = pipeline.comm_outcome(Strategy.BASELINE)
+        result = pipeline.run(Strategy.BASELINE, comm=comm)
+        profile = queue_occupancy(tiny_network, comm, result)
+        assert profile.peak_fraction == pytest.approx(1.0, abs=0.01)
+
+    def test_events_sorted_by_time(self, pipeline, tiny_network):
+        comm = pipeline.comm_outcome(Strategy.CCUBE)
+        result = pipeline.run(Strategy.CCUBE, comm=comm)
+        profile = queue_occupancy(tiny_network, comm, result)
+        times = [when for when, _delta in profile.events]
+        assert times == sorted(times)
+
+    def test_chaining_reduces_peak_when_compute_covers_comm(
+        self, small_config
+    ):
+        """With compute comparable to communication, chaining consumes
+        chunks while later ones are still in flight, so the peak stays
+        below the unchained 100%."""
+        from repro.core.patterns import PatternCase, synthetic_network
+
+        network = synthetic_network(
+            PatternCase.DECREASING_COMPUTE,
+            total_params=16_000_000,
+            total_flops=4e9,
+        )
+        pipeline = IterationPipeline(
+            network=network, batch=64, config=small_config
+        )
+        comm = pipeline.comm_outcome(Strategy.CCUBE)
+        chained = pipeline.run(Strategy.CCUBE, comm=comm)
+        profile = queue_occupancy(network, comm, chained)
+        assert profile.peak_fraction < 0.9
+
+    def test_layer_count_mismatch_rejected(self, pipeline, tiny_network):
+        from repro.dnn.layers import LayerSpec, NetworkModel
+
+        other = NetworkModel(
+            name="other",
+            layers=(LayerSpec(name="x", params=tiny_network.total_params,
+                              fwd_flops=1.0),),
+        )
+        comm = pipeline.comm_outcome(Strategy.CCUBE)
+        result = pipeline.run(Strategy.CCUBE, comm=comm)
+        with pytest.raises(ConfigError):
+            queue_occupancy(other, comm, result)

@@ -1,0 +1,84 @@
+"""Tests for the multi-iteration trainer and Fig.-13 metric."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.config import Bandwidth, Strategy
+from repro.core.trainer import TrainingConfig, normalized_performance, run_training
+
+
+@pytest.fixture
+def config(tiny_network, small_config):
+    return TrainingConfig(
+        network=tiny_network,
+        batch=32,
+        strategy=Strategy.CCUBE,
+        system=small_config,
+    )
+
+
+class TestRunTraining:
+    def test_iteration_count(self, config):
+        run = run_training(config, iterations=5)
+        assert len(run.iteration_times) == 5
+
+    def test_first_iteration_is_compute_only(self, config):
+        run = run_training(config, iterations=3)
+        assert run.first_iteration_time == pytest.approx(
+            run.steady_iteration.ideal_time
+        )
+
+    def test_steady_iterations_identical(self, config):
+        run = run_training(config, iterations=4)
+        steady = set(run.iteration_times[1:])
+        assert len(steady) == 1
+
+    def test_total_time_sums(self, config):
+        run = run_training(config, iterations=3)
+        assert run.total_time == pytest.approx(sum(run.iteration_times))
+
+    def test_throughput_positive(self, config):
+        run = run_training(config, iterations=2)
+        assert run.throughput > 0
+
+    def test_invalid_iterations(self, config):
+        with pytest.raises(ConfigError):
+            run_training(config, iterations=0)
+
+
+class TestNormalizedPerformance:
+    def test_in_unit_interval(self, tiny_network, small_config):
+        for strategy in Strategy:
+            value = normalized_performance(
+                tiny_network, 32, strategy, system=small_config
+            )
+            assert 0 < value <= 1.0
+
+    def test_low_bandwidth_hurts(self, tiny_network, small_config):
+        high = normalized_performance(
+            tiny_network, 32, Strategy.BASELINE,
+            bandwidth=Bandwidth.HIGH, system=small_config,
+        )
+        low = normalized_performance(
+            tiny_network, 32, Strategy.BASELINE,
+            bandwidth=Bandwidth.LOW, system=small_config,
+        )
+        assert low < high
+
+    def test_larger_batch_improves_efficiency(self, tiny_network, small_config):
+        small = normalized_performance(
+            tiny_network, 8, Strategy.BASELINE, system=small_config
+        )
+        large = normalized_performance(
+            tiny_network, 512, Strategy.BASELINE, system=small_config
+        )
+        assert large > small
+
+    def test_ccube_at_least_baseline(self, tiny_network, small_config):
+        baseline = normalized_performance(
+            tiny_network, 32, Strategy.BASELINE, system=small_config
+        )
+        ccube = normalized_performance(
+            tiny_network, 32, Strategy.CCUBE, system=small_config
+        )
+        assert ccube >= baseline - 1e-12

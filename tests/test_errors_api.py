@@ -1,0 +1,59 @@
+"""Contracts of the exception hierarchy and top-level API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("TopologyError", "RoutingError", "EmbeddingError",
+                     "ScheduleError", "SimulationError", "DeadlockError",
+                     "RuntimeClusterError", "ConfigError"):
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError), name
+
+    def test_routing_is_a_topology_error(self):
+        assert issubclass(errors.RoutingError, errors.TopologyError)
+
+    def test_deadlock_is_a_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+    def test_single_except_catches_everything(self):
+        from repro.models.costmodel import CostParams
+
+        with pytest.raises(errors.ReproError):
+            CostParams(alpha=-1.0, beta=0.0)
+
+
+class TestTopLevelApi:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.collectives
+        import repro.core
+        import repro.dnn
+        import repro.models
+        import repro.runtime
+        import repro.sim
+        import repro.topology
+
+        for module in (repro.collectives, repro.core, repro.dnn,
+                       repro.models, repro.runtime, repro.sim,
+                       repro.topology):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    module.__name__, name
+                )
+
+    def test_headline_api_one_liner(self):
+        result = repro.simulate_iteration(
+            repro.zfnet(), 16, repro.Strategy.CCUBE
+        )
+        assert result.normalized_performance > 0.5

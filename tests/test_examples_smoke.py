@@ -1,0 +1,58 @@
+"""Smoke tests: the shipped examples must run and print sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "resnet50" in out
+        assert "C-Cube end-to-end speedup" in out
+        for strategy in ("B", "C1", "C2", "R", "CC"):
+            assert f"\n{strategy} " in out
+
+    def test_functional_allreduce(self):
+        out = run_example("functional_allreduce.py")
+        assert "in-order=True" in out
+        assert "identical: True" in out
+        # Numerical error must be tiny.
+        assert "e-1" in out.split("max |output - sum(inputs)|")[1][:40]
+
+    def test_scaleout_study_small(self):
+        out = run_example("scaleout_study.py", "16")
+        assert "Fig. 14" in out
+        assert "turnaround" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "tiny-transformer" in out
+        assert "autotuned strategy" in out
+        assert "chained iteration timeline" in out
+
+    def test_embedding_search(self):
+        out = run_example("embedding_search.py")
+        assert "searched pair" in out
+        assert "max error" in out
+
+    def test_analyze_schedule(self):
+        out = run_example("analyze_schedule.py")
+        assert "critical path" in out
+        assert "busiest physical channels" in out
+        assert "0%" in out and "47%" in out or "in flight" in out

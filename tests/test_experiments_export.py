@@ -1,0 +1,78 @@
+"""Tests for CSV export of experiment rows."""
+
+import csv
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.export import rows_to_csv
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    value: float
+    mapping: dict
+    series: tuple
+
+
+def sample_rows():
+    return [
+        Row(name="a", value=1.5, mapping={"x": 1, "y": 2}, series=(1, 2)),
+        Row(name="b", value=2.5, mapping={"x": 3, "y": 4}, series=(3, 4)),
+    ]
+
+
+class TestRowsToCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows_to_csv(sample_rows(), path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["name"] == "a"
+
+    def test_dicts_flattened(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows_to_csv(sample_rows(), path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["mapping.x"] == "1"
+        assert rows[1]["mapping.y"] == "4"
+
+    def test_sequences_joined(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows_to_csv(sample_rows(), path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["series"] == "1;2"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            rows_to_csv([], tmp_path / "x.csv")
+
+    def test_non_dataclass_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            rows_to_csv([{"a": 1}], tmp_path / "x.csv")
+
+    def test_real_experiment_rows_export(self, tmp_path):
+        from repro.experiments import fig04_model_ratio
+
+        path = tmp_path / "fig04.csv"
+        rows_to_csv(fig04_model_ratio.run(), path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 6  # six message sizes
+
+    def test_fig13_strategy_map_flattens(self, tmp_path):
+        from repro.experiments import fig13_overall
+
+        rows = fig13_overall.run(
+            networks=("zfnet",), batches=(16,),
+        )
+        path = tmp_path / "fig13.csv"
+        rows_to_csv(rows, path)
+        with open(path) as handle:
+            parsed = list(csv.DictReader(handle))
+        assert "normalized.CC" in parsed[0]

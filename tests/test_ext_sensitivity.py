@@ -1,0 +1,62 @@
+"""Tests for the alpha/beta sensitivity study."""
+
+import pytest
+
+from repro.experiments import ext_sensitivity
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_sensitivity.run(
+            alpha_scales=(0.1, 1.0, 10.0), beta_scales=(0.25, 1.0, 4.0)
+        )
+
+    def test_full_grid(self, rows):
+        assert len(rows) == 9
+
+    def test_speedup_always_in_overlap_band(self, rows):
+        for row in rows:
+            assert 1.0 < row.overlap_speedup <= 2.0
+
+    def test_speedup_grows_when_bandwidth_dominates(self, rows):
+        by_key = {(r.alpha, r.beta): r for r in rows}
+        alphas = sorted({r.alpha for r in rows})
+        betas = sorted({r.beta for r in rows})
+        # At fixed beta, smaller alpha => larger speedup.
+        for beta in betas:
+            speedups = [by_key[(a, beta)].overlap_speedup for a in alphas]
+            assert speedups == sorted(speedups, reverse=True)
+        # At fixed alpha, larger beta => larger speedup.
+        for alpha in alphas:
+            speedups = [by_key[(alpha, b)].overlap_speedup for b in betas]
+            assert speedups == sorted(speedups)
+
+    def test_turnaround_tracks_chunk_count(self, rows):
+        # More chunks (Eq. 4) => more of the reduction phase the first
+        # chunk escapes waiting for.
+        ordered = sorted(rows, key=lambda r: r.nchunks)
+        assert (ordered[-1].turnaround_speedup
+                > ordered[0].turnaround_speedup)
+
+    def test_format_table(self, rows):
+        text = ext_sensitivity.format_table(rows)
+        assert "sensitivity" in text
+
+
+class TestAnalysisGuards:
+    def test_mismatched_dag_and_result_rejected(self):
+        from repro.errors import SimulationError
+        from repro.sim.analysis import resource_utilization
+        from repro.sim.dag import Dag
+        from repro.sim.engine import DagSimulator
+        from repro.sim.resources import Channel
+
+        dag = Dag()
+        dag.add("c", nbytes=1.0)
+        result = DagSimulator({"c": Channel(alpha=0, beta=1)}).run(dag)
+        other = Dag()
+        other.add("c", nbytes=1.0)
+        other.add("c", nbytes=1.0)
+        with pytest.raises(SimulationError, match="actually simulated"):
+            resource_utilization(other, result)

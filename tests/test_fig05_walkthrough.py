@@ -1,0 +1,35 @@
+"""The paper's Fig.-5 worked example must reproduce exactly."""
+
+import pytest
+
+from repro.experiments import fig05_walkthrough
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.algorithm: r for r in fig05_walkthrough.run()}
+
+    def test_conventional_tree_takes_10_steps(self, rows):
+        assert rows["tree (Fig. 5a)"].total_steps == pytest.approx(10.0)
+
+    def test_overlapped_tree_takes_7_steps(self, rows):
+        """The paper: "AllReduce is completed in 7 steps, instead of 10
+        steps for the conventional tree algorithm"."""
+        assert rows["overlapped tree (Fig. 5c)"].total_steps == (
+            pytest.approx(7.0)
+        )
+
+    def test_ring_takes_6_transfer_steps(self, rows):
+        # 2 (P-1) = 6 transfers; the figure's 7th step is the initial
+        # chunk placement.
+        assert rows["ring (Fig. 5b)"].total_steps == pytest.approx(6.0)
+
+    def test_overlap_turnaround_improves(self, rows):
+        base = rows["tree (Fig. 5a)"].first_chunk_ready_step
+        over = rows["overlapped tree (Fig. 5c)"].first_chunk_ready_step
+        assert over < base
+
+    def test_format_table(self, rows):
+        text = fig05_walkthrough.format_table(list(rows.values()))
+        assert "Fig. 5" in text

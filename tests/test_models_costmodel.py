@@ -1,0 +1,156 @@
+"""Tests for the alpha-beta cost models (paper Eq. 1-7)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.models.costmodel import (
+    CostParams,
+    optimal_chunks,
+    overlap_speedup_model,
+    overlapped_tree_time,
+    ring_allgather_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+    tree_over_ring_ratio,
+    tree_phase_time,
+    turnaround_baseline,
+    turnaround_overlapped,
+)
+
+PARAMS = CostParams(alpha=2e-6, beta=1.0 / 25e9)
+
+sizes = st.floats(min_value=1e3, max_value=1e10)
+nodes = st.integers(min_value=2, max_value=4096)
+
+
+class TestRingModel:
+    def test_eq1_allgather(self):
+        t = ring_allgather_time(4, 4000.0, CostParams(alpha=1.0, beta=0.001))
+        assert t == pytest.approx(3 * (1.0 + 0.001 * 1000.0))
+
+    def test_eq2_is_twice_eq1(self):
+        assert ring_allreduce_time(8, 1e6, PARAMS) == pytest.approx(
+            2 * ring_allgather_time(8, 1e6, PARAMS)
+        )
+
+    @given(n=sizes, p=nodes)
+    def test_positive(self, n, p):
+        assert ring_allreduce_time(p, n, PARAMS) > 0
+
+    def test_latency_term_linear_in_p(self):
+        lat_only = CostParams(alpha=1.0, beta=0.0)
+        assert ring_allreduce_time(101, 1.0, lat_only) == pytest.approx(200.0)
+
+
+class TestTreeModel:
+    def test_eq3_phase_time(self):
+        p = CostParams(alpha=1.0, beta=0.001)
+        t = tree_phase_time(8, 4000.0, 4, p)
+        assert t == pytest.approx((3 + 4) * (1.0 + 1.0))
+
+    def test_eq4_optimal_chunks(self):
+        k = optimal_chunks(8, 64e6, PARAMS)
+        expected = math.sqrt(3 * (1 / 25e9) * 64e6 / 2e-6)
+        assert k == pytest.approx(expected)
+
+    def test_eq4_minimizes_eq3(self):
+        k_opt = optimal_chunks(8, 64e6, PARAMS)
+        best = tree_phase_time(8, 64e6, round(k_opt), PARAMS)
+        for k in (1, 8, 4096):
+            assert best <= tree_phase_time(8, 64e6, k, PARAMS) + 1e-12
+
+    def test_eq6_equals_twice_optimal_phase(self):
+        n = 64e6
+        k_opt = optimal_chunks(8, n, PARAMS)
+        assert tree_allreduce_time(8, n, PARAMS) == pytest.approx(
+            2 * tree_phase_time(8, n, k_opt, PARAMS), rel=1e-9
+        )
+
+    def test_latency_term_logarithmic_in_p(self):
+        lat_only = CostParams(alpha=1.0, beta=0.0)
+        assert tree_allreduce_time(1024, 1.0, lat_only) == pytest.approx(
+            20.0, abs=1e-6
+        )
+
+
+class TestOverlappedModel:
+    @given(n=sizes, p=nodes)
+    def test_eq7_always_at_most_eq6(self, n, p):
+        assert overlapped_tree_time(p, n, PARAMS) <= tree_allreduce_time(
+            p, n, PARAMS
+        )
+
+    @given(n=sizes, p=nodes)
+    def test_speedup_between_1x_and_2x(self, n, p):
+        speedup = overlap_speedup_model(p, n, PARAMS)
+        assert 1.0 <= speedup <= 2.0
+
+    def test_speedup_approaches_2x_for_large_messages(self):
+        assert overlap_speedup_model(8, 1e10, PARAMS) > 1.9
+
+    def test_bandwidth_term_halved(self):
+        # For huge N the overlapped tree costs ~beta*N vs ~2*beta*N.
+        n = 1e12
+        ratio = tree_allreduce_time(8, n, PARAMS) / overlapped_tree_time(
+            8, n, PARAMS
+        )
+        assert ratio == pytest.approx(2.0, rel=0.01)
+
+
+class TestTurnaround:
+    @given(
+        n=sizes,
+        p=st.integers(min_value=2, max_value=512),
+        k=st.integers(min_value=1, max_value=512),
+    )
+    def test_overlapped_never_worse(self, n, p, k):
+        assert turnaround_overlapped(p, n, k, PARAMS) <= turnaround_baseline(
+            p, n, k, PARAMS
+        )
+
+    def test_overlapped_independent_of_chunk_count_steps(self):
+        # 2 log2(P) steps regardless of K; chunk time shrinks with K.
+        t64 = turnaround_overlapped(8, 64e6, 64, PARAMS)
+        t256 = turnaround_overlapped(8, 64e6, 256, PARAMS)
+        assert t256 < t64
+
+    def test_baseline_grows_with_chunks(self):
+        t_few = turnaround_baseline(8, 64e6, 4, PARAMS)
+        t_many = turnaround_baseline(8, 64e6, 256, PARAMS)
+        # More chunks => smaller chunk time but more steps before the
+        # first turnaround; at fixed N the baseline stays ~beta*N-bound.
+        assert t_many > 0 and t_few > 0
+
+
+class TestRatio:
+    def test_tree_wins_small_messages(self):
+        assert tree_over_ring_ratio(64, 16 * 1024, PARAMS) > 1.0
+
+    def test_ring_wins_large_messages_small_p(self):
+        assert tree_over_ring_ratio(8, 256 * 2**20, PARAMS) < 1.0
+
+    def test_ratio_improves_with_p(self):
+        small = tree_over_ring_ratio(8, 1e6, PARAMS)
+        large = tree_over_ring_ratio(512, 1e6, PARAMS)
+        assert large > small
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            CostParams(alpha=-1.0, beta=1.0)
+
+    def test_bad_nodes(self):
+        with pytest.raises(ConfigError):
+            ring_allreduce_time(1, 1e6, PARAMS)
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigError):
+            tree_allreduce_time(8, 0.0, PARAMS)
+
+    def test_bad_chunks(self):
+        with pytest.raises(ConfigError):
+            tree_phase_time(8, 1e6, 0, PARAMS)

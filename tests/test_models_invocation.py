@@ -1,0 +1,84 @@
+"""Tests for the invocation-granularity model (paper Fig. 3)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.costmodel import CostParams
+from repro.models.invocation import (
+    InvocationModel,
+    effective_bandwidth,
+    layer_wise_time,
+    one_shot_time,
+    sliced_time,
+)
+
+
+@pytest.fixture
+def model():
+    return InvocationModel(
+        nnodes=8,
+        params=CostParams(alpha=3.5e-6, beta=1.0 / 100e9),
+        invoke_overhead=10e-6,
+        peak_bandwidth=100e9,
+    )
+
+
+LAYERS = [4e6] * 20  # 20 layers of 4 MB
+
+
+class TestOrdering:
+    def test_one_shot_fastest(self, model):
+        one = one_shot_time(model, LAYERS)
+        assert one < layer_wise_time(model, LAYERS)
+        assert one < sliced_time(model, LAYERS)
+
+    def test_slicing_slowest(self, model):
+        assert sliced_time(model, LAYERS) > layer_wise_time(model, LAYERS)
+
+    def test_finer_slices_cost_more(self, model):
+        coarse = sliced_time(model, LAYERS, slice_bytes=4e6)
+        fine = sliced_time(model, LAYERS, slice_bytes=256e3)
+        assert fine > coarse
+
+    def test_zero_overhead_equalizes_bandwidth_term(self):
+        free = InvocationModel(
+            nnodes=8,
+            params=CostParams(alpha=0.0, beta=1e-11),
+            invoke_overhead=0.0,
+        )
+        assert layer_wise_time(free, LAYERS) == pytest.approx(
+            one_shot_time(free, LAYERS)
+        )
+
+
+class TestBandwidth:
+    def test_effective_bandwidth_normalization(self, model):
+        total = sum(LAYERS)
+        elapsed = total / 50e9
+        assert effective_bandwidth(model, total, elapsed) == pytest.approx(0.5)
+
+    def test_bad_elapsed(self, model):
+        with pytest.raises(ConfigError):
+            effective_bandwidth(model, 1e6, 0.0)
+
+
+class TestValidation:
+    def test_empty_layers(self, model):
+        with pytest.raises(ConfigError):
+            layer_wise_time(model, [])
+
+    def test_zero_total(self, model):
+        with pytest.raises(ConfigError):
+            one_shot_time(model, [0.0])
+
+    def test_bad_slice(self, model):
+        with pytest.raises(ConfigError):
+            sliced_time(model, LAYERS, slice_bytes=0.0)
+
+    def test_bad_model(self):
+        with pytest.raises(ConfigError):
+            InvocationModel(
+                nnodes=8,
+                params=CostParams(alpha=0, beta=0),
+                invoke_overhead=-1.0,
+            )

@@ -1,0 +1,123 @@
+"""Tests for the closed-form scalability analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.models.costmodel import (
+    CostParams,
+    overlapped_tree_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.models.scalability import (
+    bandwidth_dominated_threshold,
+    overlap_benefit,
+    overlap_benefit_saturation_bytes,
+    ring_tree_crossover_bytes,
+    ring_tree_crossover_nodes,
+    scalability_report,
+)
+
+PARAMS = CostParams(alpha=5e-6, beta=1.0 / 12.5e9)
+
+
+class TestCrossoverNodes:
+    def test_small_message_crossover_is_early(self):
+        # At 16 KB the tree wins from 8 nodes on (at 2-4 nodes the ring's
+        # O(P) latency term is still tiny).
+        assert ring_tree_crossover_nodes(16e3, PARAMS) == 8
+
+    def test_large_message_needs_scale(self):
+        crossover = ring_tree_crossover_nodes(256e6, PARAMS)
+        assert crossover is not None
+        assert crossover > 8
+
+    def test_crossover_is_a_true_boundary(self):
+        crossover = ring_tree_crossover_nodes(64e6, PARAMS)
+        assert crossover is not None
+        assert tree_allreduce_time(crossover, 64e6, PARAMS) <= (
+            ring_allreduce_time(crossover, 64e6, PARAMS)
+        )
+        if crossover > 2:
+            assert tree_allreduce_time(crossover // 2, 64e6, PARAMS) > (
+                ring_allreduce_time(crossover // 2, 64e6, PARAMS)
+            )
+
+    def test_none_when_capped(self):
+        assert ring_tree_crossover_nodes(1e12, PARAMS, max_nodes=4) is None
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigError):
+            ring_tree_crossover_nodes(0.0, PARAMS)
+
+
+class TestCrossoverBytes:
+    def test_boundary_property(self):
+        crossover = ring_tree_crossover_bytes(8, PARAMS)
+        assert crossover is not None
+        # Just below: tree wins; well above: ring wins.
+        assert tree_allreduce_time(8, crossover * 0.99, PARAMS) <= (
+            ring_allreduce_time(8, crossover * 0.99, PARAMS)
+        )
+        assert tree_allreduce_time(8, crossover * 10, PARAMS) > (
+            ring_allreduce_time(8, crossover * 10, PARAMS)
+        )
+
+    def test_grows_with_node_count(self):
+        c8 = ring_tree_crossover_bytes(8, PARAMS)
+        c64 = ring_tree_crossover_bytes(64, PARAMS)
+        assert c8 is not None and c64 is not None
+        assert c64 > c8
+
+
+class TestOverlapBenefit:
+    @given(n=st.floats(min_value=1e3, max_value=1e12))
+    @settings(max_examples=30)
+    def test_bounded(self, n):
+        assert 1.0 <= overlap_benefit(n, 8, PARAMS) <= 2.0
+
+    def test_monotone_in_size(self):
+        small = overlap_benefit(1e4, 8, PARAMS)
+        large = overlap_benefit(1e9, 8, PARAMS)
+        assert large > small
+
+    def test_matches_direct_formula(self):
+        direct = tree_allreduce_time(8, 64e6, PARAMS) / overlapped_tree_time(
+            8, 64e6, PARAMS
+        )
+        assert overlap_benefit(64e6, 8, PARAMS) == pytest.approx(direct)
+
+    def test_saturation_size_reaches_target(self):
+        size = overlap_benefit_saturation_bytes(8, PARAMS, target=1.8)
+        assert size is not None
+        assert overlap_benefit(size, 8, PARAMS) >= 1.8
+        assert overlap_benefit(size / 10, 8, PARAMS) < 1.8
+
+    def test_saturation_bad_target(self):
+        with pytest.raises(ConfigError):
+            overlap_benefit_saturation_bytes(8, PARAMS, target=2.5)
+
+
+class TestBandwidthThreshold:
+    def test_threshold_balances_terms(self):
+        n = bandwidth_dominated_threshold(8, PARAMS)
+        assert 2 * PARAMS.beta * n == pytest.approx(
+            2 * 3 * PARAMS.alpha
+        )
+
+    def test_zero_beta_rejected(self):
+        with pytest.raises(ConfigError):
+            bandwidth_dominated_threshold(8, CostParams(alpha=1e-6, beta=0.0))
+
+
+class TestReport:
+    def test_report_structure(self):
+        report = scalability_report(PARAMS)
+        assert set(report) == {
+            "crossover_nodes",
+            "crossover_bytes",
+            "overlap_benefit_64MB",
+            "bandwidth_threshold",
+        }
+        assert all(v > 1.0 for v in report["overlap_benefit_64MB"].values())

@@ -1,0 +1,108 @@
+"""Tests for chunk layouts and gradient buffers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.runtime.memory import ChunkLayout, GradientBuffer
+
+
+class TestChunkLayoutSplit:
+    def test_basic_split(self):
+        layout = ChunkLayout.split(100, ntrees=2, chunks_per_tree=5)
+        assert layout.nchunks == 10
+        assert layout.ntrees == 2
+        assert layout.bounds[0] == (0, 10)
+        assert layout.bounds[-1] == (90, 100)
+
+    def test_tree_halves_contiguous(self):
+        layout = ChunkLayout.split(100, ntrees=2, chunks_per_tree=2)
+        assert layout.tree_chunks == ((0, 1), (2, 3))
+        assert layout.bounds[1][1] == 50  # tree 0 ends at the midpoint
+        assert layout.bounds[2][0] == 50
+
+    @given(
+        total=st.integers(min_value=1, max_value=100_000),
+        ntrees=st.integers(min_value=1, max_value=3),
+        k=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_properties(self, total, ntrees, k):
+        if total < ntrees * k:
+            return
+        layout = ChunkLayout.split(total, ntrees=ntrees, chunks_per_tree=k)
+        # Chunks tile [0, total) exactly, in order, without gaps.
+        cursor = 0
+        for chunk in range(layout.nchunks):
+            start, stop = layout.bounds[chunk]
+            assert start == cursor
+            assert stop > start
+            cursor = stop
+        assert cursor == total
+
+    def test_too_small_buffer_rejected(self):
+        with pytest.raises(ConfigError):
+            ChunkLayout.split(3, ntrees=2, chunks_per_tree=2)
+
+    def test_tree_of(self):
+        layout = ChunkLayout.split(40, ntrees=2, chunks_per_tree=2)
+        assert layout.tree_of(0) == 0
+        assert layout.tree_of(3) == 1
+
+    def test_tree_of_unknown_chunk(self):
+        layout = ChunkLayout.split(40, ntrees=1, chunks_per_tree=2)
+        with pytest.raises(ConfigError):
+            layout.tree_of(5)
+
+    def test_chunk_elems(self):
+        layout = ChunkLayout.split(10, ntrees=1, chunks_per_tree=3)
+        assert sum(layout.chunk_elems(c) for c in range(3)) == 10
+
+    def test_slice_of_matches_bounds(self):
+        layout = ChunkLayout.split(10, ntrees=1, chunks_per_tree=2)
+        assert layout.slice_of(1) == slice(5, 10)
+
+
+class TestGradientBuffer:
+    def test_copy_on_construction(self):
+        layout = ChunkLayout.split(4, ntrees=1, chunks_per_tree=1)
+        source = np.ones(4)
+        buf = GradientBuffer(source, layout)
+        source[:] = 99.0
+        assert np.all(buf.data == 1.0)
+
+    def test_accumulate(self):
+        layout = ChunkLayout.split(4, ntrees=1, chunks_per_tree=2)
+        buf = GradientBuffer(np.ones(4), layout)
+        buf.accumulate(0, np.array([2.0, 3.0]))
+        assert list(buf.data) == [3.0, 4.0, 1.0, 1.0]
+
+    def test_overwrite(self):
+        layout = ChunkLayout.split(4, ntrees=1, chunks_per_tree=2)
+        buf = GradientBuffer(np.ones(4), layout)
+        buf.overwrite(1, np.array([7.0, 8.0]))
+        assert list(buf.data) == [1.0, 1.0, 7.0, 8.0]
+
+    def test_chunk_view_is_writable(self):
+        layout = ChunkLayout.split(6, ntrees=1, chunks_per_tree=3)
+        buf = GradientBuffer(np.zeros(6), layout)
+        buf.chunk(2)[:] = 5.0
+        assert list(buf.data) == [0, 0, 0, 0, 5.0, 5.0]
+
+    def test_snapshot_is_independent(self):
+        layout = ChunkLayout.split(4, ntrees=1, chunks_per_tree=1)
+        buf = GradientBuffer(np.zeros(4), layout)
+        snap = buf.snapshot()
+        buf.data[:] = 1.0
+        assert np.all(snap == 0.0)
+
+    def test_size_mismatch_rejected(self):
+        layout = ChunkLayout.split(4, ntrees=1, chunks_per_tree=1)
+        with pytest.raises(ConfigError):
+            GradientBuffer(np.zeros(5), layout)
+
+    def test_2d_rejected(self):
+        layout = ChunkLayout.split(4, ntrees=1, chunks_per_tree=1)
+        with pytest.raises(ConfigError):
+            GradientBuffer(np.zeros((2, 2)), layout)

@@ -1,0 +1,151 @@
+"""Tests for the schedule-analysis tools."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.collectives.base import simulate_on_fabric
+from repro.collectives.tree import tree_allreduce
+from repro.sim.analysis import (
+    critical_path,
+    phase_overlap,
+    phase_windows,
+    render_gantt,
+    resource_utilization,
+)
+from repro.sim.dag import Dag, Phase
+from repro.sim.engine import DagSimulator
+from repro.sim.resources import Channel
+from repro.topology.switch import FabricSpec
+
+
+def two_channel_setup():
+    resources = {
+        "a": Channel(alpha=0.0, beta=1.0),
+        "b": Channel(alpha=0.0, beta=1.0),
+    }
+    return resources
+
+
+class TestCriticalPath:
+    def test_chain_is_its_own_critical_path(self):
+        dag = Dag()
+        prev = None
+        for _ in range(4):
+            prev = dag.add("a", nbytes=1.0,
+                           deps=[] if prev is None else [prev])
+        result = DagSimulator(two_channel_setup()).run(dag)
+        path = critical_path(dag, result)
+        assert [step.op_id for step in path] == [0, 1, 2, 3]
+
+    def test_path_ends_at_makespan(self):
+        dag = Dag()
+        dag.add("a", nbytes=1.0)
+        dag.add("b", nbytes=5.0)
+        result = DagSimulator(two_channel_setup()).run(dag)
+        path = critical_path(dag, result)
+        assert path[-1].finish == pytest.approx(result.makespan)
+
+    def test_path_follows_resource_queueing(self):
+        # Two independent ops on one channel: the second queues behind
+        # the first, so the path passes through both.
+        dag = Dag()
+        dag.add("a", nbytes=3.0)
+        dag.add("a", nbytes=3.0)
+        result = DagSimulator(two_channel_setup()).run(dag)
+        path = critical_path(dag, result)
+        assert [step.op_id for step in path] == [0, 1]
+        assert path[1].blocked_by == 0
+
+    def test_empty_dag(self):
+        result = DagSimulator(two_channel_setup()).run(Dag())
+        assert critical_path(Dag(), result) == []
+
+    def test_path_times_contiguous(self):
+        schedule = tree_allreduce(8, 8e5, nchunks=8, overlapped=True)
+        fabric = FabricSpec(nnodes=8, alpha=1e-6, beta=1e-9)
+        outcome = simulate_on_fabric(schedule, fabric)
+        path = critical_path(schedule.dag, outcome.sim)
+        for prev, cur in zip(path, path[1:]):
+            assert cur.start >= prev.finish - 1e-12
+
+
+class TestUtilization:
+    def test_fully_busy_chain(self):
+        dag = Dag()
+        prev = None
+        for _ in range(3):
+            prev = dag.add("a", nbytes=1.0,
+                           deps=[] if prev is None else [prev])
+        result = DagSimulator(two_channel_setup()).run(dag)
+        util = resource_utilization(dag, result)
+        assert util["a"] == pytest.approx(1.0)
+
+    def test_idle_resource_zero(self):
+        dag = Dag()
+        dag.add("a", nbytes=1.0)
+        dag.add("b", nbytes=0.0)
+        result = DagSimulator(two_channel_setup()).run(dag)
+        util = resource_utilization(dag, result)
+        assert util["b"] == pytest.approx(0.0)
+
+    def test_overlapped_tree_uses_channels_more(self):
+        fabric = FabricSpec(nnodes=8, alpha=1e-6, beta=1e-9)
+        base = tree_allreduce(8, 8e6, nchunks=16, overlapped=False)
+        over = tree_allreduce(8, 8e6, nchunks=16, overlapped=True)
+        base_out = simulate_on_fabric(base, fabric)
+        over_out = simulate_on_fabric(over, fabric)
+        base_util = resource_utilization(base.dag, base_out.sim)
+        over_util = resource_utilization(over.dag, over_out.sim)
+        edges = [k for k in base_util if isinstance(k, tuple)
+                 and k[0] == "edge"]
+        mean = lambda d, keys: sum(d[k] for k in keys) / len(keys)  # noqa: E731
+        assert mean(over_util, edges) > mean(base_util, edges)
+
+
+class TestPhaseAnalysis:
+    def test_windows_cover_phases(self):
+        schedule = tree_allreduce(8, 8e5, nchunks=4)
+        fabric = FabricSpec(nnodes=8, alpha=1e-6, beta=1e-9)
+        outcome = simulate_on_fabric(schedule, fabric)
+        windows = phase_windows(schedule.dag, outcome.sim)
+        assert Phase.REDUCE in windows and Phase.BROADCAST in windows
+
+    def test_baseline_has_no_phase_overlap(self):
+        schedule = tree_allreduce(8, 8e5, nchunks=8, overlapped=False)
+        fabric = FabricSpec(nnodes=8, alpha=1e-6, beta=1e-9)
+        outcome = simulate_on_fabric(schedule, fabric)
+        overlap = phase_overlap(
+            schedule.dag, outcome.sim, Phase.REDUCE, Phase.BROADCAST
+        )
+        assert overlap == pytest.approx(0.0, abs=1e-9)
+
+    def test_overlapped_tree_has_large_phase_overlap(self):
+        schedule = tree_allreduce(8, 8e6, nchunks=32, overlapped=True)
+        fabric = FabricSpec(nnodes=8, alpha=1e-6, beta=1e-9)
+        outcome = simulate_on_fabric(schedule, fabric)
+        overlap = phase_overlap(
+            schedule.dag, outcome.sim, Phase.REDUCE, Phase.BROADCAST
+        )
+        assert overlap > 0.5 * outcome.total_time
+
+    def test_missing_phase_raises(self):
+        dag = Dag()
+        dag.add("a", nbytes=1.0, phase=Phase.REDUCE)
+        result = DagSimulator(two_channel_setup()).run(dag)
+        with pytest.raises(SimulationError):
+            phase_overlap(dag, result, Phase.REDUCE, Phase.BROADCAST)
+
+
+class TestGantt:
+    def test_renders_rows_per_resource(self):
+        dag = Dag()
+        dag.add("a", nbytes=1.0)
+        dag.add("b", nbytes=2.0)
+        result = DagSimulator(two_channel_setup()).run(dag)
+        text = render_gantt(dag, result)
+        assert text.count("|") == 4  # two rows, two borders each
+        assert "#" in text
+
+    def test_empty_run(self):
+        result = DagSimulator(two_channel_setup()).run(Dag())
+        assert render_gantt(Dag(), result) == "(empty run)"

@@ -1,0 +1,142 @@
+"""Unit tests for repro.sim.dag."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sim.dag import Dag, Op, Phase
+
+
+def chain(n: int) -> Dag:
+    dag = Dag()
+    prev = None
+    for _ in range(n):
+        prev = dag.add("r", nbytes=1.0, deps=[] if prev is None else [prev])
+    return dag
+
+
+class TestDagBuilding:
+    def test_add_returns_sequential_ids(self):
+        dag = Dag()
+        assert dag.add("a") == 0
+        assert dag.add("b") == 1
+        assert dag.add("a", deps=[0, 1]) == 2
+
+    def test_len_and_iter(self):
+        dag = chain(5)
+        assert len(dag) == 5
+        assert [op.op_id for op in dag] == [0, 1, 2, 3, 4]
+
+    def test_getitem_returns_matching_op(self):
+        dag = chain(3)
+        assert dag[1].op_id == 1
+
+    def test_add_records_metadata(self):
+        dag = Dag()
+        op_id = dag.add(
+            "chan", nbytes=7.0, src=1, dst=2, chunk=3,
+            phase=Phase.REDUCE, tree=1, layer=4, label="x",
+        )
+        op = dag[op_id]
+        assert (op.nbytes, op.src, op.dst, op.chunk) == (7.0, 1, 2, 3)
+        assert op.phase is Phase.REDUCE
+        assert (op.tree, op.layer, op.label) == (1, 4, "x")
+
+    def test_ops_default_to_no_deps(self):
+        dag = Dag()
+        dag.add("a")
+        assert dag[0].deps == ()
+
+    def test_with_deps_returns_modified_copy(self):
+        op = Op(op_id=0, resource="a")
+        op2 = op.with_deps([3, 4])
+        assert op2.deps == (3, 4)
+        assert op.deps == ()
+
+
+class TestDagValidation:
+    def test_valid_chain_passes(self):
+        chain(10).validate()
+
+    def test_dangling_dep_rejected(self):
+        dag = Dag()
+        dag.add("a")
+        dag.ops[0] = dag.ops[0].with_deps([5])
+        with pytest.raises(ScheduleError, match="missing op"):
+            dag.validate()
+
+    def test_self_dep_rejected(self):
+        dag = Dag()
+        dag.add("a")
+        dag.ops[0] = dag.ops[0].with_deps([0])
+        with pytest.raises(ScheduleError, match="itself"):
+            dag.validate()
+
+    def test_cycle_rejected(self):
+        dag = Dag()
+        dag.add("a")
+        dag.add("a", deps=[0])
+        dag.ops[0] = dag.ops[0].with_deps([1])
+        with pytest.raises(ScheduleError, match="cycle"):
+            dag.validate()
+
+    def test_empty_dag_is_valid(self):
+        Dag().validate()
+
+
+class TestTopologicalOrder:
+    def test_chain_order_is_sequential(self):
+        order = chain(6).topological_order()
+        assert order == sorted(order, key=order.index)
+        position = {op: i for i, op in enumerate(order)}
+        for i in range(1, 6):
+            assert position[i - 1] < position[i]
+
+    def test_diamond_respects_deps(self):
+        dag = Dag()
+        a = dag.add("r")
+        b = dag.add("r", deps=[a])
+        c = dag.add("r", deps=[a])
+        d = dag.add("r", deps=[b, c])
+        position = {op: i for i, op in enumerate(dag.topological_order())}
+        assert position[a] < position[b] < position[d]
+        assert position[a] < position[c] < position[d]
+
+    def test_all_ops_included(self):
+        dag = chain(7)
+        assert sorted(dag.topological_order()) == list(range(7))
+
+
+class TestDagExtend:
+    def test_extend_remaps_ids_and_deps(self):
+        dag1 = chain(3)
+        dag2 = chain(2)
+        id_map = dag1.extend(dag2)
+        assert len(dag1) == 5
+        assert id_map == {0: 3, 1: 4}
+        assert dag1[4].deps == (3,)
+        dag1.validate()
+
+    def test_extend_empty(self):
+        dag = chain(2)
+        assert dag.extend(Dag()) == {}
+        assert len(dag) == 2
+
+
+class TestDagQueries:
+    def test_resources_collects_distinct_keys(self):
+        dag = Dag()
+        dag.add("a")
+        dag.add("b")
+        dag.add("a")
+        assert dag.resources() == {"a", "b"}
+
+    def test_select_filters_by_attributes(self):
+        dag = Dag()
+        dag.add("r", chunk=0, phase=Phase.REDUCE)
+        dag.add("r", chunk=0, phase=Phase.BROADCAST)
+        dag.add("r", chunk=1, phase=Phase.BROADCAST)
+        found = dag.select(phase=Phase.BROADCAST, chunk=0)
+        assert [op.op_id for op in found] == [1]
+
+    def test_select_no_match(self):
+        assert chain(3).select(chunk=9) == []

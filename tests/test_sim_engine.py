@@ -1,0 +1,190 @@
+"""Unit tests for the discrete-event DAG executor."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.dag import Dag, Phase
+from repro.sim.engine import (
+    DagSimulator,
+    chunk_completion_times,
+    makespan,
+    phase_finish_times,
+)
+from repro.sim.resources import Channel, Processor
+from repro.sim.trace import overlapping_pairs
+
+
+def simple_resources():
+    return {
+        "chan": Channel(alpha=1.0, beta=1.0, name="chan"),
+        "cpu": Processor(name="cpu"),
+    }
+
+
+class TestBasicExecution:
+    def test_single_op_time(self):
+        dag = Dag()
+        dag.add("chan", nbytes=4.0)
+        result = DagSimulator(simple_resources()).run(dag)
+        assert result.makespan == pytest.approx(5.0)  # alpha + beta*4
+
+    def test_empty_dag(self):
+        result = DagSimulator(simple_resources()).run(Dag())
+        assert result.makespan == 0.0
+        assert result.trace == []
+
+    def test_independent_ops_serialize_on_one_resource(self):
+        dag = Dag()
+        dag.add("chan", nbytes=1.0)
+        dag.add("chan", nbytes=1.0)
+        result = DagSimulator(simple_resources()).run(dag)
+        assert result.makespan == pytest.approx(4.0)
+
+    def test_independent_ops_parallel_on_two_resources(self):
+        resources = {
+            "a": Channel(alpha=0.0, beta=1.0),
+            "b": Channel(alpha=0.0, beta=1.0),
+        }
+        dag = Dag()
+        dag.add("a", nbytes=3.0)
+        dag.add("b", nbytes=3.0)
+        result = DagSimulator(resources).run(dag)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_dependency_delays_start(self):
+        dag = Dag()
+        a = dag.add("cpu", duration=2.0)
+        dag.add("chan", nbytes=0.0, deps=[a])
+        result = DagSimulator(simple_resources()).run(dag)
+        assert result.start[1] == pytest.approx(2.0)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_duration_overrides_channel_timing(self):
+        dag = Dag()
+        dag.add("chan", nbytes=100.0, duration=0.5)
+        result = DagSimulator(simple_resources()).run(dag)
+        assert result.makespan == pytest.approx(0.5)
+
+    def test_unknown_resource_raises(self):
+        dag = Dag()
+        dag.add("nope")
+        with pytest.raises(SimulationError, match="unknown resources"):
+            DagSimulator(simple_resources()).run(dag)
+
+    def test_processor_without_duration_raises(self):
+        dag = Dag()
+        dag.add("cpu", nbytes=1.0)  # no duration
+        with pytest.raises(SimulationError, match="without a duration"):
+            DagSimulator(simple_resources()).run(dag)
+
+
+class TestFifoOrdering:
+    def test_ready_order_is_fifo_by_op_id_at_time_zero(self):
+        dag = Dag()
+        for i in range(4):
+            dag.add("chan", nbytes=float(i))
+        result = DagSimulator(simple_resources()).run(dag)
+        starts = [result.start[i] for i in range(4)]
+        assert starts == sorted(starts)
+        assert result.start[0] == 0.0
+
+    def test_later_ready_op_waits_for_earlier(self):
+        resources = {
+            "a": Channel(alpha=0.0, beta=1.0),
+            "b": Channel(alpha=0.0, beta=1.0),
+        }
+        dag = Dag()
+        slow = dag.add("a", nbytes=5.0)
+        fast = dag.add("a", nbytes=1.0, deps=[])
+        dep = dag.add("b", nbytes=1.0, deps=[slow])
+        result = DagSimulator(resources).run(dag)
+        assert result.start[fast] == pytest.approx(5.0)
+        assert result.start[dep] == pytest.approx(5.0)
+
+    def test_pipelining_emerges_from_channel_fifo(self):
+        # Two-hop pipeline: chunk i goes A then B; B overlaps with A of i+1.
+        resources = {
+            "A": Channel(alpha=0.0, beta=1.0),
+            "B": Channel(alpha=0.0, beta=1.0),
+        }
+        dag = Dag()
+        for i in range(4):
+            first = dag.add("A", nbytes=1.0)
+            dag.add("B", nbytes=1.0, deps=[first])
+        result = DagSimulator(resources).run(dag)
+        # 4 chunks over a 2-stage pipeline of unit stages: 4 + 1 = 5.
+        assert result.makespan == pytest.approx(5.0)
+
+
+class TestTraceIntegrity:
+    def test_no_resource_serves_two_ops_at_once(self):
+        dag = Dag()
+        for i in range(10):
+            dag.add("chan", nbytes=1.0, deps=[i - 1] if i else [])
+            dag.add("cpu", duration=0.3)
+        result = DagSimulator(simple_resources()).run(dag)
+        assert overlapping_pairs(result.trace) == []
+
+    def test_trace_covers_every_op(self):
+        dag = Dag()
+        for _ in range(5):
+            dag.add("chan", nbytes=1.0)
+        result = DagSimulator(simple_resources()).run(dag)
+        assert sorted(rec.op_id for rec in result.trace) == list(range(5))
+
+    def test_busy_time_accumulates(self):
+        dag = Dag()
+        dag.add("chan", nbytes=1.0)
+        dag.add("chan", nbytes=2.0)
+        result = DagSimulator(simple_resources()).run(dag)
+        assert result.busy_time("chan") == pytest.approx(2.0 + 3.0)
+
+
+class TestDeterminism:
+    def test_same_dag_same_timing(self):
+        dag = Dag()
+        for i in range(20):
+            deps = [i - 1] if i % 3 == 0 and i else []
+            dag.add("chan" if i % 2 else "cpu",
+                    nbytes=float(i),
+                    duration=0.1 if i % 2 == 0 else None,
+                    deps=deps)
+        sim = DagSimulator(simple_resources())
+        r1, r2 = sim.run(dag), sim.run(dag)
+        assert r1.finish == r2.finish
+
+
+class TestHelpers:
+    def test_makespan_helper(self):
+        dag = Dag()
+        dag.add("chan", nbytes=1.0)
+        assert makespan(dag, simple_resources()) == pytest.approx(2.0)
+
+    def test_phase_finish_times(self):
+        dag = Dag()
+        dag.add("chan", nbytes=1.0, phase=Phase.REDUCE)
+        dag.add("chan", nbytes=1.0, phase=Phase.BROADCAST)
+        result = DagSimulator(simple_resources()).run(dag)
+        times = phase_finish_times(dag, result)
+        assert times[Phase.REDUCE] < times[Phase.BROADCAST]
+
+    def test_chunk_completion_times(self):
+        dag = Dag()
+        dag.add("chan", nbytes=1.0, chunk=0, phase=Phase.BROADCAST)
+        dag.add("chan", nbytes=1.0, chunk=1, phase=Phase.BROADCAST)
+        result = DagSimulator(simple_resources()).run(dag)
+        times = chunk_completion_times(dag, result)
+        assert times[0] < times[1]
+
+    def test_first_finish_of_empty_raises(self):
+        dag = Dag()
+        dag.add("chan", nbytes=1.0)
+        result = DagSimulator(simple_resources()).run(dag)
+        with pytest.raises(SimulationError):
+            result.first_finish_of([])
+
+    def test_finish_of_empty_is_zero(self):
+        dag = Dag()
+        dag.add("chan", nbytes=1.0)
+        result = DagSimulator(simple_resources()).run(dag)
+        assert result.finish_of([]) == 0.0

@@ -1,0 +1,59 @@
+"""Unit tests for channel and processor resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.dag import Op
+from repro.sim.resources import Channel, Processor
+
+
+class TestChannel:
+    def test_transfer_time_alpha_beta(self):
+        chan = Channel(alpha=2.0, beta=0.5)
+        assert chan.transfer_time(10.0) == pytest.approx(7.0)
+
+    def test_zero_bytes_costs_alpha(self):
+        assert Channel(alpha=3.0, beta=1.0).transfer_time(0.0) == 3.0
+
+    def test_bandwidth_property(self):
+        assert Channel(alpha=0.0, beta=0.25).bandwidth == pytest.approx(4.0)
+
+    def test_zero_beta_infinite_bandwidth(self):
+        assert Channel(alpha=0.0, beta=0.0).bandwidth == float("inf")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            Channel(alpha=1.0, beta=1.0).transfer_time(-1.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(SimulationError):
+            Channel(alpha=-1.0, beta=1.0)
+
+    def test_service_time_uses_nbytes(self):
+        chan = Channel(alpha=1.0, beta=2.0)
+        op = Op(op_id=0, resource="c", nbytes=3.0)
+        assert chan.service_time(op) == pytest.approx(7.0)
+
+    def test_service_time_prefers_explicit_duration(self):
+        chan = Channel(alpha=1.0, beta=2.0)
+        op = Op(op_id=0, resource="c", nbytes=3.0, duration=0.25)
+        assert chan.service_time(op) == 0.25
+
+
+class TestProcessor:
+    def test_duration_passthrough(self):
+        op = Op(op_id=0, resource="p", duration=4.0)
+        assert Processor().service_time(op) == 4.0
+
+    def test_speedup_divides_duration(self):
+        op = Op(op_id=0, resource="p", duration=4.0)
+        assert Processor(speedup=2.0).service_time(op) == 2.0
+
+    def test_missing_duration_rejected(self):
+        op = Op(op_id=0, resource="p")
+        with pytest.raises(SimulationError):
+            Processor().service_time(op)
+
+    def test_nonpositive_speedup_rejected(self):
+        with pytest.raises(SimulationError):
+            Processor(speedup=0.0)

@@ -1,0 +1,102 @@
+"""Unit tests for the physical topology model."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim.resources import Channel, Processor
+from repro.topology.base import (
+    LinkKind,
+    PhysicalTopology,
+    chan_key,
+    gpu_key,
+)
+
+
+def line_topo(n=4):
+    topo = PhysicalTopology(nnodes=n, name="line")
+    for i in range(n - 1):
+        topo.add_link(i, i + 1, alpha=1e-6, beta=1e-9)
+    return topo
+
+
+class TestLinkManagement:
+    def test_bidirectional_adds_both_directions(self):
+        topo = line_topo()
+        assert topo.has_link(0, 1)
+        assert topo.has_link(1, 0)
+
+    def test_unidirectional_option(self):
+        topo = PhysicalTopology(nnodes=2)
+        topo.add_link(0, 1, alpha=0, beta=0, bidirectional=False)
+        assert topo.has_link(0, 1)
+        assert not topo.has_link(1, 0)
+
+    def test_parallel_links_become_lanes(self):
+        topo = PhysicalTopology(nnodes=2)
+        topo.add_link(0, 1, alpha=0, beta=0)
+        topo.add_link(0, 1, alpha=0, beta=0)
+        assert topo.lane_count(0, 1) == 2
+        assert topo.lane_count(1, 0) == 2
+
+    def test_lane_count_zero_when_disconnected(self):
+        assert line_topo().lane_count(0, 3) == 0
+
+    def test_self_link_rejected(self):
+        topo = PhysicalTopology(nnodes=2)
+        with pytest.raises(TopologyError, match="self-link"):
+            topo.add_link(0, 0, alpha=0, beta=0)
+
+    def test_unknown_node_rejected(self):
+        topo = PhysicalTopology(nnodes=2)
+        with pytest.raises(TopologyError, match="unknown node"):
+            topo.add_link(0, 5, alpha=0, beta=0)
+
+    def test_link_lookup(self):
+        topo = line_topo()
+        spec = topo.link(0, 1)
+        assert (spec.u, spec.v, spec.lane) == (0, 1, 0)
+        assert spec.kind is LinkKind.NVLINK
+
+    def test_missing_link_lookup_raises(self):
+        with pytest.raises(TopologyError, match="no channel"):
+            line_topo().link(0, 3)
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        topo = line_topo()
+        assert topo.neighbors(1) == [0, 2]
+        assert topo.neighbors(0) == [1]
+
+    def test_gpu_ids(self):
+        assert line_topo().gpu_ids() == [0, 1, 2, 3]
+
+    def test_total_lanes_counts_directed_channels(self):
+        assert line_topo().total_lanes() == 6  # 3 links x 2 directions
+
+    def test_links_iterates_all_specs(self):
+        specs = list(line_topo().links())
+        assert len(specs) == 6
+
+
+class TestResources:
+    def test_to_resources_has_channels_and_gpus(self):
+        resources = line_topo().to_resources()
+        assert isinstance(resources[chan_key(0, 1)], Channel)
+        assert isinstance(resources[gpu_key(2)], Processor)
+        assert len(resources) == 6 + 4
+
+    def test_gpu_speedup_applied(self):
+        resources = line_topo().to_resources(gpu_speedup={1: 2.0})
+        assert resources[gpu_key(1)].speedup == 2.0
+        assert resources[gpu_key(0)].speedup == 1.0
+
+    def test_channel_parameters_preserved(self):
+        topo = PhysicalTopology(nnodes=2)
+        topo.add_link(0, 1, alpha=3e-6, beta=2e-9)
+        chan = topo.to_resources()[chan_key(0, 1)]
+        assert chan.alpha == 3e-6
+        assert chan.beta == 2e-9
+
+    def test_validate_passes_on_dense_lanes(self):
+        line_topo().validate()

@@ -1,0 +1,107 @@
+"""Tests for the DGX-2 (NVSwitch crossbar) topology extension."""
+
+import pytest
+
+from repro.collectives import ccube_allreduce, simulate_on_physical
+from repro.collectives.verification import check_allreduce_simulated
+from repro.topology.dgx2 import dgx2_topology
+from repro.topology.embedding import embed_on_physical
+from repro.topology.logical import two_trees
+from repro.topology.routing import Router
+
+
+class TestStructure:
+    def test_default_is_16_gpus(self):
+        assert dgx2_topology().nnodes == 16
+
+    def test_full_crossbar(self):
+        topo = dgx2_topology(ngpus=8)
+        for u in range(8):
+            for v in range(8):
+                if u != v:
+                    assert topo.has_link(u, v)
+
+    def test_lanes_everywhere(self):
+        topo = dgx2_topology(ngpus=4, lanes=2)
+        for u in range(4):
+            for v in range(4):
+                if u != v:
+                    assert topo.lane_count(u, v) == 2
+
+    def test_validates(self):
+        dgx2_topology().validate()
+
+
+class TestCCubeOnDgx2:
+    def test_no_detours_needed(self):
+        topo = dgx2_topology(ngpus=16)
+        router = Router(topo)
+        schedule = ccube_allreduce(
+            16, 16000.0, nchunks=2, trees=two_trees(16)
+        )
+        _, report = embed_on_physical(schedule.dag, topo, router)
+        assert report.detour_transfers == 0
+        assert report.forwarded_bytes == {}
+
+    def test_overlapped_double_tree_correct_at_16_gpus(self):
+        topo = dgx2_topology(ngpus=16)
+        router = Router(topo)
+        schedule = ccube_allreduce(
+            16, 64000.0, nchunks=4, trees=two_trees(16)
+        )
+        outcome = simulate_on_physical(schedule, topo, router=router)
+        check_allreduce_simulated(outcome)
+
+    def test_overlap_benefit_holds_on_crossbar(self):
+        from repro.collectives import double_tree_allreduce
+
+        topo = dgx2_topology(ngpus=16)
+        router = Router(topo)
+        base = simulate_on_physical(
+            double_tree_allreduce(16, 64e6, nchunks=64,
+                                  trees=two_trees(16)),
+            topo, router=router,
+        )
+        over = simulate_on_physical(
+            ccube_allreduce(16, 64e6, nchunks=64, trees=two_trees(16)),
+            topo, router=router,
+        )
+        assert base.total_time / over.total_time > 1.6
+
+
+class TestExperiments:
+    def test_ext_dgx2_rows(self):
+        from repro.experiments import ext_dgx2
+
+        rows = ext_dgx2.run(sizes=(16 * 1024 * 1024,))
+        assert len(rows) == 3  # dgx1, dgx2@8, dgx2@16
+        dgx2_rows = [r for r in rows if r.system == "dgx2"]
+        assert all(r.detour_transfers == 0 for r in dgx2_rows)
+        assert all(r.overlap_speedup > 1.5 for r in rows)
+        assert "Extension" in ext_dgx2.format_table(rows)
+
+    def test_ext_hierarchical_rows(self):
+        from repro.experiments import ext_hierarchical
+
+        rows = ext_hierarchical.run(
+            node_counts=(2, 4), nbytes=16 * 1024 * 1024, nchunks=16
+        )
+        assert len(rows) == 2
+        assert all(r.total_speedup > 1.3 for r in rows)
+        assert all(r.turnaround_speedup > 2.0 for r in rows)
+        assert "hierarchical" in ext_hierarchical.format_table(rows)
+
+
+class TestFig02Experiment:
+    def test_rows_and_shape(self):
+        from repro.experiments import fig02_overlap_comparison as fig02
+
+        rows = fig02.run(networks=("resnet50",), batches=(16,))
+        assert len(rows) == 1
+        row = rows[0]
+        # Both overlap schemes beat no overlap.
+        assert row.backward_overlap_norm > row.no_overlap_norm
+        assert row.ccube_norm > row.no_overlap_norm
+        # The small-bucket column exists and stays within [0, 1].
+        assert 0 < row.backward_small_bucket_norm <= 1.0
+        assert "overlap" in fig02.format_table(rows)

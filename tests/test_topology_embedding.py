@@ -1,0 +1,132 @@
+"""Tests for embedding logical-edge DAGs onto physical channels."""
+
+import pytest
+
+from repro.sim.dag import Dag, Phase
+from repro.sim.engine import DagSimulator
+from repro.topology.base import chan_key, gpu_key
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.embedding import (
+    abstract_resources,
+    edge_key,
+    embed_on_physical,
+    is_edge_key,
+)
+from repro.topology.routing import Router
+
+
+@pytest.fixture
+def setup():
+    topo = dgx1_topology()
+    return topo, Router(topo, detour_preference=DETOUR_NODES)
+
+
+class TestEdgeKeys:
+    def test_edge_key_shape(self):
+        assert edge_key(1, 2, 3) == ("edge", 1, 2, 3)
+
+    def test_is_edge_key(self):
+        assert is_edge_key(edge_key(0, 1))
+        assert not is_edge_key(chan_key(0, 1))
+        assert not is_edge_key("edge")
+
+
+class TestDirectEmbedding:
+    def test_direct_edge_one_hop(self, setup):
+        topo, router = setup
+        dag = Dag()
+        dag.add(edge_key(0, 1), nbytes=10.0, src=0, dst=1)
+        physical, report = embed_on_physical(dag, topo, router)
+        assert len(physical) == 1
+        assert physical[0].resource == chan_key(0, 1, 0)
+        assert report.detour_transfers == 0
+
+    def test_deps_remapped(self, setup):
+        topo, router = setup
+        dag = Dag()
+        a = dag.add(edge_key(0, 1), nbytes=1.0, src=0, dst=1)
+        dag.add(edge_key(1, 2), nbytes=1.0, src=1, dst=2, deps=[a])
+        physical, report = embed_on_physical(dag, topo, router)
+        physical.validate()
+        second = physical[report.logical_done[1]]
+        assert report.logical_done[0] in second.deps
+
+    def test_non_edge_ops_copied_through(self, setup):
+        topo, router = setup
+        dag = Dag()
+        dag.add(gpu_key(0), duration=1.0)
+        physical, _ = embed_on_physical(dag, topo, router)
+        assert physical[0].resource == gpu_key(0)
+        assert physical[0].duration == 1.0
+
+
+class TestDetourEmbedding:
+    def test_detour_becomes_two_hops(self, setup):
+        topo, router = setup
+        dag = Dag()
+        dag.add(edge_key(2, 4), nbytes=8.0, src=2, dst=4)
+        physical, report = embed_on_physical(
+            dag, topo, router, charge_forwarding=False
+        )
+        assert report.detour_transfers == 1
+        hops = [op.resource for op in physical]
+        assert hops == [chan_key(2, 0, 0), chan_key(0, 4, 0)]
+        assert physical[1].deps == (0,)
+
+    def test_forwarding_charged_to_intermediate_gpu(self, setup):
+        topo, router = setup
+        dag = Dag()
+        dag.add(edge_key(2, 4), nbytes=8.0, src=2, dst=4)
+        physical, report = embed_on_physical(dag, topo, router)
+        fw_ops = [op for op in physical if op.resource == gpu_key(0)]
+        assert len(fw_ops) == 1
+        assert report.forwarded_bytes[0] == 8.0
+        assert report.relay_routes[0] == {(2, 4, 0)}
+
+    def test_logical_done_is_last_hop(self, setup):
+        topo, router = setup
+        dag = Dag()
+        dag.add(edge_key(2, 4), nbytes=8.0, src=2, dst=4)
+        physical, report = embed_on_physical(
+            dag, topo, router, charge_forwarding=False
+        )
+        assert report.logical_done[0] == 1
+        assert physical[1].dst == 4
+
+
+class TestLaneAssignment:
+    def test_trees_split_across_double_lanes(self, setup):
+        topo, router = setup
+        dag = Dag()
+        dag.add(edge_key(2, 3, 0), nbytes=1.0, src=2, dst=3, tree=0)
+        dag.add(edge_key(2, 3, 1), nbytes=1.0, src=2, dst=3, tree=1)
+        physical, report = embed_on_physical(dag, topo, router)
+        lanes = {op.resource for op in physical}
+        assert lanes == {chan_key(2, 3, 0), chan_key(2, 3, 1)}
+        assert report.lane_assignments[(2, 3)] == {0, 1}
+
+    def test_trees_share_single_lane_elsewhere(self, setup):
+        topo, router = setup
+        dag = Dag()
+        dag.add(edge_key(0, 1, 0), nbytes=1.0, src=0, dst=1, tree=0)
+        dag.add(edge_key(0, 1, 1), nbytes=1.0, src=0, dst=1, tree=1)
+        physical, _ = embed_on_physical(dag, topo, router)
+        assert {op.resource for op in physical} == {chan_key(0, 1, 0)}
+
+
+class TestAbstractResources:
+    def test_channels_for_edges(self):
+        dag = Dag()
+        dag.add(edge_key(0, 1), nbytes=1.0)
+        dag.add(("sync", 0), duration=0.0)
+        resources = abstract_resources(dag, alpha=1e-6, beta=1e-9)
+        assert resources[edge_key(0, 1)].alpha == 1e-6
+        assert ("sync", 0) in resources
+
+    def test_simulatable_end_to_end(self):
+        dag = Dag()
+        a = dag.add(edge_key(0, 1), nbytes=1000.0)
+        dag.add(edge_key(1, 2), nbytes=1000.0, deps=[a])
+        resources = abstract_resources(dag, alpha=0.0, beta=1e-3)
+        result = DagSimulator(resources).run(dag)
+        assert result.makespan == pytest.approx(2.0)

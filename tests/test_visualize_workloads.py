@@ -1,0 +1,100 @@
+"""Tests for topology visualization and the extended-workload study."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.experiments import ext_workloads
+from repro.topology.base import PhysicalTopology
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.dgx1_trees import dgx1_trees
+from repro.topology.logical import balanced_binary_tree
+from repro.topology.routing import Router
+from repro.topology.visualize import (
+    adjacency_table,
+    render_embedding,
+    render_tree,
+)
+
+
+class TestAdjacencyTable:
+    def test_dgx1_table_marks_doubled_links(self):
+        text = adjacency_table(dgx1_topology())
+        assert "2" in text  # the doubled pairs
+        assert text.count("g7") >= 2  # header + row
+
+    def test_disconnected_pairs_dashed(self):
+        text = adjacency_table(dgx1_topology())
+        assert "-" in text
+
+    def test_too_large_rejected(self):
+        topo = PhysicalTopology(nnodes=64)
+        with pytest.raises(TopologyError):
+            adjacency_table(topo)
+
+
+class TestRenderTree:
+    def test_contains_all_gpus(self):
+        text = render_tree(balanced_binary_tree(8), title="t")
+        for gpu in range(8):
+            assert f"GPU{gpu}" in text
+
+    def test_root_marked(self):
+        tree = balanced_binary_tree(8)
+        text = render_tree(tree)
+        assert f"root GPU{tree.root}" in text
+
+
+class TestRenderEmbedding:
+    def test_dgx1_pair_marks_detour_and_doubles(self):
+        topo = dgx1_topology()
+        router = Router(topo, detour_preference=DETOUR_NODES)
+        text = render_embedding(dgx1_trees(), topo, router)
+        assert "[detour via GPU0]" in text
+        assert "[doubled]" in text
+        assert "tree 1" in text and "tree 2" in text
+
+    def test_infeasible_edge_marked(self):
+        topo = PhysicalTopology(nnodes=4, name="line")
+        for i in range(3):
+            topo.add_link(i, i + 1, alpha=0, beta=0)
+        from repro.topology.logical import BinaryTree
+
+        bad = BinaryTree(
+            root=0, parent={3: 0, 1: 3, 2: 1},
+            children={0: (3,), 3: (1,), 1: (2,), 2: ()},
+        )
+        text = render_embedding((bad, bad), topo)
+        assert "INFEASIBLE" in text
+
+
+class TestExtWorkloads:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_workloads.run()
+
+    def test_all_six_networks(self, rows):
+        assert len(rows) == 6
+
+    def test_ccube_best_tree_strategy_everywhere(self, rows):
+        for row in rows:
+            assert row.normalized["CC"] >= row.normalized["B"] - 1e-12
+            assert row.normalized["CC"] >= row.normalized["C1"] - 1e-12
+
+    def test_fc_heavy_networks_gain_most(self, rows):
+        by_name = {r.network: r for r in rows}
+        # AlexNet/ZFNet (FC-dominated, comm-bound) gain more than the
+        # compute-rich ResNets.
+        assert (by_name["alexnet"].ccube_speedup_over_baseline
+                > by_name["resnet50"].ccube_speedup_over_baseline)
+        assert (by_name["zfnet"].ccube_speedup_over_baseline
+                > by_name["resnet152"].ccube_speedup_over_baseline)
+
+    def test_uniform_transformer_chains_less_than_cnn(self, rows):
+        """BERT's uniform profile is between Case 1 and Case 2: chaining
+        hides less than on the Case-1 CNNs of similar size."""
+        by_name = {r.network: r for r in rows}
+        assert (by_name["bert_base"].normalized["CC"]
+                < by_name["resnet152"].normalized["CC"])
+
+    def test_format_table(self, rows):
+        assert "workload library" in ext_workloads.format_table(rows)
