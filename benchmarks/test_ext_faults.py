@@ -1,0 +1,16 @@
+"""Bench: extension — NVLink-failure degradation and failover cost."""
+
+from conftest import run_once
+
+from repro.experiments import ext_faults
+
+
+def test_ext_faults(benchmark):
+    rows = run_once(benchmark, ext_faults.run)
+    print()
+    print(ext_faults.format_table(rows))
+    assert all(r.verified for r in rows)
+    assert all(r.slowdown_pct >= 0.0 for r in rows)
+    for r in rows:
+        if r.mode == "detour":
+            assert r.extra_detours > 0

@@ -5,6 +5,8 @@ Usage::
     python -m repro compare --network resnet50 --batch 64 [--low-bandwidth]
     python -m repro figures [fig12 fig13 ...]
     python -m repro autotune --network vgg16 --batch 16
+    python -m repro chaos drops --drop 0.05 --corrupt 0.02
+    python -m repro chaos crash --gpu 3
     python -m repro info
 """
 
@@ -45,6 +47,33 @@ def _build_parser() -> argparse.ArgumentParser:
     autotune.add_argument("--network", choices=sorted(NETWORKS), required=True)
     autotune.add_argument("--batch", type=int, default=64)
     autotune.add_argument("--low-bandwidth", action="store_true")
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection drills on the functional runtime"
+    )
+    chaos.add_argument(
+        "scenario",
+        choices=("drops", "crash", "stuck", "link-failure"),
+        help=(
+            "drops: lossy/corrupting links with retransmission, verified "
+            "bit-exact; crash: injected kernel crash -> fail-fast abort "
+            "with diagnostics; stuck: hung semaphore -> single-timeout "
+            "abort; link-failure: simulator NVLink-failure degradation"
+        ),
+    )
+    chaos.add_argument("--drop", type=float, default=0.05,
+                       help="per-transfer drop probability (drops)")
+    chaos.add_argument("--corrupt", type=float, default=0.02,
+                       help="per-transfer corruption probability (drops)")
+    chaos.add_argument("--delay", type=float, default=2e-4,
+                       help="mean injected link jitter in seconds (drops)")
+    chaos.add_argument("--gpu", type=int, default=3,
+                       help="victim GPU id (crash / stuck)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--iterations", type=int, default=2,
+                       help="training iterations (drops)")
+    chaos.add_argument("--elems", type=int, default=512,
+                       help="gradient elements (drops / crash / stuck)")
 
     sub.add_parser("info", help="print library and model summary")
     return parser
@@ -108,6 +137,121 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_runtime(args: argparse.Namespace, plan, *, timeout: float):
+    from repro.runtime import SpinConfig, TreeAllReduceRuntime
+    from repro.topology.dgx1_trees import DETOURED_EDGES, dgx1_trees
+
+    return TreeAllReduceRuntime(
+        dgx1_trees(),
+        total_elems=args.elems,
+        chunks_per_tree=4,
+        detour_map=DETOURED_EDGES,
+        spin=SpinConfig(timeout=timeout, pause=0.0),
+        fault_plan=plan,
+    )
+
+
+def _chaos_drops(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.dnn.layers import LayerSpec, NetworkModel
+    from repro.runtime import (
+        FaultPlan,
+        FunctionalTrainer,
+        LinkFault,
+        quadratic_gradient,
+        serial_reference,
+        tree_reduce_order,
+    )
+
+    plan = FaultPlan(
+        link_faults=(
+            LinkFault(
+                delay=args.delay,
+                drop_prob=args.drop,
+                corrupt_prob=args.corrupt,
+            ),
+        ),
+        seed=args.seed,
+    )
+    runtime = _chaos_runtime(args, plan, timeout=30.0)
+    net = NetworkModel(
+        name="chaos",
+        layers=(LayerSpec(name="L0", params=args.elems, fwd_flops=1e6),),
+    )
+    rng = np.random.default_rng(args.seed)
+    targets = [rng.normal(size=args.elems) for _ in range(8)]
+    w0 = rng.normal(size=args.elems)
+    trainer = FunctionalTrainer(
+        runtime, net, quadratic_gradient(targets), learning_rate=0.02
+    )
+    result = trainer.train(w0.copy(), iterations=args.iterations)
+    reference = serial_reference(
+        net, quadratic_gradient(targets), w0.copy(),
+        nnodes=8, iterations=args.iterations, learning_rate=0.02,
+        reduce_order=tree_reduce_order(runtime.trees, runtime.layout),
+    )
+    identical = bool(np.array_equal(result.weights, reference))
+    print(
+        f"trained {args.iterations} iterations under "
+        f"drop={args.drop} corrupt={args.corrupt} jitter<={args.delay}s"
+    )
+    print(f"fault stats: {plan.stats.describe()}")
+    print(
+        "weights bit-identical to serial reference: "
+        + ("yes" if identical else "NO")
+    )
+    return 0 if identical else 1
+
+
+def _chaos_kill(args: argparse.Namespace, kind: str, timeout: float) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.errors import AbortedError
+    from repro.runtime import FaultPlan, GpuFault
+
+    plan = FaultPlan(gpu_faults=(GpuFault(args.gpu, kind, after_chunk=1),))
+    runtime = _chaos_runtime(args, plan, timeout=timeout)
+    inputs = [np.full(args.elems, float(g)) for g in range(8)]
+    started = time.monotonic()
+    try:
+        runtime.run(inputs)
+    except AbortedError as exc:
+        elapsed = time.monotonic() - started
+        print(f"cluster aborted after {elapsed:.2f}s "
+              f"(spin timeout {timeout:.1f}s)")
+        print(f"reason: {exc.reason}")
+        print(exc.diagnostics)
+        return 0
+    print("ERROR: run completed despite the injected fault")
+    return 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+
+    try:
+        if args.scenario == "drops":
+            return _chaos_drops(args)
+        if args.scenario == "crash":
+            from repro.runtime.faults import CRASH
+
+            return _chaos_kill(args, CRASH, timeout=10.0)
+        if args.scenario == "stuck":
+            from repro.runtime.faults import STUCK
+
+            return _chaos_kill(args, STUCK, timeout=2.0)
+        from repro.experiments import ext_faults
+
+        print(ext_faults.format_table(ext_faults.run()))
+        return 0
+    except ConfigError as exc:
+        print(f"repro chaos: error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {__version__} — C-Cube (HPCA 2023) reproduction")
     print("\nnetworks:")
@@ -128,6 +272,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "figures": _cmd_figures,
     "autotune": _cmd_autotune,
+    "chaos": _cmd_chaos,
     "info": _cmd_info,
 }
 

@@ -37,5 +37,29 @@ class RuntimeClusterError(ReproError):
     """The thread-backed virtual GPU cluster failed or misbehaved."""
 
 
+class LinkFaultError(RuntimeClusterError):
+    """A link-layer transfer failed: dropped/corrupted beyond recovery,
+    checksum mismatch at the receiver, or out-of-sequence delivery."""
+
+
+class AbortedError(RuntimeClusterError):
+    """The cluster-wide abort flag fired: one kernel failed or stalled and
+    every peer exited fail-fast instead of spinning into its own timeout.
+
+    Attributes:
+        reason: what triggered the abort (first trigger wins).
+        diagnostics: cluster state dump at abort time — every semaphore's
+            count/total_posted plus each GPU's last-known phase.
+    """
+
+    def __init__(self, reason: str, diagnostics: str = ""):
+        self.reason = reason
+        self.diagnostics = diagnostics
+        message = f"cluster aborted: {reason}"
+        if diagnostics:
+            message += "\n" + diagnostics
+        super().__init__(message)
+
+
 class ConfigError(ReproError):
     """Invalid user-supplied configuration value."""

@@ -57,6 +57,7 @@ def export_all(out_dir: str | Path) -> list[Path]:
     from repro.experiments import (
         ext_algorithms,
         ext_dgx2,
+        ext_faults,
         ext_hierarchical,
         ext_sensitivity,
         ext_tree_search,
@@ -90,6 +91,7 @@ def export_all(out_dir: str | Path) -> list[Path]:
         "fig17.csv": fig17_resnet_layers.run,
         "ext_algorithms.csv": ext_algorithms.run,
         "ext_dgx2.csv": ext_dgx2.run,
+        "ext_faults.csv": ext_faults.run,
         "ext_hierarchical.csv": ext_hierarchical.run,
         "ext_tree_search.csv": ext_tree_search.run,
         "ext_workloads.csv": ext_workloads.run,

@@ -1,0 +1,151 @@
+"""Extension — graceful degradation under physical link failure.
+
+The paper's static detour routes exist because some logical tree edges
+have no physical NVLink; this experiment asks the next question a
+production deployment must answer: **what happens when a physical NVLink
+that the schedule *does* use fails mid-life?**
+
+For each failed link we rebuild the topology without it and re-embed the
+unchanged logical double-tree schedule two ways:
+
+- ``detour``: the existing router policy reroutes the affected edges
+  over surviving NVLinks (two-hop detour preferred, BFS otherwise) —
+  the paper's detour machinery repurposed as a failover path;
+- ``pcie``: the failed brick is replaced by a host-staged PCIe channel
+  (what NCCL falls back to without detour routing).
+
+Each degraded embedding is re-simulated and re-verified with the
+symbolic schedule checker in the *simulated completion order*, proving
+the reroute still computes a correct AllReduce; the reported slowdown
+quantifies the cost of surviving the failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.double_tree import ccube_allreduce
+from repro.collectives.base import simulate_on_physical
+from repro.collectives.verification import check_allreduce_simulated
+from repro.experiments.report import render_table
+from repro.topology.base import LinkKind, PhysicalTopology
+from repro.topology.dgx1 import (
+    DETOUR_NODES,
+    PCIE_ALPHA,
+    PCIE_BANDWIDTH,
+    dgx1_topology,
+)
+from repro.topology.dgx1_trees import dgx1_trees
+from repro.topology.embedding import embed_on_physical
+from repro.topology.routing import Router
+
+#: NVLinks to fail, one at a time.  Both carry tree edges of the DGX-1
+#: embedding (2-6 is a tree-1 uplink, 0-3 a tree-1 downlink edge), so a
+#: failure actually perturbs the schedule.
+DEFAULT_FAILED_LINKS: tuple[tuple[int, int], ...] = ((2, 6), (0, 3))
+
+
+@dataclass(frozen=True)
+class FaultRow:
+    """Degradation of one failed link under one failover policy.
+
+    Attributes:
+        failed_link: the NVLink pair taken down (both directions).
+        mode: ``"detour"`` (reroute over NVLinks) or ``"pcie"`` (host
+            fallback channel replacing the failed brick).
+        healthy_us: AllReduce makespan on the intact topology.
+        degraded_us: makespan after failure + reroute.
+        slowdown_pct: ``degraded / healthy - 1`` in percent (>= 0).
+        extra_detours: detoured transfers beyond the healthy embedding's.
+        verified: the rerouted schedule passed the symbolic AllReduce
+            checker in simulated completion order.
+    """
+
+    failed_link: tuple[int, int]
+    mode: str
+    healthy_us: float
+    degraded_us: float
+    slowdown_pct: float
+    extra_detours: int
+    verified: bool
+
+
+def _degraded_topology(
+    base: PhysicalTopology, u: int, v: int, *, pcie: bool
+) -> PhysicalTopology:
+    topo = base.without_link(u, v)
+    if pcie:
+        topo.add_link(
+            u, v,
+            alpha=PCIE_ALPHA,
+            beta=1.0 / PCIE_BANDWIDTH,
+            kind=LinkKind.PCIE,
+        )
+        topo.validate()
+    return topo
+
+
+def run(
+    *,
+    nbytes: float = 8 * 2**20,
+    nchunks: int = 8,
+    failed_links: tuple[tuple[int, int], ...] = DEFAULT_FAILED_LINKS,
+) -> list[FaultRow]:
+    """Fail each link in turn; quantify the reroute's slowdown."""
+    schedule = ccube_allreduce(
+        8, float(nbytes), nchunks=nchunks, trees=dgx1_trees()
+    )
+    healthy = dgx1_topology()
+    healthy_router = Router(healthy, detour_preference=DETOUR_NODES)
+    base_outcome = simulate_on_physical(
+        schedule, healthy, router=healthy_router
+    )
+    check_allreduce_simulated(base_outcome)
+    _, base_report = embed_on_physical(schedule.dag, healthy, healthy_router)
+
+    rows: list[FaultRow] = []
+    for u, v in failed_links:
+        for mode in ("detour", "pcie"):
+            topo = _degraded_topology(healthy, u, v, pcie=(mode == "pcie"))
+            router = Router(topo, detour_preference=DETOUR_NODES)
+            outcome = simulate_on_physical(schedule, topo, router=router)
+            check_allreduce_simulated(outcome)
+            _, report = embed_on_physical(schedule.dag, topo, router)
+            rows.append(
+                FaultRow(
+                    failed_link=(u, v),
+                    mode=mode,
+                    healthy_us=base_outcome.total_time * 1e6,
+                    degraded_us=outcome.total_time * 1e6,
+                    slowdown_pct=100.0
+                    * (outcome.total_time / base_outcome.total_time - 1.0),
+                    extra_detours=report.detour_transfers
+                    - base_report.detour_transfers,
+                    verified=True,
+                )
+            )
+    return rows
+
+
+def format_table(rows: list[FaultRow]) -> str:
+    return render_table(
+        ["failed link", "failover", "healthy (us)", "degraded (us)",
+         "slowdown", "extra detours", "verified"],
+        [
+            (
+                f"{u}-{v}",
+                r.mode,
+                f"{r.healthy_us:.1f}",
+                f"{r.degraded_us:.1f}",
+                f"{r.slowdown_pct:+.1f}%",
+                r.extra_detours,
+                "yes" if r.verified else "NO",
+            )
+            for r in rows
+            for u, v in [r.failed_link]
+        ],
+        title=(
+            "Extension — NVLink failure degradation "
+            "(C-Cube double tree, 8 MiB, 8 chunks/tree)"
+        ),
+    )

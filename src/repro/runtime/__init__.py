@@ -7,6 +7,10 @@ fences (paper Fig. 11).  This package reproduces that system with one
 Python thread per kernel:
 
 - :mod:`repro.runtime.sync` — the Fig.-11 primitives over emulated atomics,
+  plus the cluster-wide fail-fast :class:`AbortCell`,
+- :mod:`repro.runtime.faults` — declarative fault injection
+  (:class:`FaultPlan`): link jitter/drops/corruption with bounded
+  retransmission, GPU stragglers/crashes/stuck kernels,
 - :mod:`repro.runtime.memory` — gradient buffers and chunk slicing,
 - :mod:`repro.runtime.cluster` — virtual GPUs, channels (direct and
   detour-forwarded), and the persistent-kernel thread pool,
@@ -22,10 +26,19 @@ check-semaphore pattern the paper uses.
 """
 
 from repro.runtime.sync import (
+    AbortCell,
     AtomicCell,
     DeviceLock,
     DeviceSemaphore,
     SpinConfig,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultStats,
+    GpuFault,
+    LinkFault,
+    PhaseBoard,
+    stable_tag_seed,
 )
 from repro.runtime.memory import ChunkLayout, GradientBuffer
 from repro.runtime.allreduce import RunReport, TreeAllReduceRuntime
@@ -35,13 +48,21 @@ from repro.runtime.training import (
     FunctionalTrainer,
     quadratic_gradient,
     serial_reference,
+    tree_reduce_order,
 )
 
 __all__ = [
+    "AbortCell",
     "AtomicCell",
     "DeviceLock",
     "DeviceSemaphore",
     "SpinConfig",
+    "FaultPlan",
+    "FaultStats",
+    "GpuFault",
+    "LinkFault",
+    "PhaseBoard",
+    "stable_tag_seed",
     "ChunkLayout",
     "GradientBuffer",
     "RunReport",
@@ -51,6 +72,7 @@ __all__ = [
     "FunctionalTrainer",
     "quadratic_gradient",
     "serial_reference",
+    "tree_reduce_order",
     "RingAllReduceRuntime",
     "RingRunReport",
 ]

@@ -19,19 +19,27 @@ The result is numerically exact: every GPU ends with the elementwise sum
 of all inputs, bit-identical between overlapped and baseline runs because
 overlap changes only timing, never the reduction order (the paper's
 accuracy-neutrality claim).
+
+Robustness: every run owns an :class:`~repro.runtime.sync.AbortCell`
+threaded through all semaphores and the kernel pool, so one crashed or
+stuck kernel aborts the whole cluster fast with a diagnostic dump, and a
+:class:`~repro.runtime.faults.FaultPlan` can inject link faults (jitter,
+drops, corruption — recovered by link-layer retransmission) and GPU
+faults (straggler, crash, stuck kernel) declaratively.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.errors import ConfigError, RuntimeClusterError
 from repro.runtime.cluster import DownLink, KernelPool, UpLink
+from repro.runtime.faults import CRASH, STRAGGLER, STUCK, FaultPlan, PhaseBoard
 from repro.runtime.memory import ChunkLayout, GradientBuffer
-from repro.runtime.sync import DeviceSemaphore, SpinConfig
+from repro.runtime.sync import AbortCell, DeviceSemaphore, SpinConfig
 from repro.topology.logical import BinaryTree
 
 
@@ -45,12 +53,15 @@ class RunReport:
         enqueue_times: ``(gpu, tree)`` -> monotonic timestamps taken just
             before each enqueue-semaphore post, in chunk order.
         wall_time: wall-clock duration of the run.
+        fault_stats: injector counters for the run (empty without a
+            fault plan): delays, drops, corruptions, retransmissions.
     """
 
     outputs: list[np.ndarray]
     layout: ChunkLayout
     enqueue_times: dict[tuple[int, int], list[float]]
     wall_time: float
+    fault_stats: dict[str, int] = field(default_factory=dict)
 
 
 class TreeAllReduceRuntime:
@@ -69,12 +80,16 @@ class TreeAllReduceRuntime:
         spin: spin-loop configuration for all semaphores.
         buffer_capacity: receive-buffer depth in chunks (bounded
             semaphores; the paper manages finite receive buffers).
-        chaos_delay: fault injection — every link send sleeps a random
-            duration in ``[0, chaos_delay]`` seconds (deterministic per
-            link).  Correctness must be timing-independent, so all
-            results are unchanged; tests use this to stress the
-            synchronization protocol.
-        chaos_seed: RNG seed for the injected delays.
+        fault_plan: declarative fault scenario
+            (:class:`~repro.runtime.faults.FaultPlan`) — link jitter,
+            drops, corruption, GPU stragglers/crashes/stalls, and the
+            recovery policy.  Correctness must be timing-independent, so
+            with recovery enabled all results are unchanged; tests use
+            this to stress the synchronization protocol.
+        chaos_delay: legacy shorthand for a uniform link-jitter plan —
+            every link send sleeps a random duration in ``[0,
+            chaos_delay]`` seconds (deterministic per link).
+        chaos_seed: RNG seed for the legacy jitter plan.
     """
 
     def __init__(
@@ -87,6 +102,7 @@ class TreeAllReduceRuntime:
         detour_map: dict[tuple[int, int], int] | None = None,
         spin: SpinConfig | None = None,
         buffer_capacity: int | None = None,
+        fault_plan: FaultPlan | None = None,
         chaos_delay: float = 0.0,
         chaos_seed: int = 0,
     ):
@@ -111,32 +127,42 @@ class TreeAllReduceRuntime:
         self.capacity = buffer_capacity or chunks_per_tree
         if chaos_delay < 0:
             raise ConfigError("chaos_delay must be non-negative")
-        self.chaos_delay = chaos_delay
-        self.chaos_seed = chaos_seed
+        if chaos_delay > 0:
+            if fault_plan is not None:
+                raise ConfigError(
+                    "pass either fault_plan or chaos_delay, not both"
+                )
+            fault_plan = FaultPlan.jitter(chaos_delay, chaos_seed)
+        self.fault_plan = fault_plan
+        for fault in (fault_plan.gpu_faults if fault_plan else ()):
+            if not 0 <= fault.gpu < self.nnodes:
+                raise ConfigError(f"GPU fault targets unknown gpu {fault.gpu}")
+        #: Diagnostics for the most recent ``run`` (set at run start).
+        self.phase_board: PhaseBoard | None = None
+        self.abort_cell: AbortCell | None = None
 
     def _delay_fn(self, link_tag: str):
-        """Deterministic per-link jitter source (None when chaos is off)."""
-        if self.chaos_delay <= 0:
+        """Deterministic per-link jitter source (None when chaos is off).
+
+        Seeded via :func:`~repro.runtime.faults.stable_tag_seed` — a
+        CRC32 digest of the tag, never ``hash()``, which is salted per
+        process and would break run-to-run reproducibility.
+        """
+        if self.fault_plan is None:
             return None
-        import numpy as np
-
-        rng = np.random.default_rng(
-            (hash((link_tag, self.chaos_seed)) & 0x7FFFFFFF)
-        )
-        ceiling = self.chaos_delay
-
-        def delay() -> float:
-            return float(rng.uniform(0.0, ceiling))
-
-        return delay
+        injector = self.fault_plan.link_injector(link_tag)
+        if injector is None or injector.delay <= 0:
+            return None
+        return injector.next_delay
 
     # -- wiring ----------------------------------------------------------
 
     def _build_links(
-        self, buffers: list[GradientBuffer]
+        self, buffers: list[GradientBuffer], spin: SpinConfig
     ) -> tuple[dict, dict, list[tuple[str, object]]]:
         """Create up/down links for every tree edge; returns (uplinks,
         downlinks, relay kernel entries)."""
+        plan = self.fault_plan
         uplinks: dict[tuple[int, int], UpLink] = {}
         downlinks: dict[tuple[int, int], DownLink] = {}
         relays: list[tuple[str, object]] = []
@@ -144,23 +170,25 @@ class TreeAllReduceRuntime:
             chunks = self.layout.tree_chunks[t]
             for child, parent in tree.up_edges():
                 via = self.detour_map.get((child, parent))
+                up_tag = f"up t{t} {child}->{parent}"
                 up = UpLink(
                     self.layout,
                     capacity=self.capacity,
-                    spin=self.spin,
+                    spin=spin,
                     name=f"t{t}:{child}->{parent}",
                     relay_via=via,
-                    delay_fn=self._delay_fn(f"up t{t} {child}->{parent}"),
+                    injector=plan.link_injector(up_tag) if plan else None,
                 )
                 uplinks[(t, child)] = up
+                down_tag = f"down t{t} {parent}->{child}"
                 down = DownLink(
                     self.layout,
                     buffers[child],
                     capacity=self.capacity,
-                    spin=self.spin,
+                    spin=spin,
                     name=f"t{t}:{parent}->{child}",
                     relay_via=via,
-                    delay_fn=self._delay_fn(f"down t{t} {parent}->{child}"),
+                    injector=plan.link_injector(down_tag) if plan else None,
                 )
                 downlinks[(t, child)] = down
                 if via is not None:
@@ -176,6 +204,39 @@ class TreeAllReduceRuntime:
 
     # -- kernels ---------------------------------------------------------
 
+    def _apply_gpu_fault(
+        self, node: int, t: int, pos: int, board: PhaseBoard, abort: AbortCell
+    ) -> None:
+        """Fire this GPU's injected fault at chunk position ``pos``.
+
+        Crash/stuck faults fire once, on tree 0 at ``after_chunk``; a
+        straggler sleeps before every chunk on every tree.
+        """
+        if self.fault_plan is None:
+            return
+        fault = self.fault_plan.gpu_fault(node)
+        if fault is None:
+            return
+        if fault.kind == STRAGGLER:
+            time.sleep(fault.delay)
+            return
+        if t != 0 or pos != fault.after_chunk:
+            return
+        if fault.kind == CRASH:
+            self.fault_plan.stats.bump("crashes")
+            board.set(node, f"crashed in reduce t{t} at chunk {pos}")
+            raise RuntimeClusterError(
+                f"injected crash on gpu {node} (reduce t{t}, chunk {pos})"
+            )
+        if fault.kind == STUCK:
+            # Stop posting without dying: peers spin until the first one
+            # times out and triggers the abort; then we exit too.
+            self.fault_plan.stats.bump("stalls")
+            board.set(node, f"stuck in reduce t{t} at chunk {pos}")
+            while True:
+                abort.raise_if_set()
+                time.sleep(self.spin.pause or 1e-4)
+
     def _reduce_kernel(
         self,
         t: int,
@@ -183,12 +244,16 @@ class TreeAllReduceRuntime:
         buffers: list[GradientBuffer],
         uplinks: dict,
         reduced_sem: DeviceSemaphore,
+        board: PhaseBoard,
+        abort: AbortCell,
     ):
         tree = self.trees[t]
         chunks = self.layout.tree_chunks[t]
 
         def kernel() -> None:
-            for chunk in chunks:
+            for pos, chunk in enumerate(chunks):
+                board.set(node, f"reduce t{t} chunk {pos + 1}/{len(chunks)}")
+                self._apply_gpu_fault(node, t, pos, board, abort)
                 for child in tree.children[node]:
                     values = uplinks[(t, child)].recv(chunk)
                     buffers[node].accumulate(chunk, values)
@@ -209,6 +274,7 @@ class TreeAllReduceRuntime:
         downlinks: dict,
         reduced_sem: DeviceSemaphore,
         enqueue: "_EnqueueBoard",
+        board: PhaseBoard,
     ):
         tree = self.trees[t]
         chunks = self.layout.tree_chunks[t]
@@ -219,12 +285,15 @@ class TreeAllReduceRuntime:
                 # entire reduction phase completed.
                 for _ in chunks:
                     reduced_sem.wait()
-            for chunk in chunks:
+            for pos, chunk in enumerate(chunks):
+                board.set(
+                    node, f"broadcast t{t} chunk {pos + 1}/{len(chunks)}"
+                )
                 if node == tree.root:
                     if self.overlapped:
                         reduced_sem.wait()
                 else:
-                    downlinks[(t, node)].recv_wait()
+                    downlinks[(t, node)].recv_wait(chunk)
                 payload = buffers[node].chunk(chunk).copy()
                 for child in tree.children[node]:
                     downlinks[(t, child)].send(chunk, payload)
@@ -254,11 +323,17 @@ class TreeAllReduceRuntime:
                 uses this so its compute kernels read the buffers the
                 collective actually reduces into.
             enqueue_sems: externally supplied gradient-queue semaphores
-                (created internally when omitted).
+                (created internally when omitted); they are attached to
+                the run's abort cell so consumers blocked in ``check``
+                also exit fail-fast.
 
         Returns:
             A :class:`RunReport`; ``outputs[g]`` is GPU ``g``'s buffer
             after the collective.
+
+        Raises:
+            AbortedError: a kernel crashed or stalled and the cluster
+                aborted (the error carries the diagnostic dump).
         """
         if len(inputs) != self.nnodes:
             raise ConfigError(
@@ -268,17 +343,27 @@ class TreeAllReduceRuntime:
         if lengths != {self.layout.total_elems}:
             raise ConfigError("all inputs must match the layout size")
 
+        abort = AbortCell()
+        board = PhaseBoard(self.nnodes)
+        abort.register_dump("per-GPU last-known phase", board.dump)
+        self.abort_cell = abort
+        self.phase_board = board
+        run_spin = replace(self.spin, abort=abort)
+
         buffers = [GradientBuffer(a, self.layout) for a in inputs]
-        uplinks, downlinks, relays = self._build_links(buffers)
+        uplinks, downlinks, relays = self._build_links(buffers, run_spin)
         reduced_sems = [
             DeviceSemaphore(
-                self.capacity, spin=self.spin, name=f"reduced.t{t}"
+                self.capacity, spin=run_spin, name=f"reduced.t{t}"
             )
             for t in range(len(self.trees))
         ]
-        board = _EnqueueBoard(self, enqueue_sems)
+        if enqueue_sems is not None:
+            for sem in enqueue_sems.values():
+                sem.attach_abort(abort)
+        enqueue = _EnqueueBoard(self, enqueue_sems, spin=run_spin)
 
-        pool = KernelPool(join_timeout=self.spin.timeout * 2)
+        pool = KernelPool(join_timeout=self.spin.timeout * 2, abort=abort)
         for name, body in relays:
             pool.add(name, body)
         for t, tree in enumerate(self.trees):
@@ -286,13 +371,15 @@ class TreeAllReduceRuntime:
                 pool.add(
                     f"reduce t{t} g{node}",
                     self._reduce_kernel(
-                        t, node, buffers, uplinks, reduced_sems[t]
+                        t, node, buffers, uplinks, reduced_sems[t],
+                        board, abort,
                     ),
                 )
                 pool.add(
                     f"broadcast t{t} g{node}",
                     self._broadcast_kernel(
-                        t, node, buffers, downlinks, reduced_sems[t], board
+                        t, node, buffers, downlinks, reduced_sems[t],
+                        enqueue, board,
                     ),
                 )
         for name, body in extra_kernels or []:
@@ -307,17 +394,23 @@ class TreeAllReduceRuntime:
         return RunReport(
             outputs=[buf.data for buf in buffers],
             layout=self.layout,
-            enqueue_times=board.times,
+            enqueue_times=enqueue.times,
             wall_time=elapsed,
+            fault_stats=(
+                self.fault_plan.stats.snapshot() if self.fault_plan else {}
+            ),
         )
 
-    def make_enqueue_sems(self) -> dict[tuple[int, int], DeviceSemaphore]:
+    def make_enqueue_sems(
+        self, *, spin: SpinConfig | None = None
+    ) -> dict[tuple[int, int], DeviceSemaphore]:
         """Gradient-queue enqueue semaphores for every (gpu, tree)."""
+        spin = spin or self.spin
         chunks_per_tree = len(self.layout.tree_chunks[0])
         return {
             (gpu, t): DeviceSemaphore(
                 max(self.capacity, chunks_per_tree),
-                spin=self.spin,
+                spin=spin,
                 name=f"enqueue g{gpu} t{t}",
             )
             for gpu in range(self.nnodes)
@@ -332,8 +425,12 @@ class _EnqueueBoard:
         self,
         runtime: TreeAllReduceRuntime,
         sems: dict[tuple[int, int], DeviceSemaphore] | None,
+        *,
+        spin: SpinConfig | None = None,
     ):
-        self.sems = sems if sems is not None else runtime.make_enqueue_sems()
+        self.sems = (
+            sems if sems is not None else runtime.make_enqueue_sems(spin=spin)
+        )
         self.times: dict[tuple[int, int], list[float]] = {
             key: [] for key in self.sems
         }

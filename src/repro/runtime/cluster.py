@@ -14,28 +14,167 @@ A link whose endpoints share no physical NVLink is built with a
 ``relay_via`` GPU: the sender writes the intermediate GPU's staging
 buffer, and a *forwarding kernel* (its own persistent thread, as in the
 paper's static detour routing) copies each chunk onward in order.
+
+Every hop is a :class:`_Wire`: payload memory plus a frame queue carrying
+``(sequence number, chunk id, CRC32)`` metadata.  The receiver verifies
+all three on every take, so dropped, reordered, or corrupted transfers
+are *detected*, not silently consumed.  Fault injection plugs in at
+``send`` via a :class:`~repro.runtime.faults.LinkInjector`; injected
+drops and corruptions are recovered by bounded link-layer retransmission
+(retry + linear backoff) unless the fault plan disables recovery.
+
+The :class:`KernelPool` runs persistent-kernel bodies as threads and
+implements the fail-fast protocol: the first kernel failure triggers the
+cluster :class:`~repro.runtime.sync.AbortCell`, a watchdog collapses the
+join deadline to a short grace period, and the pool re-raises a single
+:class:`~repro.errors.AbortedError` carrying the diagnostic dump.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.errors import RuntimeClusterError
+from repro.errors import AbortedError, LinkFaultError, RuntimeClusterError
+from repro.runtime.faults import LinkInjector, payload_checksum
 from repro.runtime.memory import ChunkLayout, GradientBuffer
-from repro.runtime.sync import DeviceSemaphore, SpinConfig
+from repro.runtime.sync import AbortCell, DeviceSemaphore, SpinConfig
+
+
+class _Wire:
+    """One hop of a link: payload memory + flow control + frame metadata.
+
+    ``deliver`` writes the payload and posts the bounded semaphore (the
+    paper's receive-buffer management); ``take`` waits, then verifies the
+    frame's sequence number, chunk id, and CRC32 against the payload that
+    actually landed — an end-to-end check that catches corruption and
+    misordering at the receiver.
+    """
+
+    def __init__(
+        self,
+        layout: ChunkLayout,
+        *,
+        capacity: int,
+        spin: SpinConfig,
+        name: str,
+        buffer: np.ndarray | None = None,
+    ):
+        self._layout = layout
+        self.name = name
+        self._data = buffer if buffer is not None else np.zeros(layout.total_elems)
+        self._sem = DeviceSemaphore(capacity, spin=spin, name=name)
+        self._frames: deque[tuple[int, int, int]] = deque()
+        self._frame_lock = threading.Lock()
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    def deliver(self, chunk: int, values: np.ndarray, checksum: int) -> None:
+        """Sender side: land ``values`` in the chunk slot and signal."""
+        self._data[self._layout.slice_of(chunk)] = values
+        with self._frame_lock:
+            self._frames.append((self._send_seq, chunk, checksum))
+            self._send_seq += 1
+        self._sem.post()
+
+    def take(self, chunk: int) -> np.ndarray:
+        """Receiver side: block for ``chunk``, verify, return a copy.
+
+        Raises:
+            LinkFaultError: on out-of-sequence delivery, a chunk-id
+                mismatch, or a CRC32 mismatch (corrupted payload).
+        """
+        self._sem.wait()
+        with self._frame_lock:
+            seq, frame_chunk, checksum = self._frames.popleft()
+        if seq != self._recv_seq:
+            raise LinkFaultError(
+                f"link {self.name!r}: frame seq {seq}, expected "
+                f"{self._recv_seq} (reordered or lost frame)"
+            )
+        self._recv_seq += 1
+        if frame_chunk != chunk:
+            raise LinkFaultError(
+                f"link {self.name!r}: received chunk {frame_chunk}, "
+                f"expected {chunk}"
+            )
+        payload = self._data[self._layout.slice_of(chunk)].copy()
+        if payload_checksum(payload) != checksum:
+            raise LinkFaultError(
+                f"link {self.name!r}: checksum mismatch on chunk {chunk} "
+                f"(seq {seq}) — payload corrupted in transit"
+            )
+        return payload
+
+
+def _transmit(
+    wire: _Wire,
+    chunk: int,
+    values: np.ndarray,
+    injector: LinkInjector | None,
+    abort: AbortCell | None,
+) -> None:
+    """Link-layer send: fault injection + bounded retransmission.
+
+    A dropped frame never reaches the wire; a corrupted frame is caught
+    by the link-layer CRC (emulated sender-side — a real reliable link
+    rejects the frame at the receiver NIC and NACKs) and both are retried
+    with linear backoff up to the plan's ``max_retries``.  With recovery
+    disabled, corruption is delivered raw (the receiver's end-to-end
+    check raises) and a drop raises immediately at the sender.
+    """
+    checksum = payload_checksum(values)
+    if injector is None:
+        wire.deliver(chunk, values, checksum)
+        return
+    attempts = 0
+    while True:
+        if abort is not None:
+            abort.raise_if_set()
+        delay = injector.next_delay()
+        if delay > 0:
+            injector.stats.bump("delays_injected")
+            time.sleep(delay)
+        fate = injector.next_fate()
+        if fate == "ok":
+            wire.deliver(chunk, values, checksum)
+            return
+        if fate == "corrupt":
+            injector.stats.bump("corruptions")
+            if not injector.recover:
+                # Deliver the damage with the original checksum: the
+                # receiver's CRC check is what detects it.
+                wire.deliver(chunk, injector.corrupt(values), checksum)
+                return
+        else:
+            injector.stats.bump("drops")
+            if not injector.recover:
+                raise LinkFaultError(
+                    f"link {wire.name!r}: chunk {chunk} dropped with "
+                    f"retransmission disabled"
+                )
+        attempts += 1
+        if attempts > injector.max_retries:
+            raise LinkFaultError(
+                f"link {wire.name!r}: chunk {chunk} still failing after "
+                f"{injector.max_retries} retransmissions"
+            )
+        injector.stats.bump("retransmissions")
+        time.sleep(injector.backoff * attempts)
 
 
 class UpLink:
     """Reduction-direction link (child -> parent), with optional relay.
 
-    ``delay_fn``, when given, returns a sleep duration applied before
-    every send — fault/jitter injection used to verify the
-    synchronization protocol is timing-independent.
+    ``injector``, when given, applies the fault plan (jitter, drops,
+    corruption) to every send; recovery is handled at the link layer so
+    the kernels above never see an injected fault unless it exceeds the
+    retransmission budget.
     """
 
     def __init__(
@@ -46,34 +185,28 @@ class UpLink:
         spin: SpinConfig,
         name: str,
         relay_via: int | None = None,
-        delay_fn: Callable[[], float] | None = None,
+        injector: LinkInjector | None = None,
     ):
-        self._layout = layout
+        self.name = name
         self.relay_via = relay_via
-        self._delay_fn = delay_fn
-        self._staging = np.zeros(layout.total_elems)
-        self._sem = DeviceSemaphore(capacity, spin=spin, name=f"{name}.up")
+        self._injector = injector
+        self._abort = spin.abort
+        self._wire = _Wire(
+            layout, capacity=capacity, spin=spin, name=f"{name}.up"
+        )
         if relay_via is not None:
-            self._mid = np.zeros(layout.total_elems)
-            self._mid_sem = DeviceSemaphore(
-                capacity, spin=spin, name=f"{name}.up.mid"
+            self._mid_wire = _Wire(
+                layout, capacity=capacity, spin=spin, name=f"{name}.up.mid"
             )
 
     def send(self, chunk: int, values: np.ndarray) -> None:
         """Child side: deliver its partial sum for ``chunk``."""
-        if self._delay_fn is not None:
-            time.sleep(self._delay_fn())
-        if self.relay_via is not None:
-            self._mid[self._layout.slice_of(chunk)] = values
-            self._mid_sem.post()
-        else:
-            self._staging[self._layout.slice_of(chunk)] = values
-            self._sem.post()
+        wire = self._mid_wire if self.relay_via is not None else self._wire
+        _transmit(wire, chunk, values, self._injector, self._abort)
 
     def recv(self, chunk: int) -> np.ndarray:
-        """Parent side: block for and return the chunk payload."""
-        self._sem.wait()
-        return self._staging[self._layout.slice_of(chunk)].copy()
+        """Parent side: block for, verify, and return the chunk payload."""
+        return self._wire.take(chunk)
 
     def relay_kernel(self, chunks: Sequence[int]) -> Callable[[], None]:
         """Forwarding kernel body for the intermediate GPU (chunk order)."""
@@ -82,10 +215,8 @@ class UpLink:
 
         def kernel() -> None:
             for chunk in chunks:
-                self._mid_sem.wait()
-                sl = self._layout.slice_of(chunk)
-                self._staging[sl] = self._mid[sl]
-                self._sem.post()
+                payload = self._mid_wire.take(chunk)
+                self._wire.deliver(chunk, payload, payload_checksum(payload))
 
         return kernel
 
@@ -106,33 +237,33 @@ class DownLink:
         spin: SpinConfig,
         name: str,
         relay_via: int | None = None,
-        delay_fn: Callable[[], float] | None = None,
+        injector: LinkInjector | None = None,
     ):
-        self._layout = layout
-        self._child = child_buffer
+        self.name = name
         self.relay_via = relay_via
-        self._delay_fn = delay_fn
-        self._sem = DeviceSemaphore(capacity, spin=spin, name=f"{name}.down")
+        self._injector = injector
+        self._abort = spin.abort
+        self._wire = _Wire(
+            layout,
+            capacity=capacity,
+            spin=spin,
+            name=f"{name}.down",
+            buffer=child_buffer.data,
+        )
         if relay_via is not None:
-            self._mid = np.zeros(layout.total_elems)
-            self._mid_sem = DeviceSemaphore(
-                capacity, spin=spin, name=f"{name}.down.mid"
+            self._mid_wire = _Wire(
+                layout, capacity=capacity, spin=spin, name=f"{name}.down.mid"
             )
 
     def send(self, chunk: int, values: np.ndarray) -> None:
         """Parent side: deliver the fully reduced ``chunk``."""
-        if self._delay_fn is not None:
-            time.sleep(self._delay_fn())
-        if self.relay_via is not None:
-            self._mid[self._layout.slice_of(chunk)] = values
-            self._mid_sem.post()
-        else:
-            self._child.overwrite(chunk, values)
-            self._sem.post()
+        wire = self._mid_wire if self.relay_via is not None else self._wire
+        _transmit(wire, chunk, values, self._injector, self._abort)
 
-    def recv_wait(self) -> None:
-        """Child side: block until the next chunk (in order) arrived."""
-        self._sem.wait()
+    def recv_wait(self, chunk: int) -> None:
+        """Child side: block until ``chunk`` arrived (in order), verified
+        against the frame checksum in the gradient buffer itself."""
+        self._wire.take(chunk)
 
     def relay_kernel(self, chunks: Sequence[int]) -> Callable[[], None]:
         """Forwarding kernel body for the intermediate GPU (chunk order)."""
@@ -141,10 +272,8 @@ class DownLink:
 
         def kernel() -> None:
             for chunk in chunks:
-                self._mid_sem.wait()
-                sl = self._layout.slice_of(chunk)
-                self._child.data[sl] = self._mid[sl]
-                self._sem.post()
+                payload = self._mid_wire.take(chunk)
+                self._wire.deliver(chunk, payload, payload_checksum(payload))
 
         return kernel
 
@@ -156,9 +285,19 @@ class KernelPool:
     Attributes:
         join_timeout: seconds to wait for all kernels before declaring the
             run hung.
+        abort: cluster abort flag; the first kernel failure triggers it,
+            releasing every spinning peer, and the pool re-raises it as
+            one :class:`~repro.errors.AbortedError` with diagnostics.
+        abort_grace: join budget (seconds) granted to the surviving
+            kernels once the abort flag is set — they only need to notice
+            the flag, so this is short.
+        watchdog_interval: poll period of the watchdog thread.
     """
 
     join_timeout: float = 60.0
+    abort: AbortCell | None = None
+    abort_grace: float = 1.0
+    watchdog_interval: float = 0.005
     _entries: list[tuple[str, Callable[[], None]]] = field(default_factory=list)
 
     def add(self, name: str, body: Callable[[], None]) -> None:
@@ -168,7 +307,10 @@ class KernelPool:
         """Start every kernel, join all, re-raise the first failure.
 
         Raises:
-            RuntimeClusterError: on kernel failure or join timeout.
+            AbortedError: when the cluster abort flag fired (kernel crash
+                or timeout cascade) — carries the diagnostic dump.
+            RuntimeClusterError: on kernel failure without an abort cell,
+                or join timeout.
         """
         failures: list[tuple[str, BaseException]] = []
         fail_lock = threading.Lock()
@@ -180,6 +322,14 @@ class KernelPool:
                 except BaseException as exc:  # noqa: BLE001 - reported below
                     with fail_lock:
                         failures.append((name, exc))
+                    # Fail fast: the first real failure flips the cluster
+                    # abort flag so every peer exits its spin loop now
+                    # instead of burning its own full timeout.  Cascading
+                    # AbortedErrors never re-trigger (first reason wins).
+                    if self.abort is not None and not isinstance(
+                        exc, AbortedError
+                    ):
+                        self.abort.trigger(f"kernel {name!r} failed: {exc!r}")
 
             return runner
 
@@ -189,11 +339,52 @@ class KernelPool:
         ]
         for thread in threads:
             thread.start()
-        deadline = time.monotonic() + self.join_timeout
-        for thread in threads:
-            remaining = deadline - time.monotonic()
-            thread.join(timeout=max(0.0, remaining))
+
+        deadline_lock = threading.Lock()
+        deadline = {"t": time.monotonic() + self.join_timeout}
+        stop = threading.Event()
+
+        def watchdog() -> None:
+            # Collapse the join deadline once the abort flag is set: the
+            # survivors only need one spin iteration to observe it.
+            while not stop.wait(self.watchdog_interval):
+                if self.abort is not None and self.abort.is_set():
+                    with deadline_lock:
+                        deadline["t"] = min(
+                            deadline["t"],
+                            time.monotonic() + self.abort_grace,
+                        )
+                    return
+
+        dog = threading.Thread(target=watchdog, name="kernel-watchdog",
+                               daemon=True)
+        dog.start()
+        try:
+            for thread in threads:
+                while thread.is_alive():
+                    with deadline_lock:
+                        remaining = deadline["t"] - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    thread.join(timeout=min(0.05, remaining))
+        finally:
+            stop.set()
+            dog.join(timeout=1.0)
+
         alive = [t.name for t in threads if t.is_alive()]
+        if self.abort is not None and self.abort.is_set():
+            primary = next(
+                (
+                    (name, exc)
+                    for name, exc in failures
+                    if not isinstance(exc, AbortedError)
+                ),
+                None,
+            )
+            error = self.abort.to_error()
+            if primary is not None:
+                raise error from primary[1]
+            raise error
         if failures:
             name, exc = failures[0]
             raise RuntimeClusterError(

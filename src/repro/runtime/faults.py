@@ -1,0 +1,299 @@
+"""Declarative fault injection for the functional runtime.
+
+The fault model has three axes, mirroring what breaks on real NVLink
+clusters:
+
+- **link faults** (:class:`LinkFault`): per-send jitter delays, frame
+  drops, and payload corruption on the P2P links, matched to links by
+  tag substring (``"up t0 2->3"``-style tags, empty match = every link);
+- **GPU faults** (:class:`GpuFault`): a *straggler* (every chunk of the
+  GPU's reduce kernel is slowed), a *crash* (the kernel raises
+  mid-collective), or a *stuck* kernel (stops posting its semaphores
+  without dying — the pathological case the abort protocol exists for);
+- **recovery policy**: link-layer retransmission (bounded retries with
+  linear backoff) that makes drop/corrupt faults invisible to the
+  application, or — with ``recover=False`` — faults delivered raw so the
+  detection paths (receiver CRC check, sequence check) are exercised.
+
+Everything is deterministic: each fault site draws from its own RNG
+seeded with a **stable digest** of the site tag (``zlib.crc32``), never
+``hash()``, whose per-process salting (``PYTHONHASHSEED``) would make
+"reproducible" chaos differ between runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: GPU fault kinds.
+CRASH = "crash"
+STUCK = "stuck"
+STRAGGLER = "straggler"
+
+_GPU_FAULT_KINDS = (CRASH, STUCK, STRAGGLER)
+
+
+def stable_tag_seed(tag: str, seed: int) -> int:
+    """Process-stable RNG seed for a named fault site.
+
+    ``hash()`` is salted per interpreter, so it must never seed
+    "deterministic" fault injection; CRC32 of the tag mixed with the plan
+    seed is stable across processes and platforms.
+    """
+    return (zlib.crc32(tag.encode("utf-8")) ^ (seed * 0x9E3779B1)) & 0x7FFFFFFF
+
+
+def payload_checksum(values: np.ndarray) -> int:
+    """CRC32 over a chunk payload's raw bytes (the frame checksum)."""
+    return zlib.crc32(np.ascontiguousarray(values).tobytes())
+
+
+class FaultStats:
+    """Thread-safe counters of everything the injectors did."""
+
+    _FIELDS = (
+        "delays_injected",
+        "drops",
+        "corruptions",
+        "retransmissions",
+        "crashes",
+        "stalls",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in self._FIELDS}
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += n
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts[name]
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def describe(self) -> str:
+        snap = self.snapshot()
+        return ", ".join(f"{k}={v}" for k, v in snap.items())
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Fault behaviour for link sends whose tag contains ``match``.
+
+    Attributes:
+        match: substring of the link tag this fault applies to (empty
+            matches every link; tags look like ``"up t0 2->3"``).
+        delay: max uniform jitter (seconds) added per send attempt.
+        drop_prob: probability a frame is lost in transit.
+        corrupt_prob: probability a frame arrives with damaged payload.
+    """
+
+    match: str = ""
+    delay: float = 0.0
+    drop_prob: float = 0.0
+    corrupt_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ConfigError("link fault delay must be non-negative")
+        for prob in (self.drop_prob, self.corrupt_prob):
+            if not 0.0 <= prob < 1.0:
+                raise ConfigError("fault probabilities must be in [0, 1)")
+        if self.drop_prob + self.corrupt_prob >= 1.0:
+            raise ConfigError("drop_prob + corrupt_prob must stay below 1")
+
+    def applies_to(self, tag: str) -> bool:
+        return self.match in tag
+
+
+@dataclass(frozen=True)
+class GpuFault:
+    """Fault behaviour for one virtual GPU's persistent reduce kernel.
+
+    Attributes:
+        gpu: GPU id the fault binds to.
+        kind: ``"crash"`` (raise), ``"stuck"`` (stop posting, stay
+            alive), or ``"straggler"`` (sleep ``delay`` before every
+            chunk).
+        after_chunk: chunk position (within tree 0) at which a crash or
+            stall fires.
+        delay: per-chunk straggler delay in seconds.
+    """
+
+    gpu: int
+    kind: str
+    after_chunk: int = 0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _GPU_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown GPU fault kind {self.kind!r}; "
+                f"expected one of {_GPU_FAULT_KINDS}"
+            )
+        if self.after_chunk < 0:
+            raise ConfigError("after_chunk must be non-negative")
+        if self.delay < 0:
+            raise ConfigError("straggler delay must be non-negative")
+        if self.kind == STRAGGLER and self.delay <= 0:
+            raise ConfigError("a straggler fault needs a positive delay")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full fault scenario plus the recovery policy.
+
+    Attributes:
+        link_faults: link-level faults (first match wins per field is not
+            needed — matching faults are combined by taking the max of
+            each field, so overlapping specs compose).
+        gpu_faults: at most one per GPU.
+        seed: plan-level seed mixed into every fault site's stable seed.
+        recover: retransmit dropped/corrupted frames at the link layer;
+            when False, faults are delivered raw and the receiver's
+            detection paths raise :class:`~repro.errors.LinkFaultError`.
+        max_retries: retransmission bound per chunk before the link gives
+            up and raises.
+        backoff: base sleep between retransmissions (linear backoff).
+        stats: shared counters, filled in as injectors fire.
+    """
+
+    link_faults: tuple[LinkFault, ...] = ()
+    gpu_faults: tuple[GpuFault, ...] = ()
+    seed: int = 0
+    recover: bool = True
+    max_retries: int = 8
+    backoff: float = 1e-4
+    stats: FaultStats = field(default_factory=FaultStats, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.backoff < 0:
+            raise ConfigError("backoff must be non-negative")
+        seen: set[int] = set()
+        for fault in self.gpu_faults:
+            if fault.gpu in seen:
+                raise ConfigError(f"multiple GPU faults for gpu {fault.gpu}")
+            seen.add(fault.gpu)
+
+    @staticmethod
+    def jitter(delay: float, seed: int = 0) -> "FaultPlan":
+        """Uniform per-link send jitter on every link (the old
+        ``chaos_delay`` behaviour)."""
+        if delay < 0:
+            raise ConfigError("chaos_delay must be non-negative")
+        return FaultPlan(link_faults=(LinkFault(delay=delay),), seed=seed)
+
+    def link_injector(self, tag: str) -> "LinkInjector | None":
+        """Injector for the link named ``tag`` (None when unaffected)."""
+        matching = [f for f in self.link_faults if f.applies_to(tag)]
+        if not matching:
+            return None
+        return LinkInjector(
+            tag=tag,
+            delay=max(f.delay for f in matching),
+            drop_prob=max(f.drop_prob for f in matching),
+            corrupt_prob=max(f.corrupt_prob for f in matching),
+            plan=self,
+        )
+
+    def gpu_fault(self, gpu: int) -> GpuFault | None:
+        for fault in self.gpu_faults:
+            if fault.gpu == gpu:
+                return fault
+        return None
+
+
+class LinkInjector:
+    """Deterministic per-link fate source.
+
+    One injector exists per link direction; a link's ``send`` is called
+    by exactly one kernel thread, so draws need no locking and the draw
+    sequence — hence the whole fault schedule — is reproducible across
+    processes for a given (tag, plan seed).
+    """
+
+    def __init__(
+        self,
+        *,
+        tag: str,
+        delay: float,
+        drop_prob: float,
+        corrupt_prob: float,
+        plan: FaultPlan,
+    ):
+        self.tag = tag
+        self.delay = delay
+        self.drop_prob = drop_prob
+        self.corrupt_prob = corrupt_prob
+        self.recover = plan.recover
+        self.max_retries = plan.max_retries
+        self.backoff = plan.backoff
+        self.stats = plan.stats
+        self._rng = np.random.default_rng(stable_tag_seed(tag, plan.seed))
+
+    def next_delay(self) -> float:
+        """Jitter for the next send attempt (0.0 when none configured)."""
+        if self.delay <= 0:
+            return 0.0
+        return float(self._rng.uniform(0.0, self.delay))
+
+    def next_fate(self) -> str:
+        """``"ok"``, ``"drop"``, or ``"corrupt"`` for the next frame."""
+        if self.drop_prob <= 0 and self.corrupt_prob <= 0:
+            return "ok"
+        u = float(self._rng.uniform())
+        if u < self.drop_prob:
+            return "drop"
+        if u < self.drop_prob + self.corrupt_prob:
+            return "corrupt"
+        return "ok"
+
+    @staticmethod
+    def corrupt(values: np.ndarray) -> np.ndarray:
+        """A damaged copy of ``values`` (one element nudged by 1 ulp —
+        guaranteed to change the payload bytes, hence the CRC)."""
+        damaged = values.copy()
+        damaged[0] = np.nextafter(damaged[0], np.inf)
+        return damaged
+
+
+class PhaseBoard:
+    """Last-known phase per virtual GPU, for the abort diagnostic dump.
+
+    Kernels stamp their progress (``"reduce t0 chunk 2/4"``) as they go;
+    when the cluster aborts, the dump shows where every GPU last was —
+    the difference between "it hung" and "GPU3's reduce kernel never
+    finished chunk 2".
+    """
+
+    def __init__(self, nnodes: int):
+        self._lock = threading.Lock()
+        self._phases: dict[int, str] = {g: "idle" for g in range(nnodes)}
+
+    def set(self, gpu: int, phase: str) -> None:
+        with self._lock:
+            self._phases[gpu] = phase
+
+    def get(self, gpu: int) -> str:
+        with self._lock:
+            return self._phases.get(gpu, "unknown")
+
+    def dump(self) -> str:
+        with self._lock:
+            return "\n".join(
+                f"gpu {gpu}: {phase}"
+                for gpu, phase in sorted(self._phases.items())
+            )

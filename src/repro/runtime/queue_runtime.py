@@ -151,6 +151,9 @@ class ChainedTrainingRuntime:
     ):
         def kernel() -> None:
             for layer_idx, per_tree in enumerate(self.requirements):
+                board = self.runtime.phase_board
+                if board is not None:
+                    board.set(gpu, f"compute layer {layer_idx}")
                 # Dequeue: check each stream's enqueue semaphore against
                 # the layer-chunk table entry (Fig. 9 (c)(e)(g)).
                 for t, needed in enumerate(per_tree):

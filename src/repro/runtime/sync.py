@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.errors import RuntimeClusterError
+from repro.errors import AbortedError, RuntimeClusterError
 
 
 @dataclass(frozen=True)
@@ -30,10 +30,14 @@ class SpinConfig:
         timeout: seconds before a spinning primitive raises
             :class:`RuntimeClusterError` (deadlock guard).
         pause: sleep inserted per spin iteration (0 yields the GIL).
+        abort: optional cluster-wide abort flag checked on every spin
+            iteration, so one failed kernel releases every peer fast
+            instead of leaving each to its own independent timeout.
     """
 
     timeout: float = 30.0
     pause: float = 0.0
+    abort: "AbortCell | None" = None
 
 
 class AtomicCell:
@@ -80,6 +84,85 @@ class AtomicCell:
             return old
 
 
+class AbortCell:
+    """Cluster-wide fail-fast abort flag over an :class:`AtomicCell`.
+
+    One cell is shared by every synchronization primitive of a run.  The
+    first ``trigger`` wins (atomicCAS semantics) and records the reason;
+    every spinning primitive checks the flag each iteration and raises
+    :class:`~repro.errors.AbortedError` carrying a diagnostic dump —
+    registered semaphores' count/total_posted plus any extra dump sources
+    (e.g. the per-GPU phase board) — so a single stuck or crashed kernel
+    fails the whole cluster in one bounded step instead of N independent
+    spin timeouts.
+    """
+
+    def __init__(self) -> None:
+        self._cell = AtomicCell(0)
+        self._meta = threading.Lock()
+        self._reason: str | None = None
+        self._semaphores: list["DeviceSemaphore"] = []
+        self._dump_sources: list[tuple[str, object]] = []
+
+    def trigger(self, reason: str) -> bool:
+        """Set the flag; only the first caller's reason is recorded.
+
+        Returns True when this call performed the transition.
+        """
+        if self._cell.compare_and_swap(0, 1) == 0:
+            with self._meta:
+                self._reason = reason
+            return True
+        return False
+
+    def is_set(self) -> bool:
+        return self._cell.load() != 0
+
+    @property
+    def reason(self) -> str:
+        with self._meta:
+            return self._reason or "unknown"
+
+    def register_semaphore(self, sem: "DeviceSemaphore") -> None:
+        with self._meta:
+            self._semaphores.append(sem)
+
+    def register_dump(self, title: str, fn) -> None:
+        """Add a diagnostics section: ``fn()`` -> str, called at dump time."""
+        with self._meta:
+            self._dump_sources.append((title, fn))
+
+    def diagnostics(self) -> str:
+        """Best-effort cluster state dump (lock-free semaphore reads)."""
+        with self._meta:
+            sems = list(self._semaphores)
+            sources = list(self._dump_sources)
+        lines: list[str] = []
+        for title, fn in sources:
+            try:
+                body = fn()
+            except Exception as exc:  # noqa: BLE001 - diagnostics only
+                body = f"<dump failed: {exc!r}>"
+            lines.append(f"-- {title} --")
+            lines.append(body)
+        if sems:
+            lines.append("-- semaphores --")
+            for sem in sems:
+                count, total = sem.peek()
+                lines.append(
+                    f"{sem.name or '<unnamed>'}: count={count}/"
+                    f"{sem.capacity} total_posted={total}"
+                )
+        return "\n".join(lines)
+
+    def to_error(self) -> AbortedError:
+        return AbortedError(self.reason, self.diagnostics())
+
+    def raise_if_set(self) -> None:
+        if self.is_set():
+            raise self.to_error()
+
+
 class DeviceLock:
     """Fig. 11 ``lock``/``unlock``: a CAS spinlock over an atomic cell."""
 
@@ -87,9 +170,15 @@ class DeviceLock:
         self._cell = AtomicCell(0)
         self._spin = spin or SpinConfig()
 
+    def attach_abort(self, abort: AbortCell) -> None:
+        """Bind a cluster abort flag after construction."""
+        self._spin = replace(self._spin, abort=abort)
+
     def lock(self) -> None:
         deadline = time.monotonic() + self._spin.timeout
         while self._cell.compare_and_swap(0, 1) != 0:
+            if self._spin.abort is not None:
+                self._spin.abort.raise_if_set()
             if time.monotonic() > deadline:
                 raise RuntimeClusterError("device lock acquisition timed out")
             time.sleep(self._spin.pause)
@@ -137,6 +226,8 @@ class DeviceSemaphore:
         self._capacity = capacity
         self._spin = spin or SpinConfig()
         self.name = name
+        if self._spin.abort is not None:
+            self._spin.abort.register_semaphore(self)
 
     @property
     def capacity(self) -> int:
@@ -150,17 +241,46 @@ class DeviceSemaphore:
         with self._lock:
             return self._total_posted
 
+    def peek(self) -> tuple[int, int]:
+        """(count, total_posted) read without the device lock.
+
+        Reads of the two ints are GIL-atomic; the pair may be mutually
+        inconsistent for an instant, which is fine for diagnostics — and
+        means this accessor can never deadlock, even when called while
+        another thread died holding the lock.
+        """
+        return self._count, self._total_posted
+
+    def attach_abort(self, abort: AbortCell) -> None:
+        """Bind a cluster abort flag post-construction.
+
+        The runtime owns the per-run :class:`AbortCell`; semaphores that
+        were created externally (e.g. gradient-queue enqueue semaphores
+        handed into ``run``) join the abort domain here.
+        """
+        self._spin = replace(self._spin, abort=abort)
+        self._lock.attach_abort(abort)
+        abort.register_semaphore(self)
+
     def _spin_until(self, predicate, what: str) -> None:
         """Spin (lock-step, as in the paper) until ``predicate()`` holds.
 
         The predicate is evaluated with the lock held; between attempts
-        the lock is released so posters can make progress.
+        the lock is released so posters can make progress.  A set abort
+        flag exits the spin immediately; a timeout triggers the abort
+        flag (when present) so every peer exits right behind us.
         """
         deadline = time.monotonic() + self._spin.timeout
         self._lock.lock()
         while not predicate():
             self._lock.unlock()
+            if self._spin.abort is not None:
+                self._spin.abort.raise_if_set()
             if time.monotonic() > deadline:
+                if self._spin.abort is not None:
+                    self._spin.abort.trigger(
+                        f"semaphore {self.name!r}: {what} timed out"
+                    )
                 raise RuntimeClusterError(
                     f"semaphore {self.name!r}: {what} timed out"
                 )

@@ -23,10 +23,45 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.dnn.layers import NetworkModel
 from repro.runtime.allreduce import TreeAllReduceRuntime
+from repro.runtime.memory import ChunkLayout
 from repro.runtime.queue_runtime import ChainedTrainingRuntime
+from repro.topology.logical import BinaryTree
 
 #: Computes one GPU's local gradient: (weights, gpu, iteration) -> grad.
 GradientFn = Callable[[np.ndarray, int, int], np.ndarray]
+
+
+def tree_reduce_order(
+    trees: tuple[BinaryTree, ...], layout: ChunkLayout
+) -> Callable[[list[np.ndarray]], np.ndarray]:
+    """Summation in the exact order the tree runtime reduces.
+
+    The reduce kernel at each node starts from its own gradient and
+    accumulates each child's fully reduced partial in ``children`` order,
+    bottom-up; the root's value is broadcast unchanged.  Replaying that
+    order here makes :func:`serial_reference` bit-identical to the
+    distributed run — the comparison the accuracy-neutrality (and
+    fault-recovery) tests rely on.
+    """
+
+    def reduce(grads: list[np.ndarray]) -> np.ndarray:
+        total = np.empty_like(np.asarray(grads[0], dtype=np.float64))
+        for t, tree in enumerate(trees):
+            for chunk in layout.tree_chunks[t]:
+                sl = layout.slice_of(chunk)
+
+                def partial(node: int) -> np.ndarray:
+                    acc = np.asarray(
+                        grads[node][sl], dtype=np.float64
+                    ).copy()
+                    for child in tree.children[node]:
+                        acc += partial(child)
+                    return acc
+
+                total[sl] = partial(tree.root)
+        return total
+
+    return reduce
 
 
 def quadratic_gradient(targets: list[np.ndarray]) -> GradientFn:

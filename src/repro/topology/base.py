@@ -143,6 +143,38 @@ class PhysicalTopology:
     def gpu_ids(self) -> list[int]:
         return list(range(self.nnodes))
 
+    # -- degradation -----------------------------------------------------
+
+    def without_link(
+        self, u: int, v: int, *, bidirectional: bool = True
+    ) -> "PhysicalTopology":
+        """Copy of this topology with every lane ``u -> v`` (and, by
+        default, ``v -> u``) removed — a failed NVLink brick pair.
+
+        Raises:
+            TopologyError: if no such link exists to fail.
+        """
+        if not self.has_link(u, v):
+            raise TopologyError(
+                f"cannot fail missing link {u}->{v} in {self.name!r}"
+            )
+        dropped = {(u, v)} | ({(v, u)} if bidirectional else set())
+        degraded = PhysicalTopology(
+            nnodes=self.nnodes,
+            name=f"{self.name}-minus-{u}-{v}",
+            switch_ids=self.switch_ids,
+        )
+        for spec in self._links.values():
+            if (spec.u, spec.v) in dropped:
+                continue
+            lane = degraded.lane_count(spec.u, spec.v)
+            degraded._links[(spec.u, spec.v, lane)] = LinkSpec(
+                u=spec.u, v=spec.v, lane=lane,
+                alpha=spec.alpha, beta=spec.beta, kind=spec.kind,
+            )
+        degraded.validate()
+        return degraded
+
     # -- simulator resources --------------------------------------------
 
     def to_resources(

@@ -51,6 +51,44 @@ class TestFigures:
         assert "unknown" in capsys.readouterr().out
 
 
+class TestChaos:
+    def test_drops_recovers_bit_identical(self, capsys):
+        assert main([
+            "chaos", "drops", "--iterations", "1", "--elems", "256",
+            "--delay", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to serial reference: yes" in out
+        assert "fault stats:" in out
+
+    def test_crash_aborts_with_diagnostics(self, capsys):
+        assert main(["chaos", "crash", "--gpu", "3", "--elems", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster aborted" in out
+        assert "injected crash on gpu 3" in out
+        assert "per-GPU last-known phase" in out
+        assert "-- semaphores --" in out
+
+    def test_stuck_aborts_within_budget(self, capsys):
+        assert main(["chaos", "stuck", "--gpu", "5", "--elems", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster aborted" in out
+        assert "timed out" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "rowhammer"])
+
+    def test_invalid_probability_clean_error(self, capsys):
+        assert main(["chaos", "drops", "--drop", "1.5"]) == 2
+        err = capsys.readouterr().err
+        assert "probabilities must be in [0, 1)" in err
+
+    def test_unknown_gpu_clean_error(self, capsys):
+        assert main(["chaos", "crash", "--gpu", "9"]) == 2
+        assert "unknown gpu 9" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

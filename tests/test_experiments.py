@@ -10,6 +10,7 @@ import pytest
 from repro.core.config import Bandwidth, CCubeConfig, Strategy
 from repro.experiments import (
     ablations,
+    ext_faults,
     fig01_allreduce_ratio,
     fig03_invocation,
     fig04_model_ratio,
@@ -260,3 +261,41 @@ class TestAblations:
             ablations.run_chunk_sweep(chunk_counts=(8, 32, 128)),
         )
         assert "detour" in text and "conflict" in text.lower()
+
+
+class TestExtFaults:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_faults.run(nbytes=4 * _MB)
+
+    def test_two_modes_per_failed_link(self, rows):
+        assert len(rows) == 2 * len(ext_faults.DEFAULT_FAILED_LINKS)
+        assert {r.mode for r in rows} == {"detour", "pcie"}
+
+    def test_every_reroute_verified(self, rows):
+        assert all(r.verified for r in rows)
+
+    def test_degradation_nonnegative(self, rows):
+        """Losing a link can never speed the collective up."""
+        assert all(r.slowdown_pct >= 0.0 for r in rows)
+        assert all(r.degraded_us >= r.healthy_us for r in rows)
+
+    def test_detour_reroute_cheaper_than_pcie(self, rows):
+        """The point of topology-aware failover: rerouting over
+        surviving NVLinks beats dropping to the host PCIe path."""
+        by_link = {}
+        for r in rows:
+            by_link.setdefault(r.failed_link, {})[r.mode] = r
+        for modes in by_link.values():
+            assert (
+                modes["detour"].degraded_us < modes["pcie"].degraded_us
+            )
+
+    def test_nvlink_reroute_adds_detours(self, rows):
+        detour_rows = [r for r in rows if r.mode == "detour"]
+        assert all(r.extra_detours > 0 for r in detour_rows)
+
+    def test_format_table(self, rows):
+        text = ext_faults.format_table(rows)
+        assert "failed link" in text
+        assert "2-6" in text

@@ -1,11 +1,13 @@
 """Tests for the emulated device-side synchronization (paper Fig. 11)."""
 
 import threading
+import time
 
 import pytest
 
-from repro.errors import RuntimeClusterError
+from repro.errors import AbortedError, RuntimeClusterError
 from repro.runtime.sync import (
+    AbortCell,
     AtomicCell,
     DeviceLock,
     DeviceSemaphore,
@@ -198,6 +200,31 @@ class TestDeviceSemaphore:
         with pytest.raises(RuntimeClusterError, match="wait timed out"):
             sem.wait()
 
+    def test_post_blocks_until_timeout_then_names_itself(self):
+        """post on a full buffer spins for the configured duration and
+        the error identifies both the semaphore and the operation."""
+        timeout = 0.2
+        sem = DeviceSemaphore(
+            1, spin=SpinConfig(timeout=timeout, pause=0.0), name="rx.t0"
+        )
+        sem.post()
+        started = time.monotonic()
+        with pytest.raises(
+            RuntimeClusterError, match=r"semaphore 'rx\.t0': post timed out"
+        ):
+            sem.post()
+        assert time.monotonic() - started >= timeout * 0.9
+
+    def test_check_timeout_names_threshold(self):
+        sem = DeviceSemaphore(
+            4, spin=SpinConfig(timeout=0.05, pause=0.0), name="enq"
+        )
+        sem.post()
+        with pytest.raises(
+            RuntimeClusterError, match=r"semaphore 'enq': check\(3\) timed out"
+        ):
+            sem.check(3)
+
     def test_invalid_capacity(self):
         with pytest.raises(RuntimeClusterError):
             DeviceSemaphore(0)
@@ -225,3 +252,110 @@ class TestDeviceSemaphore:
             t.join(timeout=5.0)
         assert len(consumed) == 50
         assert sem.count() == 0
+
+
+class TestAbortCell:
+    def test_first_trigger_wins(self):
+        abort = AbortCell()
+        assert not abort.is_set()
+        assert abort.trigger("gpu 3 crashed")
+        assert not abort.trigger("gpu 5 crashed too")
+        assert abort.is_set()
+        assert abort.reason == "gpu 3 crashed"
+
+    def test_raise_if_set(self):
+        abort = AbortCell()
+        abort.raise_if_set()  # no-op while clear
+        abort.trigger("boom")
+        with pytest.raises(AbortedError, match="cluster aborted: boom"):
+            abort.raise_if_set()
+
+    def test_to_error_carries_reason_and_diagnostics(self):
+        abort = AbortCell()
+        abort.register_dump("phases", lambda: "gpu 0: idle")
+        spin = SpinConfig(timeout=1.0, pause=0.0, abort=abort)
+        sem = DeviceSemaphore(4, spin=spin, name="rx")
+        sem.post()
+        abort.trigger("watchdog")
+        err = abort.to_error()
+        assert err.reason == "watchdog"
+        assert "-- phases --" in err.diagnostics
+        assert "gpu 0: idle" in err.diagnostics
+        assert "rx: count=1/4 total_posted=1" in err.diagnostics
+
+    def test_failing_dump_source_does_not_break_diagnostics(self):
+        abort = AbortCell()
+
+        def broken():
+            raise ValueError("nope")
+
+        abort.register_dump("bad", broken)
+        abort.register_dump("good", lambda: "fine")
+        text = abort.diagnostics()
+        assert "<dump failed" in text
+        assert "fine" in text
+
+    def test_spin_exits_early_on_abort(self):
+        """A blocked wait leaves the spin as soon as the flag is set —
+        long before its own 5 s timeout."""
+        abort = AbortCell()
+        sem = DeviceSemaphore(
+            2, spin=SpinConfig(timeout=5.0, pause=0.0, abort=abort)
+        )
+        failures = []
+
+        def consumer():
+            try:
+                sem.wait()
+            except AbortedError:
+                failures.append("aborted")
+
+        t = threading.Thread(target=consumer)
+        started = time.monotonic()
+        t.start()
+        time.sleep(0.05)
+        abort.trigger("peer died")
+        t.join(timeout=2.0)
+        assert failures == ["aborted"]
+        assert time.monotonic() - started < 2.0
+
+    def test_timeout_triggers_abort_for_peers(self):
+        """The first semaphore to time out flips the shared flag so
+        every other primitive exits immediately after."""
+        abort = AbortCell()
+        spin = SpinConfig(timeout=0.05, pause=0.0, abort=abort)
+        sem = DeviceSemaphore(1, spin=spin, name="starved")
+        with pytest.raises(RuntimeClusterError, match="wait timed out"):
+            sem.wait()
+        assert abort.is_set()
+        assert "starved" in abort.reason and "wait timed out" in abort.reason
+
+    def test_attach_abort_joins_existing_semaphore(self):
+        abort = AbortCell()
+        sem = DeviceSemaphore(2, spin=SpinConfig(timeout=5.0, pause=0.0))
+        sem.attach_abort(abort)
+        abort.trigger("external failure")
+        with pytest.raises(AbortedError):
+            sem.wait()
+        # Attaching also registered it for the diagnostic dump.
+        assert "count=0/2" in abort.diagnostics()
+
+    def test_device_lock_attach_abort(self):
+        abort = AbortCell()
+        lock = DeviceLock(SpinConfig(timeout=5.0, pause=0.0))
+        lock.attach_abort(abort)
+        lock.lock()
+        abort.trigger("kill the spinners")
+        with pytest.raises(AbortedError):
+            lock.lock()
+
+    def test_peek_is_lock_free(self):
+        """peek must work even while another thread holds the device
+        lock — that is what makes the diagnostic dump deadlock-proof."""
+        sem = DeviceSemaphore(4, spin=SpinConfig(timeout=1.0, pause=0.0))
+        sem.post()
+        sem._lock.lock()  # simulate a kernel dying with the lock held
+        try:
+            assert sem.peek() == (1, 1)
+        finally:
+            sem._lock.unlock()

@@ -100,3 +100,47 @@ class TestResources:
 
     def test_validate_passes_on_dense_lanes(self):
         line_topo().validate()
+
+
+class TestWithoutLink:
+    def test_removes_both_directions(self):
+        degraded = line_topo().without_link(1, 2)
+        assert not degraded.has_link(1, 2)
+        assert not degraded.has_link(2, 1)
+        assert degraded.has_link(0, 1)
+        assert degraded.total_lanes() == 4
+
+    def test_unidirectional_failure(self):
+        degraded = line_topo().without_link(1, 2, bidirectional=False)
+        assert not degraded.has_link(1, 2)
+        assert degraded.has_link(2, 1)
+
+    def test_original_untouched(self):
+        topo = line_topo()
+        topo.without_link(1, 2)
+        assert topo.has_link(1, 2)
+        assert topo.total_lanes() == 6
+
+    def test_removes_every_lane_of_a_doubled_link(self):
+        topo = PhysicalTopology(nnodes=2, name="double")
+        topo.add_link(0, 1, alpha=1e-6, beta=1e-9)
+        topo.add_link(0, 1, alpha=1e-6, beta=1e-9)  # second brick
+        degraded = topo.without_link(0, 1)
+        assert degraded.total_lanes() == 0
+
+    def test_surviving_lanes_stay_dense(self):
+        topo = PhysicalTopology(nnodes=3, name="tri")
+        topo.add_link(0, 1, alpha=1e-6, beta=1e-9)
+        topo.add_link(0, 1, alpha=2e-6, beta=2e-9)
+        topo.add_link(1, 2, alpha=1e-6, beta=1e-9)
+        degraded = topo.without_link(1, 2)
+        degraded.validate()
+        assert degraded.lane_count(0, 1) == 2
+        assert degraded.link(0, 1, 1).alpha == 2e-6
+
+    def test_missing_link_rejected(self):
+        with pytest.raises(TopologyError, match="cannot fail missing link"):
+            line_topo().without_link(0, 3)
+
+    def test_name_records_the_failure(self):
+        assert line_topo().without_link(1, 2).name == "line-minus-1-2"
