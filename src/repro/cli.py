@@ -7,6 +7,7 @@ Usage::
     python -m repro autotune --network vgg16 --batch 16
     python -m repro chaos drops --drop 0.05 --corrupt 0.02
     python -m repro chaos crash --gpu 3
+    python -m repro chaos crash --recover --gpu -1 --seed 7
     python -m repro info
 """
 
@@ -68,12 +69,24 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--delay", type=float, default=2e-4,
                        help="mean injected link jitter in seconds (drops)")
     chaos.add_argument("--gpu", type=int, default=3,
-                       help="victim GPU id (crash / stuck)")
+                       help="victim GPU id (crash / stuck); -1 draws one "
+                            "from --seed (crash --recover)")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--iterations", type=int, default=2,
-                       help="training iterations (drops)")
+                       help="training iterations (drops / crash --recover)")
     chaos.add_argument("--elems", type=int, default=512,
                        help="gradient elements (drops / crash / stuck)")
+    chaos.add_argument("--recover", action="store_true",
+                       help="crash only: instead of aborting the job, "
+                            "re-embed the double tree over the surviving "
+                            "GPUs and resume from the last consistent "
+                            "weights (verified bit-exact)")
+    chaos.add_argument("--crash-iteration", type=int, default=-1,
+                       help="iteration at which the crash fires "
+                            "(crash --recover); -1 draws one from --seed")
+    chaos.add_argument("--policy", choices=("cost", "reembed", "restart"),
+                       default="reembed",
+                       help="recovery policy (crash --recover)")
 
     sub.add_parser("info", help="print library and model summary")
     return parser
@@ -204,6 +217,109 @@ def _chaos_drops(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _chaos_recover(args: argparse.Namespace) -> int:
+    """Crash-at-a-step recovery drill: abort -> drain -> re-embed -> resume.
+
+    The victim GPU, crash iteration, and crash chunk are drawn from
+    ``--seed`` unless pinned, so a seed sweep *is* a chaos soak.  Exit
+    code 0 requires the recovered weights to be bit-identical to the
+    fault-free serial reference replaying the same reduction orders.
+    """
+    import numpy as np
+
+    from repro.dnn.layers import LayerSpec, NetworkModel
+    from repro.runtime import (
+        FaultPlan,
+        GpuFault,
+        RecoveryPolicy,
+        ResilientTrainer,
+        quadratic_gradient,
+        recovery_serial_reference,
+        serial_reference,
+        tree_reduce_order,
+    )
+    from repro.runtime.faults import CRASH
+    from repro.runtime.sync import SpinConfig
+    from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+    from repro.topology.dgx1_trees import DETOURED_EDGES, dgx1_trees
+
+    rng = np.random.default_rng(args.seed)
+    iterations = max(2, args.iterations)
+    gpu = args.gpu if args.gpu >= 0 else int(rng.integers(0, 8))
+    crash_at = (
+        args.crash_iteration
+        if args.crash_iteration >= 0
+        else int(rng.integers(0, iterations))
+    )
+    after_chunk = int(rng.integers(0, 4))
+
+    net = NetworkModel(
+        name="chaos",
+        layers=(LayerSpec(name="L0", params=args.elems, fwd_flops=1e6),),
+    )
+    targets = [rng.normal(size=args.elems) for _ in range(8)]
+    w0 = rng.normal(size=args.elems)
+    gradient_fn = quadratic_gradient(targets)
+    trainer = ResilientTrainer(
+        dgx1_topology(),
+        net,
+        gradient_fn,
+        trees=dgx1_trees(),
+        detour_map=DETOURED_EDGES,
+        learning_rate=0.02,
+        policy=RecoveryPolicy(mode=args.policy),
+        spin=SpinConfig(timeout=30.0, pause=0.0),
+        detour_preference=DETOUR_NODES,
+        search_seed=args.seed,
+    )
+    plan = FaultPlan(
+        gpu_faults=(GpuFault(gpu, CRASH, after_chunk=after_chunk),),
+        seed=args.seed,
+    )
+    report = trainer.train(
+        w0.copy(),
+        iterations=iterations,
+        fault_plan=plan,
+        fault_at_iteration=crash_at,
+    )
+    print(
+        f"injected crash: gpu {gpu}, iteration {crash_at}, "
+        f"chunk {after_chunk} (seed {args.seed})"
+    )
+    for line in report.timeline:
+        print(f"  {line}")
+    if not report.aborted:
+        print("ERROR: the cluster never aborted")
+        return 1
+    if report.decision is not None:
+        print(
+            f"policy: {report.decision.action} — "
+            f"degraded {report.decision.degraded_cost * 1e3:.3f} ms vs "
+            f"restart {report.decision.restart_cost * 1e3:.3f} ms"
+        )
+    if report.embedding is not None:
+        reference = recovery_serial_reference(
+            net, gradient_fn, w0.copy(),
+            report=report,
+            healthy_trees=trainer.trees,
+            healthy_layout=trainer.layout,
+            iterations=iterations,
+            learning_rate=0.02,
+        )
+    else:
+        reference = serial_reference(
+            net, gradient_fn, w0.copy(),
+            nnodes=8, iterations=iterations, learning_rate=0.02,
+            reduce_order=tree_reduce_order(trainer.trees, trainer.layout),
+        )
+    identical = bool(np.array_equal(report.weights, reference))
+    print(
+        "recovered weights bit-identical to fault-free serial reference: "
+        + ("yes" if identical else "NO")
+    )
+    return 0 if identical else 1
+
+
 def _chaos_kill(args: argparse.Namespace, kind: str, timeout: float) -> int:
     import time
 
@@ -236,6 +352,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if args.scenario == "drops":
             return _chaos_drops(args)
         if args.scenario == "crash":
+            if args.recover:
+                return _chaos_recover(args)
             from repro.runtime.faults import CRASH
 
             return _chaos_kill(args, CRASH, timeout=10.0)

@@ -14,19 +14,32 @@ unchanged logical double-tree schedule two ways:
 - ``pcie``: the failed brick is replaced by a host-staged PCIe channel
   (what NCCL falls back to without detour routing).
 
+A failure spec is ``(u, v)`` — the whole link, every lane — or
+``(u, v, lane)`` — a single brick, so the duplicated GPU2-GPU3 /
+GPU6-GPU7 channels can lose one brick while the same-pair duplicate
+survives (the two trees then contend for the last lane instead of
+rerouting).
+
 Each degraded embedding is re-simulated and re-verified with the
 symbolic schedule checker in the *simulated completion order*, proving
 the reroute still computes a correct AllReduce; the reported slowdown
-quantifies the cost of surviving the failure.
+quantifies the cost of surviving the failure.  A failure that leaves
+some tree edge unroutable (the double tree is *infeasible* on what
+remains) is reported as such — ``degraded_us`` infinite, ``verified``
+False — instead of aborting the sweep: that row is the signal to fall
+back to a survivor re-embedding (:mod:`repro.experiments.ext_recovery`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.collectives.double_tree import ccube_allreduce
 from repro.collectives.base import simulate_on_physical
 from repro.collectives.verification import check_allreduce_simulated
+from repro.errors import RoutingError
 from repro.experiments.report import render_table
 from repro.topology.base import LinkKind, PhysicalTopology
 from repro.topology.dgx1 import (
@@ -37,12 +50,13 @@ from repro.topology.dgx1 import (
 )
 from repro.topology.dgx1_trees import dgx1_trees
 from repro.topology.embedding import embed_on_physical
+from repro.topology.logical import BinaryTree
 from repro.topology.routing import Router
 
 #: NVLinks to fail, one at a time.  Both carry tree edges of the DGX-1
 #: embedding (2-6 is a tree-1 uplink, 0-3 a tree-1 downlink edge), so a
 #: failure actually perturbs the schedule.
-DEFAULT_FAILED_LINKS: tuple[tuple[int, int], ...] = ((2, 6), (0, 3))
+DEFAULT_FAILED_LINKS: tuple[tuple[int, ...], ...] = ((2, 6), (0, 3))
 
 
 @dataclass(frozen=True)
@@ -51,17 +65,21 @@ class FaultRow:
 
     Attributes:
         failed_link: the NVLink pair taken down (both directions).
+        lane: single failed brick index, or None for the whole link.
         mode: ``"detour"`` (reroute over NVLinks) or ``"pcie"`` (host
             fallback channel replacing the failed brick).
         healthy_us: AllReduce makespan on the intact topology.
-        degraded_us: makespan after failure + reroute.
+        degraded_us: makespan after failure + reroute (``inf`` when the
+            double tree is infeasible on the surviving links).
         slowdown_pct: ``degraded / healthy - 1`` in percent (>= 0).
         extra_detours: detoured transfers beyond the healthy embedding's.
         verified: the rerouted schedule passed the symbolic AllReduce
-            checker in simulated completion order.
+            checker in simulated completion order (False when
+            infeasible).
     """
 
     failed_link: tuple[int, int]
+    lane: int | None
     mode: str
     healthy_us: float
     degraded_us: float
@@ -70,10 +88,23 @@ class FaultRow:
     verified: bool
 
 
+def _split_spec(spec: Sequence[int]) -> tuple[int, int, int | None]:
+    if len(spec) == 2:
+        return spec[0], spec[1], None
+    if len(spec) == 3:
+        return spec[0], spec[1], spec[2]
+    raise ValueError(f"failed-link spec must be (u, v[, lane]): {spec!r}")
+
+
 def _degraded_topology(
-    base: PhysicalTopology, u: int, v: int, *, pcie: bool
+    base: PhysicalTopology,
+    u: int,
+    v: int,
+    *,
+    pcie: bool,
+    lane: int | None = None,
 ) -> PhysicalTopology:
-    topo = base.without_link(u, v)
+    topo = base.without_link(u, v, lane=lane)
     if pcie:
         topo.add_link(
             u, v,
@@ -89,14 +120,22 @@ def run(
     *,
     nbytes: float = 8 * 2**20,
     nchunks: int = 8,
-    failed_links: tuple[tuple[int, int], ...] = DEFAULT_FAILED_LINKS,
+    failed_links: tuple[tuple[int, ...], ...] = DEFAULT_FAILED_LINKS,
+    topo: PhysicalTopology | None = None,
+    trees: tuple[BinaryTree, BinaryTree] | None = None,
+    detour_preference: Sequence[int] = DETOUR_NODES,
 ) -> list[FaultRow]:
-    """Fail each link in turn; quantify the reroute's slowdown."""
+    """Fail each link in turn; quantify the reroute's slowdown.
+
+    ``topo``/``trees`` default to the paper's DGX-1 and its hand-crafted
+    pair; passing both sweeps failures on an arbitrary system instead.
+    """
+    healthy = topo if topo is not None else dgx1_topology()
+    tree_pair = trees if trees is not None else dgx1_trees()
     schedule = ccube_allreduce(
-        8, float(nbytes), nchunks=nchunks, trees=dgx1_trees()
+        healthy.nnodes, float(nbytes), nchunks=nchunks, trees=tree_pair
     )
-    healthy = dgx1_topology()
-    healthy_router = Router(healthy, detour_preference=DETOUR_NODES)
+    healthy_router = Router(healthy, detour_preference=detour_preference)
     base_outcome = simulate_on_physical(
         schedule, healthy, router=healthy_router
     )
@@ -104,16 +143,39 @@ def run(
     _, base_report = embed_on_physical(schedule.dag, healthy, healthy_router)
 
     rows: list[FaultRow] = []
-    for u, v in failed_links:
+    for spec in failed_links:
+        u, v, lane = _split_spec(spec)
         for mode in ("detour", "pcie"):
-            topo = _degraded_topology(healthy, u, v, pcie=(mode == "pcie"))
-            router = Router(topo, detour_preference=DETOUR_NODES)
-            outcome = simulate_on_physical(schedule, topo, router=router)
-            check_allreduce_simulated(outcome)
-            _, report = embed_on_physical(schedule.dag, topo, router)
+            degraded = _degraded_topology(
+                healthy, u, v, pcie=(mode == "pcie"), lane=lane
+            )
+            router = Router(degraded, detour_preference=detour_preference)
+            try:
+                outcome = simulate_on_physical(
+                    schedule, degraded, router=router
+                )
+                check_allreduce_simulated(outcome)
+                _, report = embed_on_physical(schedule.dag, degraded, router)
+            except RoutingError:
+                # The surviving links cannot carry the double tree at
+                # all — report the infeasibility instead of dying.
+                rows.append(
+                    FaultRow(
+                        failed_link=(u, v),
+                        lane=lane,
+                        mode=mode,
+                        healthy_us=base_outcome.total_time * 1e6,
+                        degraded_us=math.inf,
+                        slowdown_pct=math.inf,
+                        extra_detours=0,
+                        verified=False,
+                    )
+                )
+                continue
             rows.append(
                 FaultRow(
                     failed_link=(u, v),
+                    lane=lane,
                     mode=mode,
                     healthy_us=base_outcome.total_time * 1e6,
                     degraded_us=outcome.total_time * 1e6,
@@ -128,21 +190,34 @@ def run(
 
 
 def format_table(rows: list[FaultRow]) -> str:
+    def fmt_link(r: FaultRow) -> str:
+        u, v = r.failed_link
+        return f"{u}-{v}" + (f" lane {r.lane}" if r.lane is not None else "")
+
+    def fmt_degraded(r: FaultRow) -> str:
+        if math.isinf(r.degraded_us):
+            return "INFEASIBLE"
+        return f"{r.degraded_us:.1f}"
+
+    def fmt_slowdown(r: FaultRow) -> str:
+        if math.isinf(r.slowdown_pct):
+            return "-"
+        return f"{r.slowdown_pct:+.1f}%"
+
     return render_table(
         ["failed link", "failover", "healthy (us)", "degraded (us)",
          "slowdown", "extra detours", "verified"],
         [
             (
-                f"{u}-{v}",
+                fmt_link(r),
                 r.mode,
                 f"{r.healthy_us:.1f}",
-                f"{r.degraded_us:.1f}",
-                f"{r.slowdown_pct:+.1f}%",
+                fmt_degraded(r),
+                fmt_slowdown(r),
                 r.extra_detours,
                 "yes" if r.verified else "NO",
             )
             for r in rows
-            for u, v in [r.failed_link]
         ],
         title=(
             "Extension — NVLink failure degradation "

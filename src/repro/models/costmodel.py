@@ -129,6 +129,68 @@ def turnaround_overlapped(
     return 2.0 * logp * chunk_time
 
 
+def degraded_overlapped_tree_time(
+    nnodes: int, nbytes: float, p: CostParams, *, detours: int = 0,
+    conflicts: int = 0,
+) -> float:
+    """Eq. 7 generalized to a degraded survivor set.
+
+    A re-embedded double tree over ``nnodes`` survivors is usually not a
+    power of two (7 GPUs after one crash on a DGX-1), so the tree height
+    is ``ceil(log2 P)``.  Every detoured edge adds one extra pipeline
+    stage (the forwarding hop through the intermediate GPU) at the
+    optimal chunk size, and every conflicting channel — one both trees
+    demand beyond the surviving lane supply — serializes the two trees'
+    half-buffer streams, adding ``beta N / ntrees`` of busy time on the
+    critical path.
+
+    Raises:
+        ConfigError: on invalid sizes or negative detour/conflict counts.
+    """
+    _check(nnodes, nbytes)
+    if detours < 0 or conflicts < 0:
+        raise ConfigError("detour/conflict counts must be non-negative")
+    logp = float(math.ceil(math.log2(nnodes)))
+    total = (
+        2.0 * logp * p.alpha
+        + p.beta * nbytes
+        + 3.0 * math.sqrt(p.alpha * p.beta * nbytes * logp)
+    )
+    total += conflicts * p.beta * nbytes / 2.0
+    if detours and p.alpha > 0:
+        kopt = max(1.0, math.sqrt(logp * p.beta * nbytes / p.alpha))
+        total += detours * (p.alpha + p.beta * nbytes / kopt)
+    return total
+
+
+def restart_from_checkpoint_time(
+    nnodes: int,
+    nbytes: float,
+    p: CostParams,
+    *,
+    lost_iterations: float,
+    compute_time: float = 0.0,
+    restart_overhead: float,
+) -> float:
+    """Cost of abandoning the degraded cluster and restarting healthy.
+
+    The alternative to re-embedding: spin up a replacement GPU
+    (``restart_overhead`` covers re-init, weight reload, NCCL-style
+    communicator rebuild) and redo every iteration since the last
+    checkpoint at the *healthy* per-iteration rate.
+
+    Raises:
+        ConfigError: on negative overheads or lost work.
+    """
+    _check(nnodes, nbytes)
+    if lost_iterations < 0:
+        raise ConfigError("lost_iterations must be non-negative")
+    if restart_overhead < 0 or compute_time < 0:
+        raise ConfigError("overheads must be non-negative")
+    per_iteration = overlapped_tree_time(nnodes, nbytes, p) + compute_time
+    return restart_overhead + lost_iterations * per_iteration
+
+
 def tree_over_ring_ratio(nnodes: int, nbytes: float, p: CostParams) -> float:
     """Paper Fig. 4's metric: ``(1/T_tree) / (1/T_ring)`` — above 1 means
     the tree algorithm outperforms the ring."""

@@ -43,6 +43,17 @@ from repro.runtime.faults import (
 from repro.runtime.memory import ChunkLayout, GradientBuffer
 from repro.runtime.allreduce import RunReport, TreeAllReduceRuntime
 from repro.runtime.queue_runtime import ChainedTrainingRuntime, ComputeRecord
+from repro.runtime.recovery import (
+    RecoveryDecision,
+    RecoveryPolicy,
+    RecoveryReport,
+    ResilientTrainer,
+    adopted_gradient_fn,
+    detect_dead_gpus,
+    drain_aborted_run,
+    recovery_serial_reference,
+    shard_assignments,
+)
 from repro.runtime.ring_runtime import RingAllReduceRuntime, RingRunReport
 from repro.runtime.training import (
     FunctionalTrainer,
@@ -75,4 +86,13 @@ __all__ = [
     "tree_reduce_order",
     "RingAllReduceRuntime",
     "RingRunReport",
+    "RecoveryDecision",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "ResilientTrainer",
+    "adopted_gradient_fn",
+    "detect_dead_gpus",
+    "drain_aborted_run",
+    "recovery_serial_reference",
+    "shard_assignments",
 ]

@@ -1,0 +1,651 @@
+"""Degraded-mode recovery: re-embed the double tree over the survivors.
+
+PR 1 made a GPU crash *fail-fast*: the abort cell stops the whole cluster
+within one bounded step.  This module implements the next posture — keep
+training.  The paper's Observation #4 is that the logical tree is
+re-embeddable on whatever physical links exist (detour routes are exactly
+that, statically); ForestColl re-plans collectives for heterogeneous
+fabrics and Cloud Collectives reorders ranks around slow VMs.  Here the
+same recover-by-re-planning idea runs end to end on the functional
+cluster:
+
+1. **abort** — the crashed kernel trips the :class:`AbortCell`; the run
+   raises :class:`~repro.errors.AbortedError` with diagnostics;
+2. **drain** — the kernel pool's abort grace lets every surviving kernel
+   observe the flag and exit; in-flight chunks live only in the aborted
+   run's wires and buffers, which are discarded with the runtime;
+3. **detect** — the dead GPUs are read off the phase board (``"crashed
+   in reduce t0 at chunk 1"``) with the abort reason as fallback;
+4. **decide** — a :class:`RecoveryPolicy` compares the modeled cost of
+   finishing on the degraded 7-GPU double tree against restarting on a
+   healthy replacement from the last checkpoint;
+5. **re-embed** — :func:`~repro.topology.tree_search.search_degraded_pair`
+   finds the best pair over the survivors (compacted to dense ranks),
+   the dead GPU's data shard is *adopted* by a deterministic survivor,
+   and a fresh :class:`~repro.runtime.cluster.KernelPool` schedule is
+   instantiated on the 7 ranks;
+6. **resume** — training continues from the last consistent
+   ``weight_history`` entry; the crashed iteration is redone.
+
+Accuracy-neutrality extends across the recovery boundary: the recovered
+weights are bit-identical to :func:`recovery_serial_reference`, a
+fault-free serial SGD that replays the same reduction orders (8-GPU tree
+order before the crash, 7-rank degraded order with shard adoption after).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AbortedError, ConfigError
+from repro.dnn.layers import NetworkModel
+from repro.models.costmodel import (
+    CostParams,
+    degraded_overlapped_tree_time,
+    overlapped_tree_time,
+    restart_from_checkpoint_time,
+)
+from repro.runtime.allreduce import TreeAllReduceRuntime
+from repro.runtime.faults import FaultPlan
+from repro.runtime.sync import SpinConfig
+from repro.runtime.training import (
+    FunctionalTrainer,
+    GradientFn,
+    serial_reference,
+    tree_reduce_order,
+)
+from repro.topology.base import PhysicalTopology
+from repro.topology.dgx1 import NVLINK_ALPHA, NVLINK_BANDWIDTH
+from repro.topology.logical import BinaryTree
+from repro.topology.routing import Router
+from repro.topology.tree_search import (
+    DegradedEmbedding,
+    detour_map_for,
+    search_degraded_pair,
+    search_tree_pair,
+)
+
+#: Recovery actions / policy modes.
+REEMBED = "reembed"
+RESTART = "restart"
+COST_BASED = "cost"
+
+_POLICY_MODES = (COST_BASED, REEMBED, RESTART)
+
+#: Kernel names carry the GPU id; fallback when the phase board is clean.
+_KERNEL_GPU_RE = re.compile(r"kernel '[a-z-]+ t\d+ g(\d+)'")
+
+#: A wait timeout names the starved semaphore ``'t0:5->6.up'``; the
+#: *poster* (first id) is the GPU that went silent.
+_SEMAPHORE_RE = re.compile(r"semaphore 't\d+:(\d+)->(\d+)\.")
+
+
+def detect_dead_gpus(runtime: TreeAllReduceRuntime) -> tuple[int, ...]:
+    """Physical GPUs that died in ``runtime``'s most recent aborted run.
+
+    Primary source is the phase board (crash/stuck faults stamp their
+    last phase before firing); if the board shows nothing — a stuck
+    tree-0 kernel's stamp can be overwritten by its still-running tree-1
+    siblings — the abort reason is parsed instead: a failing kernel's
+    name carries the GPU id, and a wait timeout names the starved
+    semaphore, whose *poster* is the GPU that went silent.
+    """
+    dead: set[int] = set()
+    board = runtime.phase_board
+    if board is not None:
+        for gpu in range(runtime.nnodes):
+            phase = board.get(gpu)
+            if "crashed" in phase or "stuck" in phase:
+                dead.add(gpu)
+    if not dead and runtime.abort_cell is not None:
+        reason = runtime.abort_cell.reason
+        match = _KERNEL_GPU_RE.search(reason)
+        if match:
+            dead.add(int(match.group(1)))
+        else:
+            match = _SEMAPHORE_RE.search(reason)
+            if match:
+                dead.add(int(match.group(1)))
+    return tuple(sorted(dead))
+
+
+def drain_aborted_run(
+    runtime: TreeAllReduceRuntime, *, grace: float = 0.05
+) -> dict[str, int]:
+    """Step 2 of the recovery state machine: drain the aborted cluster.
+
+    By the time :class:`~repro.errors.AbortedError` propagates, the
+    kernel pool has already granted its abort grace, so surviving kernel
+    threads have observed the flag; any in-flight chunk exists only in
+    the aborted run's wires and gradient buffers, which die with the
+    runtime object.  This helper asserts the abort actually fired, gives
+    stragglers one more short grace to leave their spin loops, and
+    returns the final fault-stats snapshot for the recovery timeline.
+
+    Raises:
+        ConfigError: when called on a runtime that never aborted.
+    """
+    if runtime.abort_cell is None or not runtime.abort_cell.is_set():
+        raise ConfigError("drain requested but the cluster never aborted")
+    time.sleep(grace)
+    if runtime.fault_plan is not None:
+        return runtime.fault_plan.stats.snapshot()
+    return {}
+
+
+@dataclass(frozen=True)
+class RecoveryDecision:
+    """Outcome of the degraded-vs-restart cost comparison.
+
+    Attributes:
+        action: ``"reembed"`` or ``"restart"``.
+        degraded_cost: modeled seconds to finish on the survivors.
+        restart_cost: modeled seconds to finish after a healthy restart.
+        reason: one-line human-readable justification.
+    """
+
+    action: str
+    degraded_cost: float
+    restart_cost: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Picks between degraded continuation and restart-from-checkpoint.
+
+    Attributes:
+        mode: ``"cost"`` (compare modeled costs), ``"reembed"``, or
+            ``"restart"`` (forced, for drills and tests).
+        params: alpha/beta of the collective's links (defaults to one
+            NVLink 2.0 brick, matching the DGX-1 model).
+        restart_overhead: seconds to bring up a replacement GPU, reload
+            weights, and rebuild the communicator.
+        compute_time: per-iteration compute seconds (added to both
+            sides' per-iteration cost).
+    """
+
+    mode: str = COST_BASED
+    params: CostParams = field(
+        default_factory=lambda: CostParams(
+            alpha=NVLINK_ALPHA, beta=1.0 / NVLINK_BANDWIDTH
+        )
+    )
+    restart_overhead: float = 30.0
+    compute_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _POLICY_MODES:
+            raise ConfigError(
+                f"unknown recovery policy mode {self.mode!r}; "
+                f"expected one of {_POLICY_MODES}"
+            )
+        if self.restart_overhead < 0 or self.compute_time < 0:
+            raise ConfigError("policy overheads must be non-negative")
+
+    def decide(
+        self,
+        *,
+        nnodes_healthy: int,
+        nnodes_degraded: int,
+        nbytes: float,
+        detours: int,
+        conflicts: int = 0,
+        remaining_iterations: int,
+        lost_iterations: int = 0,
+    ) -> RecoveryDecision:
+        """Compare time-to-completion from the crash point.
+
+        ``remaining_iterations`` includes the crashed iteration (both
+        paths redo it); ``lost_iterations`` is *extra* redo work the
+        restart path owes because its checkpoint is older than the
+        re-embedding path's resume point.
+        """
+        if remaining_iterations < 0 or lost_iterations < 0:
+            raise ConfigError("iteration counts must be non-negative")
+        per_degraded = (
+            degraded_overlapped_tree_time(
+                nnodes_degraded, nbytes, self.params,
+                detours=detours, conflicts=conflicts,
+            )
+            + self.compute_time
+        )
+        degraded_cost = remaining_iterations * per_degraded
+        restart_cost = restart_from_checkpoint_time(
+            nnodes_healthy,
+            nbytes,
+            self.params,
+            lost_iterations=lost_iterations + remaining_iterations,
+            compute_time=self.compute_time,
+            restart_overhead=self.restart_overhead,
+        )
+        if self.mode == REEMBED:
+            action, reason = REEMBED, "policy forces re-embedding"
+        elif self.mode == RESTART:
+            action, reason = RESTART, "policy forces restart"
+        elif degraded_cost <= restart_cost:
+            action = REEMBED
+            reason = (
+                f"degraded finish {degraded_cost:.3g}s <= restart "
+                f"{restart_cost:.3g}s"
+            )
+        else:
+            action = RESTART
+            reason = (
+                f"restart {restart_cost:.3g}s < degraded finish "
+                f"{degraded_cost:.3g}s"
+            )
+        return RecoveryDecision(
+            action=action,
+            degraded_cost=degraded_cost,
+            restart_cost=restart_cost,
+            reason=reason,
+        )
+
+
+def shard_assignments(
+    embedding: DegradedEmbedding, nnodes_healthy: int
+) -> dict[int, tuple[int, ...]]:
+    """Which physical data shards each survivor rank computes for.
+
+    Every rank keeps its own shard; each dead GPU's orphaned shard is
+    *adopted* by the survivor at rank ``dead % nsurvivors`` — a fixed,
+    deterministic rule so the distributed run and the serial reference
+    agree on the exact order of the adopting sum.
+    """
+    nranks = len(embedding.gpu_of)
+    assignments = {
+        rank: [gpu] for rank, gpu in sorted(embedding.gpu_of.items())
+    }
+    dead = [
+        g for g in range(nnodes_healthy) if g not in embedding.rank_of
+    ]
+    for gpu in dead:
+        assignments[gpu % nranks].append(gpu)
+    return {rank: tuple(shards) for rank, shards in assignments.items()}
+
+
+def adopted_gradient_fn(
+    base: GradientFn, assignments: dict[int, tuple[int, ...]]
+) -> GradientFn:
+    """Per-rank gradient over adopted shards, summed in assignment order.
+
+    The sum is formed in float64 and in the exact tuple order of the
+    assignment, so :func:`recovery_serial_reference` can replay it
+    bit-for-bit.
+    """
+
+    def fn(weights: np.ndarray, rank: int, iteration: int) -> np.ndarray:
+        shards = assignments[rank]
+        acc = np.asarray(
+            base(weights, shards[0], iteration), dtype=np.float64
+        ).copy()
+        for shard in shards[1:]:
+            acc += np.asarray(
+                base(weights, shard, iteration), dtype=np.float64
+            )
+        return acc
+
+    return fn
+
+
+@dataclass
+class RecoveryReport:
+    """Everything one resilient training run did.
+
+    Attributes:
+        weights: final shared weights.
+        weight_history: weights after every completed iteration (the
+            crashed attempt is excluded; its redo is included).
+        fault_at_iteration: iteration at which the fault plan was armed
+            (-1 when the run had no fault plan).
+        aborted: whether the cluster aborted and recovery engaged.
+        abort_reason: the abort cell's recorded reason (empty otherwise).
+        dead_gpus: physical GPUs detected dead.
+        decision: the policy's cost comparison (None without an abort).
+        embedding: the survivor re-embedding (None unless re-embedded).
+        assignments: rank -> adopted physical shards (None unless
+            re-embedded).
+        resumed_from_iteration: iteration index training resumed at.
+        timeline: human-readable state-machine trace.
+    """
+
+    weights: np.ndarray
+    weight_history: list[np.ndarray]
+    fault_at_iteration: int
+    aborted: bool
+    abort_reason: str
+    dead_gpus: tuple[int, ...]
+    decision: RecoveryDecision | None
+    embedding: DegradedEmbedding | None
+    assignments: dict[int, tuple[int, ...]] | None
+    resumed_from_iteration: int
+    timeline: list[str] = field(default_factory=list)
+
+
+class ResilientTrainer:
+    """Data-parallel SGD that survives a GPU crash by re-embedding.
+
+    Wraps the healthy :class:`~repro.runtime.training.FunctionalTrainer`
+    loop with the abort -> drain -> detect -> decide -> re-embed ->
+    resume state machine described in the module docstring.
+
+    Args:
+        topo: the intact physical topology (GPU ids ``0..P-1``).
+        network: layer table for the gradient queue.
+        gradient_fn: per-physical-GPU local gradient function; shard
+            adoption composes on top of it after a crash.
+        trees: healthy double-tree pair (searched on ``topo`` when
+            omitted).
+        detour_map: healthy detour routes (computed when omitted).
+        chunks_per_tree: pipeline chunk count K per tree.
+        learning_rate: SGD step size on the summed gradient.
+        policy: degraded-vs-restart policy (default: cost-based).
+        spin: spin config for every runtime this trainer builds.
+        detour_preference: preferred detour intermediates (physical ids).
+        search_iterations / search_restarts / search_seed: degraded
+            hill-climb budget.
+    """
+
+    def __init__(
+        self,
+        topo: PhysicalTopology,
+        network: NetworkModel,
+        gradient_fn: GradientFn,
+        *,
+        trees: tuple[BinaryTree, BinaryTree] | None = None,
+        detour_map: dict[tuple[int, int], int] | None = None,
+        chunks_per_tree: int = 4,
+        learning_rate: float = 0.05,
+        policy: RecoveryPolicy | None = None,
+        spin: SpinConfig | None = None,
+        detour_preference: tuple[int, ...] = (),
+        search_iterations: int = 1200,
+        search_restarts: int = 3,
+        search_seed: int = 0,
+    ):
+        self.topo = topo
+        self.network = network
+        self.gradient_fn = gradient_fn
+        self.chunks_per_tree = chunks_per_tree
+        self.learning_rate = learning_rate
+        self.policy = policy or RecoveryPolicy()
+        self.spin = spin or SpinConfig()
+        self.detour_preference = detour_preference
+        self._search_kwargs = dict(
+            iterations=search_iterations,
+            restarts=search_restarts,
+            seed=search_seed,
+        )
+        if trees is None:
+            router = Router(topo, detour_preference=detour_preference)
+            trees, _cost = search_tree_pair(topo, router=router)
+            detour_map = detour_map_for(trees, topo, router)
+        self.trees = trees
+        self.detour_map = dict(detour_map or {})
+
+    @property
+    def layout(self):
+        """Chunk layout shared by the healthy and degraded runtimes (it
+        depends on element count, tree count, and K — not on P)."""
+        return self._healthy_runtime(None).layout
+
+    # -- runtime construction -------------------------------------------
+
+    def _healthy_runtime(
+        self, fault_plan: FaultPlan | None
+    ) -> TreeAllReduceRuntime:
+        return TreeAllReduceRuntime(
+            self.trees,
+            total_elems=self.network.total_params,
+            chunks_per_tree=self.chunks_per_tree,
+            detour_map=self.detour_map,
+            spin=self.spin,
+            fault_plan=fault_plan,
+        )
+
+    def _degraded_runtime(
+        self, embedding: DegradedEmbedding
+    ) -> TreeAllReduceRuntime:
+        return TreeAllReduceRuntime(
+            embedding.trees,
+            total_elems=self.network.total_params,
+            chunks_per_tree=self.chunks_per_tree,
+            detour_map=embedding.detour_map,
+            spin=self.spin,
+        )
+
+    def _segment(
+        self,
+        runtime: TreeAllReduceRuntime,
+        gradient_fn: GradientFn,
+        weights: np.ndarray,
+        iterations: int,
+    ) -> list[np.ndarray]:
+        trainer = FunctionalTrainer(
+            runtime,
+            self.network,
+            gradient_fn,
+            learning_rate=self.learning_rate,
+        )
+        return trainer.train(weights, iterations=iterations).weight_history
+
+    @staticmethod
+    def _shifted(fn: GradientFn, offset: int) -> GradientFn:
+        """Gradient function with the iteration counter rebased, so a
+        resumed segment sees the global iteration index."""
+
+        def shifted(weights: np.ndarray, gpu: int, iteration: int):
+            return fn(weights, gpu, iteration + offset)
+
+        return shifted
+
+    # -- entry point -----------------------------------------------------
+
+    def train(
+        self,
+        initial_weights: np.ndarray,
+        *,
+        iterations: int,
+        fault_plan: FaultPlan | None = None,
+        fault_at_iteration: int = 0,
+    ) -> RecoveryReport:
+        """Run ``iterations`` steps, arming ``fault_plan`` at the given
+        iteration and recovering if the cluster aborts.
+
+        Raises:
+            ConfigError: on invalid iteration indices.
+            AbortedError: only when recovery itself is impossible (e.g.
+                too few survivors) — re-raised with the original abort.
+        """
+        if iterations < 1:
+            raise ConfigError("need at least 1 iteration")
+        if not 0 <= fault_at_iteration < iterations:
+            raise ConfigError(
+                f"fault_at_iteration {fault_at_iteration} outside "
+                f"[0, {iterations})"
+            )
+        timeline: list[str] = []
+        weights = np.asarray(initial_weights, dtype=np.float64).copy()
+        history: list[np.ndarray] = []
+
+        # Healthy prefix: iterations before the fault is armed.
+        prefix = fault_at_iteration if fault_plan is not None else 0
+        if prefix:
+            history.extend(
+                self._segment(
+                    self._healthy_runtime(None), self.gradient_fn,
+                    weights, prefix,
+                )
+            )
+            weights = history[-1].copy()
+            timeline.append(f"healthy: iterations 0..{prefix - 1} done")
+
+        # Faulted attempt (or the whole run when no plan is armed).
+        runtime = self._healthy_runtime(fault_plan)
+        remaining = iterations - prefix
+        try:
+            history.extend(
+                self._segment(
+                    runtime,
+                    self._shifted(self.gradient_fn, prefix),
+                    weights, remaining,
+                )
+            )
+            timeline.append(
+                f"healthy: iterations {prefix}..{iterations - 1} done"
+                + (" (armed fault never aborted)" if fault_plan else "")
+            )
+            return RecoveryReport(
+                weights=history[-1].copy(),
+                weight_history=history,
+                fault_at_iteration=(
+                    fault_at_iteration if fault_plan is not None else -1
+                ),
+                aborted=False,
+                abort_reason="",
+                dead_gpus=(),
+                decision=None,
+                embedding=None,
+                assignments=None,
+                resumed_from_iteration=-1,
+                timeline=timeline,
+            )
+        except AbortedError as abort:
+            # How far did the faulted segment get before dying?  The
+            # trainer's history is lost with the exception, so the redo
+            # restarts from the last completed *checkpoint* — the prefix
+            # boundary.  (FunctionalTrainer aborts on its first faulted
+            # iteration because crash faults re-fire every run, so the
+            # prefix boundary IS the last consistent entry.)
+            timeline.append(f"abort: {abort.reason}")
+            stats = drain_aborted_run(runtime)
+            timeline.append(
+                "drain: in-flight chunks discarded with the aborted run"
+                + (f"; fault stats {stats}" if stats else "")
+            )
+            dead = detect_dead_gpus(runtime)
+            if not dead:
+                timeline.append("detect: no dead GPU identified; rethrowing")
+                raise
+            timeline.append(f"detect: dead GPUs {list(dead)}")
+
+        embedding = search_degraded_pair(
+            self.topo,
+            dead,
+            detour_preference=self.detour_preference,
+            **self._search_kwargs,
+        )
+        decision = self.policy.decide(
+            nnodes_healthy=self.topo.nnodes,
+            nnodes_degraded=embedding.topology.nnodes,
+            nbytes=float(self.network.total_params * 8),
+            detours=embedding.cost.detours,
+            conflicts=embedding.cost.conflicts,
+            remaining_iterations=remaining,
+        )
+        timeline.append(
+            f"decide: {decision.action} ({decision.reason})"
+        )
+
+        assignments: dict[int, tuple[int, ...]] | None = None
+        if decision.action == REEMBED:
+            assignments = shard_assignments(embedding, self.topo.nnodes)
+            timeline.append(
+                "re-embed: "
+                f"{embedding.topology.nnodes} ranks, cost {embedding.cost}, "
+                f"shards {assignments}"
+            )
+            resumed_runtime = self._degraded_runtime(embedding)
+            resume_fn = self._shifted(
+                adopted_gradient_fn(self.gradient_fn, assignments), prefix
+            )
+        else:
+            timeline.append(
+                "restart: replacement GPU joins, healthy 8-GPU schedule"
+            )
+            resumed_runtime = self._healthy_runtime(None)
+            resume_fn = self._shifted(self.gradient_fn, prefix)
+            embedding = None
+
+        history.extend(
+            self._segment(resumed_runtime, resume_fn, weights, remaining)
+        )
+        timeline.append(
+            f"resume: iterations {prefix}..{iterations - 1} redone from "
+            f"the last consistent weight_history entry"
+        )
+        return RecoveryReport(
+            weights=history[-1].copy(),
+            weight_history=history,
+            fault_at_iteration=fault_at_iteration,
+            aborted=True,
+            abort_reason=runtime.abort_cell.reason,
+            dead_gpus=dead,
+            decision=decision,
+            embedding=embedding,
+            assignments=assignments,
+            resumed_from_iteration=prefix,
+            timeline=timeline,
+        )
+
+
+def recovery_serial_reference(
+    network: NetworkModel,
+    gradient_fn: GradientFn,
+    initial_weights: np.ndarray,
+    *,
+    report: RecoveryReport,
+    healthy_trees: tuple[BinaryTree, ...],
+    healthy_layout,
+    iterations: int,
+    learning_rate: float = 0.05,
+) -> np.ndarray:
+    """The fault-free serial SGD a recovered run must reproduce bit-exactly.
+
+    Replays the recovered run's schedule without ever experiencing the
+    fault: iterations before the resume point use the healthy tree
+    reduction order over all physical shards; iterations from the resume
+    point use the degraded 7-rank order with the same shard adoption.
+    Floating-point addition is not associative, so matching this replayed
+    order — rather than ``np.sum`` — is exactly the accuracy-neutrality
+    claim extended across the recovery boundary.
+
+    Raises:
+        ConfigError: when ``report`` did not re-embed (use the plain
+            :func:`~repro.runtime.training.serial_reference` then).
+    """
+    if report.embedding is None or report.assignments is None:
+        raise ConfigError(
+            "report has no degraded embedding; compare against "
+            "serial_reference instead"
+        )
+    split = report.resumed_from_iteration
+    nnodes = len(healthy_trees[0].nodes)
+    weights = np.asarray(initial_weights, dtype=np.float64).copy()
+    if split:
+        weights = serial_reference(
+            network, gradient_fn, weights,
+            nnodes=nnodes,
+            iterations=split,
+            learning_rate=learning_rate,
+            reduce_order=tree_reduce_order(healthy_trees, healthy_layout),
+        )
+    degraded_fn = adopted_gradient_fn(gradient_fn, report.assignments)
+    # The degraded runtime splits the same buffer the same way: the chunk
+    # layout depends on element count, tree count, and K — not on P.
+    return serial_reference(
+        network,
+        ResilientTrainer._shifted(degraded_fn, split),
+        weights,
+        nnodes=report.embedding.topology.nnodes,
+        iterations=iterations - split,
+        learning_rate=learning_rate,
+        reduce_order=tree_reduce_order(
+            report.embedding.trees, healthy_layout
+        ),
+    )

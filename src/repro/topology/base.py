@@ -146,26 +146,78 @@ class PhysicalTopology:
     # -- degradation -----------------------------------------------------
 
     def without_link(
-        self, u: int, v: int, *, bidirectional: bool = True
+        self, u: int, v: int, *, bidirectional: bool = True,
+        lane: int | None = None,
     ) -> "PhysicalTopology":
-        """Copy of this topology with every lane ``u -> v`` (and, by
+        """Copy of this topology with the link ``u -> v`` (and, by
         default, ``v -> u``) removed — a failed NVLink brick pair.
 
+        By default every lane between the pair fails together; passing
+        ``lane`` fails only that brick, so a doubled link (GPU2-GPU3 /
+        GPU6-GPU7 on the DGX-1) can lose one brick while its same-pair
+        duplicate survives.  Surviving lanes are re-densified.
+
         Raises:
-            TopologyError: if no such link exists to fail.
+            TopologyError: if no such link (or lane) exists to fail.
         """
         if not self.has_link(u, v):
             raise TopologyError(
                 f"cannot fail missing link {u}->{v} in {self.name!r}"
             )
+        if lane is not None and (u, v, lane) not in self._links:
+            raise TopologyError(
+                f"cannot fail missing lane {lane} of link {u}->{v} "
+                f"in {self.name!r}"
+            )
         dropped = {(u, v)} | ({(v, u)} if bidirectional else set())
+        suffix = f"-minus-{u}-{v}" + (f"l{lane}" if lane is not None else "")
         degraded = PhysicalTopology(
             nnodes=self.nnodes,
-            name=f"{self.name}-minus-{u}-{v}",
+            name=f"{self.name}{suffix}",
             switch_ids=self.switch_ids,
         )
         for spec in self._links.values():
-            if (spec.u, spec.v) in dropped:
+            if (spec.u, spec.v) in dropped and (
+                lane is None or spec.lane == lane
+            ):
+                continue
+            new_lane = degraded.lane_count(spec.u, spec.v)
+            degraded._links[(spec.u, spec.v, new_lane)] = LinkSpec(
+                u=spec.u, v=spec.v, lane=new_lane,
+                alpha=spec.alpha, beta=spec.beta, kind=spec.kind,
+            )
+        degraded.validate()
+        return degraded
+
+    def without_gpu(self, gpu: int) -> "PhysicalTopology":
+        """Copy of this topology with every channel touching ``gpu``
+        removed — a crashed GPU.
+
+        The node id itself stays (ids remain ``0..nnodes-1``); the dead
+        GPU is simply isolated.  Compacting the survivors to dense ids is
+        the job of :func:`repro.topology.tree_search.survivor_topology`.
+
+        Raises:
+            TopologyError: if ``gpu`` is not a compute node of this
+                topology (switches cannot be failed this way), or if
+                failing it would leave fewer than two connected GPUs.
+        """
+        if not (0 <= gpu < self.nnodes):
+            raise TopologyError(
+                f"cannot fail unknown gpu {gpu} in topology {self.name!r}"
+            )
+        if self.nnodes <= 2:
+            raise TopologyError(
+                f"cannot fail gpu {gpu}: topology {self.name!r} would "
+                "have fewer than 2 surviving GPUs"
+            )
+        degraded = PhysicalTopology(
+            nnodes=self.nnodes,
+            name=f"{self.name}-minus-gpu{gpu}",
+            switch_ids=self.switch_ids,
+        )
+        for spec in self._links.values():
+            if gpu in (spec.u, spec.v):
                 continue
             lane = degraded.lane_count(spec.u, spec.v)
             degraded._links[(spec.u, spec.v, lane)] = LinkSpec(

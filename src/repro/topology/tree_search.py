@@ -25,7 +25,8 @@ a second and finds conflict-free, detour-free pairs on a crossbar.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
 
 from repro.errors import ConfigError
 from repro.topology.base import PhysicalTopology
@@ -162,6 +163,149 @@ def search_tree_pair(
     best_pair[0].validate()
     best_pair[1].validate()
     return best_pair, best_cost
+
+
+def survivor_topology(
+    topo: PhysicalTopology, dead_gpus: Iterable[int]
+) -> tuple[PhysicalTopology, dict[int, int]]:
+    """Compact ``topo`` minus ``dead_gpus`` onto dense survivor ranks.
+
+    The functional runtime requires dense GPU ids ``0..P-1``, so after a
+    crash the surviving physical GPUs are relabeled to *ranks* in sorted
+    physical-id order (the rank reordering Cloud Collectives applies to
+    VM reassignment).  Switch nodes survive and are renumbered after the
+    last rank.
+
+    Returns:
+        ``(compacted, rank_of)`` where ``rank_of`` maps each surviving
+        physical GPU id to its dense rank.
+
+    Raises:
+        ConfigError: on unknown or duplicate dead GPUs, or when fewer
+            than 2 GPUs survive.
+    """
+    dead = sorted(dead_gpus)
+    if len(set(dead)) != len(dead):
+        raise ConfigError(f"duplicate dead GPUs in {dead}")
+    for gpu in dead:
+        if not (0 <= gpu < topo.nnodes):
+            raise ConfigError(
+                f"dead gpu {gpu} is not a GPU of topology {topo.name!r}"
+            )
+    survivors = [g for g in topo.gpu_ids() if g not in set(dead)]
+    if len(survivors) < 2:
+        raise ConfigError(
+            f"only {len(survivors)} GPU(s) survive in {topo.name!r}; "
+            "need at least 2 to re-embed"
+        )
+    rank_of = {g: r for r, g in enumerate(survivors)}
+    switch_map = {
+        s: len(survivors) + i for i, s in enumerate(sorted(topo.switch_ids))
+    }
+    node_map = {**rank_of, **switch_map}
+    compacted = PhysicalTopology(
+        nnodes=len(survivors),
+        name=f"{topo.name}-survivors{len(survivors)}",
+        switch_ids=frozenset(switch_map.values()),
+    )
+    for spec in topo.links():
+        if spec.u in set(dead) or spec.v in set(dead):
+            continue
+        lane = compacted.lane_count(node_map[spec.u], node_map[spec.v])
+        compacted._links[(node_map[spec.u], node_map[spec.v], lane)] = (
+            replace(spec, u=node_map[spec.u], v=node_map[spec.v], lane=lane)
+        )
+    compacted.validate()
+    return compacted, rank_of
+
+
+@dataclass(frozen=True)
+class DegradedEmbedding:
+    """A double-tree pair re-embedded over the survivors of a crash.
+
+    Trees, detours, and the compacted topology all live in dense *rank*
+    space (``0..len(survivors)-1``); ``rank_of``/``gpu_of`` translate
+    between ranks and the surviving physical GPU ids.
+
+    Attributes:
+        survivors: surviving physical GPU ids, sorted.
+        rank_of: physical GPU id -> dense rank.
+        gpu_of: dense rank -> physical GPU id.
+        topology: the compacted survivor topology (rank space).
+        trees: the searched double-tree pair (rank space).
+        detour_map: ``(child, parent) -> intermediate`` ranks for tree
+            edges with no surviving direct link.
+        cost: the pair's :class:`PairCost` on the survivor topology.
+    """
+
+    survivors: tuple[int, ...]
+    rank_of: dict[int, int]
+    gpu_of: dict[int, int]
+    topology: PhysicalTopology
+    trees: tuple[BinaryTree, BinaryTree]
+    detour_map: dict[tuple[int, int], int]
+    cost: PairCost
+
+
+def search_degraded_pair(
+    topo: PhysicalTopology,
+    dead_gpus: Iterable[int],
+    *,
+    detour_preference: Sequence[int] = (),
+    iterations: int = 2000,
+    restarts: int = 4,
+    seed: int = 0,
+) -> DegradedEmbedding:
+    """Re-embed the double tree over the GPUs surviving ``dead_gpus``.
+
+    This is the recovery half of the search: the crashed GPUs are cut
+    out of the physical topology, the survivors are compacted to dense
+    ranks, and :func:`search_tree_pair` finds the best feasible pair on
+    what is left — the paper's re-embeddability observation (detour
+    routes exist because the logical tree is independent of the physical
+    wiring) turned into a recover-by-re-planning step.
+
+    Args:
+        topo: the *intact* physical topology (physical GPU ids).
+        dead_gpus: crashed physical GPU ids.
+        detour_preference: preferred detour intermediates, in *physical*
+            ids (dead ones are dropped; survivors are translated to
+            ranks).
+        iterations / restarts / seed: forwarded to the hill climb.
+
+    Raises:
+        ConfigError: on invalid dead GPUs, fewer than 2 survivors, or
+            when no feasible pair exists on the survivor topology (some
+            tree edge has neither a link nor a detour).
+    """
+    dead = set(dead_gpus)
+    compacted, rank_of = survivor_topology(topo, dead)
+    preference = tuple(
+        rank_of[g] for g in detour_preference if g in rank_of
+    )
+    router = Router(compacted, detour_preference=preference)
+    pair, cost = search_tree_pair(
+        compacted,
+        router=router,
+        iterations=iterations,
+        restarts=restarts,
+        seed=seed,
+    )
+    if cost.infeasible_edges:
+        raise ConfigError(
+            f"no feasible double tree over the survivors of "
+            f"{sorted(dead)} in {topo.name!r}: best pair still has "
+            f"{cost.infeasible_edges} unroutable edge(s)"
+        )
+    return DegradedEmbedding(
+        survivors=tuple(sorted(rank_of)),
+        rank_of=dict(rank_of),
+        gpu_of={r: g for g, r in rank_of.items()},
+        topology=compacted,
+        trees=pair,
+        detour_map=detour_map_for(pair, compacted, router),
+        cost=cost,
+    )
 
 
 def detour_map_for(

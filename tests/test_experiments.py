@@ -5,12 +5,15 @@ results land in the qualitative bands the paper reports (who wins, by
 roughly what factor, where crossovers fall).
 """
 
+import math
+
 import pytest
 
 from repro.core.config import Bandwidth, CCubeConfig, Strategy
 from repro.experiments import (
     ablations,
     ext_faults,
+    ext_recovery,
     fig01_allreduce_ratio,
     fig03_invocation,
     fig04_model_ratio,
@@ -299,3 +302,99 @@ class TestExtFaults:
         text = ext_faults.format_table(rows)
         assert "failed link" in text
         assert "2-6" in text
+
+
+class TestExtFaultsEdgeCases:
+    def test_duplicated_link_survives_single_brick_loss(self):
+        """Failing one brick of the doubled GPU2-GPU3 / GPU6-GPU7
+        channels leaves the same-pair duplicate carrying both trees:
+        no reroute (the direct link still exists), just contention."""
+        rows = ext_faults.run(
+            nbytes=4 * _MB, failed_links=((2, 3, 1), (6, 7, 0))
+        )
+        detour_rows = [r for r in rows if r.mode == "detour"]
+        assert len(detour_rows) == 2
+        for r in detour_rows:
+            assert r.lane in (0, 1)
+            assert r.verified
+            assert r.extra_detours == 0  # contention, not rerouting
+            assert r.degraded_us >= r.healthy_us
+
+    def test_lane_column_rendered(self):
+        rows = ext_faults.run(nbytes=4 * _MB, failed_links=((2, 3, 1),))
+        assert "lane 1" in ext_faults.format_table(rows)
+
+    def test_infeasible_failure_reported_not_fatal(self):
+        """Failing the middle link of a line topology splits it: the
+        detour policy cannot re-embed the double tree at all, and the
+        sweep must report that row as infeasible instead of dying —
+        while the PCIe fallback (which re-bridges the cut) survives."""
+        from repro.topology.base import PhysicalTopology
+        from repro.topology.logical import two_trees
+
+        line = PhysicalTopology(nnodes=8, name="line8")
+        for i in range(7):
+            # Two lanes so the two trees do not conflict on the line.
+            line.add_link(i, i + 1, alpha=1e-6, beta=1e-9)
+            line.add_link(i, i + 1, alpha=1e-6, beta=1e-9)
+        line.validate()
+        rows = ext_faults.run(
+            nbytes=4 * _MB,
+            failed_links=((3, 4),),
+            topo=line,
+            trees=two_trees(8),
+            detour_preference=(),
+        )
+        by_mode = {r.mode: r for r in rows}
+        infeasible = by_mode["detour"]
+        assert math.isinf(infeasible.degraded_us)
+        assert math.isinf(infeasible.slowdown_pct)
+        assert not infeasible.verified
+        assert by_mode["pcie"].verified
+        assert math.isfinite(by_mode["pcie"].degraded_us)
+        text = ext_faults.format_table(rows)
+        assert "INFEASIBLE" in text
+        assert "NO" in text
+
+
+class TestExtRecovery:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_recovery.run(sizes=(1 * _MB, 64 * _MB))
+
+    def test_one_row_per_size(self, rows):
+        assert [r.nbytes for r in rows] == [1 * _MB, 64 * _MB]
+
+    def test_reembedding_is_feasible_but_slower(self, rows):
+        for r in rows:
+            assert r.conflicts >= 0 and r.detours >= 0
+            assert r.degraded_us > r.healthy_us
+            assert r.slowdown_pct > 0.0
+
+    def test_crossover_reported(self, rows):
+        """The headline of the experiment: a finite remaining-iteration
+        count above which restart-from-checkpoint wins."""
+        for r in rows:
+            assert 0.0 < r.crossover_iterations < math.inf
+            assert r.decision_at_100 in ("reembed", "restart")
+
+    def test_crossover_math(self):
+        assert ext_recovery.crossover_point(
+            1.0, 2.0, restart_overhead=30.0
+        ) == pytest.approx(30.0)
+        assert ext_recovery.crossover_point(
+            1.0, 2.0, restart_overhead=30.0, lost_iterations=10.0
+        ) == pytest.approx(40.0)
+        assert math.isinf(
+            ext_recovery.crossover_point(1.0, 1.0, restart_overhead=30.0)
+        )
+
+    def test_crossover_shrinks_with_message_size(self, rows):
+        """Bigger gradients make the degraded tax larger per iteration,
+        so restart pays off sooner."""
+        assert rows[1].crossover_iterations < rows[0].crossover_iterations
+
+    def test_format_table(self, rows):
+        text = ext_recovery.format_table(rows)
+        assert "restart wins above" in text
+        assert "policy @100 iters" in text

@@ -8,9 +8,11 @@ from hypothesis import given, strategies as st
 from repro.errors import ConfigError
 from repro.models.costmodel import (
     CostParams,
+    degraded_overlapped_tree_time,
     optimal_chunks,
     overlap_speedup_model,
     overlapped_tree_time,
+    restart_from_checkpoint_time,
     ring_allgather_time,
     ring_allreduce_time,
     tree_allreduce_time,
@@ -136,6 +138,66 @@ class TestRatio:
         small = tree_over_ring_ratio(8, 1e6, PARAMS)
         large = tree_over_ring_ratio(512, 1e6, PARAMS)
         assert large > small
+
+
+class TestDegradedModel:
+    def test_power_of_two_no_penalty_matches_eq7(self):
+        assert degraded_overlapped_tree_time(8, 64e6, PARAMS) == (
+            overlapped_tree_time(8, 64e6, PARAMS)
+        )
+
+    def test_non_power_of_two_uses_ceil_height(self):
+        # 7 survivors pay the same ceil(log2)=3 height as 8 GPUs.
+        assert degraded_overlapped_tree_time(7, 64e6, PARAMS) == (
+            degraded_overlapped_tree_time(8, 64e6, PARAMS)
+        )
+
+    @given(n=sizes, detours=st.integers(0, 4), conflicts=st.integers(0, 4))
+    def test_penalties_monotone(self, n, detours, conflicts):
+        base = degraded_overlapped_tree_time(7, n, PARAMS)
+        worse = degraded_overlapped_tree_time(
+            7, n, PARAMS, detours=detours, conflicts=conflicts
+        )
+        assert worse >= base
+        if detours or conflicts:
+            assert worse > base
+
+    def test_conflict_serializes_half_buffer(self):
+        n = 64e6
+        gap = degraded_overlapped_tree_time(
+            7, n, PARAMS, conflicts=1
+        ) - degraded_overlapped_tree_time(7, n, PARAMS)
+        assert gap == pytest.approx(PARAMS.beta * n / 2.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            degraded_overlapped_tree_time(7, 1e6, PARAMS, detours=-1)
+        with pytest.raises(ConfigError):
+            degraded_overlapped_tree_time(7, 1e6, PARAMS, conflicts=-1)
+
+
+class TestRestartModel:
+    def test_overhead_plus_redo(self):
+        per = overlapped_tree_time(8, 1e6, PARAMS) + 0.5
+        assert restart_from_checkpoint_time(
+            8, 1e6, PARAMS,
+            lost_iterations=10, compute_time=0.5, restart_overhead=30.0,
+        ) == pytest.approx(30.0 + 10 * per)
+
+    def test_zero_lost_iterations_is_pure_overhead(self):
+        assert restart_from_checkpoint_time(
+            8, 1e6, PARAMS, lost_iterations=0, restart_overhead=30.0
+        ) == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            restart_from_checkpoint_time(
+                8, 1e6, PARAMS, lost_iterations=-1, restart_overhead=1.0
+            )
+        with pytest.raises(ConfigError):
+            restart_from_checkpoint_time(
+                8, 1e6, PARAMS, lost_iterations=1, restart_overhead=-1.0
+            )
 
 
 class TestValidation:

@@ -1,0 +1,265 @@
+"""Property-based tests for the double-tree embedding search.
+
+Hypothesis drives seeded random searches on intact and degraded
+topologies and checks the invariants every returned pair must satisfy:
+
+- both trees are valid binary trees spanning exactly the GPU set,
+- the reported :class:`PairCost` is truthful (re-evaluating the pair
+  reproduces it),
+- a feasible pair is *physically routable*: every tree edge is either a
+  direct link or detours through an intermediate that has links to both
+  endpoints,
+- degraded embeddings never reference a dead GPU, compact survivors to
+  dense ranks with inverse ``rank_of``/``gpu_of`` maps, and preserve
+  exactly the surviving links,
+- a degraded pair actually powers the 7-rank thread-backed runtime,
+  bit-exactly matching :func:`tree_reduce_order`.
+
+Settings are derandomized with ``deadline=None`` so CI runs are
+deterministic and thread-spawning examples cannot flake on timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.topology.base import PhysicalTopology
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.dgx2 import dgx2_topology
+from repro.topology.routing import Router
+from repro.topology.tree_search import (
+    evaluate_pair,
+    search_degraded_pair,
+    search_tree_pair,
+    survivor_topology,
+)
+
+#: Deterministic, deadline-free settings: each example spawns real
+#: searches (and sometimes threads), so wall-clock deadlines would flake.
+PROPERTY_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Small but non-trivial hill-climb budget per example.
+SEARCH_BUDGET = dict(iterations=300, restarts=2)
+
+
+def assert_valid_spanning_pair(pair, nnodes: int) -> None:
+    """Both trees are structurally valid and span exactly 0..nnodes-1."""
+    for tree in pair:
+        tree.validate()
+        assert sorted(tree.nodes) == list(range(nnodes))
+
+
+def assert_physically_routable(pair, topo, router) -> None:
+    """Every tree edge is a direct link or a routable detour."""
+    for tree in pair:
+        for child, parent in tree.up_edges():
+            if topo.has_link(child, parent):
+                continue
+            path = router.detour_route(child, parent)
+            assert path is not None, (child, parent)
+            assert path[0] == child and path[-1] == parent
+            for a, b in zip(path, path[1:]):
+                assert topo.has_link(a, b), (a, b)
+
+
+class TestIntactSearchProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @PROPERTY_SETTINGS
+    def test_dgx1_pair_invariants(self, seed):
+        topo = dgx1_topology()
+        router = Router(topo, detour_preference=DETOUR_NODES)
+        pair, cost = search_tree_pair(
+            topo, router=router, seed=seed, **SEARCH_BUDGET
+        )
+        assert_valid_spanning_pair(pair, 8)
+        # The reported cost is truthful, whatever the search found.
+        assert evaluate_pair(*pair, topo, router) == cost
+        # The DGX-1 is rich enough that even the identity labeling is
+        # feasible, and the climb never accepts a worse pair.
+        assert cost.infeasible_edges == 0
+        assert_physically_routable(pair, topo, router)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @PROPERTY_SETTINGS
+    def test_dgx2_crossbar_pair_invariants(self, seed):
+        topo = dgx2_topology(ngpus=8)
+        router = Router(topo)
+        pair, cost = search_tree_pair(
+            topo, router=router, seed=seed, **SEARCH_BUDGET
+        )
+        assert_valid_spanning_pair(pair, 8)
+        assert evaluate_pair(*pair, topo, router) == cost
+        # Full crossbar: every edge is a direct link, always feasible.
+        assert cost.infeasible_edges == 0
+        assert cost.detours == 0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @PROPERTY_SETTINGS
+    def test_search_is_deterministic_per_seed(self, seed):
+        topo = dgx1_topology()
+        a = search_tree_pair(topo, seed=seed, iterations=150, restarts=2)
+        b = search_tree_pair(topo, seed=seed, iterations=150, restarts=2)
+        assert a[1] == b[1]
+        assert a[0][0].parent == b[0][0].parent
+        assert a[0][1].parent == b[0][1].parent
+
+
+class TestSurvivorTopologyProperties:
+    @given(dead=st.integers(min_value=0, max_value=7))
+    @PROPERTY_SETTINGS
+    def test_dgx1_compaction_invariants(self, dead):
+        topo = dgx1_topology()
+        compacted, rank_of = survivor_topology(topo, [dead])
+        assert compacted.nnodes == 7
+        assert dead not in rank_of
+        # Dense ranks in sorted physical-id order.
+        survivors = [g for g in range(8) if g != dead]
+        assert [rank_of[g] for g in survivors] == list(range(7))
+        # Exactly the links not touching the dead GPU survive, lane
+        # counts included (the duplicated 2-3/6-7 channels keep both).
+        for u in survivors:
+            for v in survivors:
+                if u < v:
+                    assert compacted.lane_count(
+                        rank_of[u], rank_of[v]
+                    ) == topo.lane_count(u, v)
+        compacted.validate()
+
+    @given(
+        dead=st.sets(
+            st.integers(min_value=0, max_value=7), min_size=1, max_size=3
+        )
+    )
+    @PROPERTY_SETTINGS
+    def test_dgx2_multi_death_compaction(self, dead):
+        topo = dgx2_topology(ngpus=8)
+        compacted, rank_of = survivor_topology(topo, dead)
+        assert compacted.nnodes == 8 - len(dead)
+        assert set(rank_of) == set(range(8)) - dead
+        assert sorted(rank_of.values()) == list(range(compacted.nnodes))
+        # A crossbar minus GPUs is still a crossbar.
+        for u in range(compacted.nnodes):
+            for v in range(u + 1, compacted.nnodes):
+                assert compacted.has_link(u, v)
+
+    def test_all_dead_rejected(self):
+        with pytest.raises(ConfigError):
+            survivor_topology(dgx1_topology(), range(7))
+
+
+class TestDegradedSearchProperties:
+    @given(
+        dead=st.integers(min_value=0, max_value=7),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @PROPERTY_SETTINGS
+    def test_dgx1_single_death_invariants(self, dead, seed):
+        topo = dgx1_topology()
+        emb = search_degraded_pair(
+            topo,
+            [dead],
+            detour_preference=DETOUR_NODES,
+            seed=seed,
+            **SEARCH_BUDGET,
+        )
+        # Survivor bookkeeping: inverse maps, no dead GPU anywhere.
+        assert emb.survivors == tuple(g for g in range(8) if g != dead)
+        assert dead not in emb.rank_of
+        assert dead not in emb.gpu_of.values()
+        assert {emb.rank_of[g]: g for g in emb.rank_of} == emb.gpu_of
+        # The pair lives in dense rank space and spans all survivors.
+        assert emb.topology.nnodes == 7
+        assert_valid_spanning_pair(emb.trees, 7)
+        # search_degraded_pair raises on infeasibility, so what returns
+        # is feasible — and the detour map must route physically.
+        assert emb.cost.infeasible_edges == 0
+        router = Router(
+            emb.topology,
+            detour_preference=tuple(
+                emb.rank_of[g] for g in DETOUR_NODES if g in emb.rank_of
+            ),
+        )
+        assert evaluate_pair(*emb.trees, emb.topology, router) == emb.cost
+        assert_physically_routable(emb.trees, emb.topology, router)
+        for (child, parent), mid in emb.detour_map.items():
+            assert not emb.topology.has_link(child, parent)
+            assert emb.topology.has_link(child, mid)
+            assert emb.topology.has_link(mid, parent)
+
+    @given(
+        dead=st.sets(
+            st.integers(min_value=0, max_value=15), min_size=1, max_size=3
+        ),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @PROPERTY_SETTINGS
+    def test_dgx2_multi_death_invariants(self, dead, seed):
+        topo = dgx2_topology(ngpus=16)
+        emb = search_degraded_pair(
+            topo, dead, seed=seed, iterations=150, restarts=2
+        )
+        nranks = 16 - len(dead)
+        assert emb.topology.nnodes == nranks
+        assert set(emb.survivors) == set(range(16)) - dead
+        assert_valid_spanning_pair(emb.trees, nranks)
+        # Crossbar survivors stay fully connected: no detours needed.
+        assert emb.cost.infeasible_edges == 0
+        assert emb.detour_map == {}
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @PROPERTY_SETTINGS
+    def test_infeasible_survivors_raise(self, seed):
+        # A 5-node line minus its middle splits in two: no spanning tree
+        # can exist over the survivors, so the search must refuse.
+        topo = PhysicalTopology(nnodes=5, name="line5")
+        for i in range(4):
+            topo.add_link(i, i + 1, alpha=0, beta=0)
+        topo.validate()
+        with pytest.raises(ConfigError):
+            search_degraded_pair(
+                topo, [2], seed=seed, iterations=100, restarts=1
+            )
+
+
+class TestDegradedPairRunsBitExactly:
+    @pytest.mark.parametrize("dead,seed", [(3, 0), (0, 7), (6, 42)])
+    def test_seven_rank_runtime_matches_tree_reduce_order(
+        self, dead, seed, fast_spin
+    ):
+        """The searched 7-rank pair powers the real thread-backed
+        runtime, and its outputs are bit-identical to replaying the
+        exact tree reduction order serially."""
+        from repro.runtime.allreduce import TreeAllReduceRuntime
+        from repro.runtime.training import tree_reduce_order
+
+        emb = search_degraded_pair(
+            dgx1_topology(),
+            [dead],
+            detour_preference=DETOUR_NODES,
+            iterations=800,
+            restarts=2,
+            seed=seed,
+        )
+        runtime = TreeAllReduceRuntime(
+            emb.trees,
+            total_elems=256,
+            chunks_per_tree=4,
+            overlapped=True,
+            detour_map=emb.detour_map,
+            spin=fast_spin,
+        )
+        rng = np.random.default_rng(seed)
+        inputs = [rng.normal(size=256) for _ in range(7)]
+        report = runtime.run(inputs)
+        expected = tree_reduce_order(emb.trees, runtime.layout)(inputs)
+        for out in report.outputs:
+            assert np.array_equal(out, expected)

@@ -1,0 +1,279 @@
+"""Tests for the degraded-mode recovery path (survivor re-embedding).
+
+The recovery state machine (abort -> drain -> detect -> decide ->
+re-embed -> resume) is exercised piecewise — detection, drain, policy,
+shard adoption — and end to end through :class:`ResilientTrainer`, whose
+recovered weights must be **bit-identical** to the fault-free serial
+reference replaying the same reduction orders on both sides of the
+crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AbortedError, ConfigError
+from repro.dnn.layers import LayerSpec, NetworkModel
+from repro.models.costmodel import CostParams
+from repro.runtime.allreduce import TreeAllReduceRuntime
+from repro.runtime.faults import CRASH, STUCK, FaultPlan, GpuFault
+from repro.runtime.recovery import (
+    COST_BASED,
+    REEMBED,
+    RESTART,
+    RecoveryPolicy,
+    ResilientTrainer,
+    adopted_gradient_fn,
+    detect_dead_gpus,
+    drain_aborted_run,
+    recovery_serial_reference,
+    shard_assignments,
+)
+from repro.runtime.sync import SpinConfig
+from repro.runtime.training import (
+    quadratic_gradient,
+    serial_reference,
+    tree_reduce_order,
+)
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.dgx1_trees import DETOURED_EDGES, dgx1_trees
+from repro.topology.tree_search import search_degraded_pair
+
+FAST = SpinConfig(timeout=10.0, pause=0.0)
+ELEMS = 256
+
+
+def make_network(elems: int = ELEMS) -> NetworkModel:
+    return NetworkModel(
+        name="recover",
+        layers=(LayerSpec(name="L0", params=elems, fwd_flops=1e6),),
+    )
+
+
+def make_trainer(gradient_fn, *, policy=None, elems: int = ELEMS):
+    return ResilientTrainer(
+        dgx1_topology(),
+        make_network(elems),
+        gradient_fn,
+        trees=dgx1_trees(),
+        detour_map=DETOURED_EDGES,
+        learning_rate=0.02,
+        policy=policy or RecoveryPolicy(mode=REEMBED),
+        spin=FAST,
+        detour_preference=DETOUR_NODES,
+    )
+
+
+def crash_plan(gpu: int, *, kind=CRASH, after_chunk: int = 1) -> FaultPlan:
+    return FaultPlan(gpu_faults=(GpuFault(gpu, kind, after_chunk=after_chunk),))
+
+
+def aborted_runtime(rng, plan) -> TreeAllReduceRuntime:
+    runtime = TreeAllReduceRuntime(
+        dgx1_trees(),
+        total_elems=ELEMS,
+        chunks_per_tree=4,
+        detour_map=DETOURED_EDGES,
+        spin=SpinConfig(timeout=2.0, pause=0.0),
+        fault_plan=plan,
+    )
+    with pytest.raises(AbortedError):
+        runtime.run([rng.normal(size=ELEMS) for _ in range(8)])
+    return runtime
+
+
+class TestDetectAndDrain:
+    def test_crashed_gpu_detected(self, rng):
+        runtime = aborted_runtime(rng, crash_plan(3))
+        assert detect_dead_gpus(runtime) == (3,)
+
+    def test_stuck_gpu_detected(self, rng):
+        runtime = aborted_runtime(rng, crash_plan(5, kind=STUCK))
+        assert detect_dead_gpus(runtime) == (5,)
+
+    def test_drain_returns_fault_stats(self, rng):
+        runtime = aborted_runtime(rng, crash_plan(3))
+        stats = drain_aborted_run(runtime, grace=0.0)
+        assert stats.get("crashes") == 1
+
+    def test_drain_without_abort_rejected(self):
+        runtime = TreeAllReduceRuntime(
+            dgx1_trees(),
+            total_elems=ELEMS,
+            chunks_per_tree=4,
+            detour_map=DETOURED_EDGES,
+            spin=FAST,
+        )
+        with pytest.raises(ConfigError, match="never aborted"):
+            drain_aborted_run(runtime)
+
+
+class TestRecoveryPolicy:
+    PARAMS = CostParams(alpha=2e-6, beta=1.0 / 25e9)
+
+    def decide(self, policy, *, remaining=100, nbytes=64e6):
+        return policy.decide(
+            nnodes_healthy=8,
+            nnodes_degraded=7,
+            nbytes=nbytes,
+            detours=0,
+            conflicts=2,
+            remaining_iterations=remaining,
+        )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError, match="unknown recovery policy"):
+            RecoveryPolicy(mode="coinflip")
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigError):
+            RecoveryPolicy(restart_overhead=-1.0)
+
+    def test_forced_modes(self):
+        for mode, action in ((REEMBED, REEMBED), (RESTART, RESTART)):
+            decision = self.decide(RecoveryPolicy(mode=mode))
+            assert decision.action == action
+            assert "forces" in decision.reason
+
+    def test_cost_mode_prefers_reembed_near_the_end(self):
+        policy = RecoveryPolicy(
+            mode=COST_BASED, params=self.PARAMS, restart_overhead=30.0
+        )
+        decision = self.decide(policy, remaining=10)
+        assert decision.action == REEMBED
+        assert decision.degraded_cost <= decision.restart_cost
+
+    def test_cost_mode_prefers_restart_with_much_work_left(self):
+        policy = RecoveryPolicy(
+            mode=COST_BASED, params=self.PARAMS, restart_overhead=0.0
+        )
+        decision = self.decide(policy, remaining=10_000)
+        assert decision.action == RESTART
+        assert decision.restart_cost < decision.degraded_cost
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ConfigError):
+            self.decide(RecoveryPolicy(), remaining=-1)
+
+
+class TestShardAdoption:
+    def test_dead_shard_goes_to_dead_mod_nranks(self):
+        emb = search_degraded_pair(
+            dgx1_topology(), [3],
+            detour_preference=DETOUR_NODES,
+            iterations=300, restarts=2,
+        )
+        assignments = shard_assignments(emb, 8)
+        # Ranks 0..6 map to physical 0,1,2,4,5,6,7; GPU 3's orphaned
+        # shard lands on rank 3 % 7 == 3 (physical GPU 4).
+        assert assignments[3] == (4, 3)
+        for rank in (0, 1, 2, 4, 5, 6):
+            assert assignments[rank] == (emb.gpu_of[rank],)
+
+    def test_adopted_gradient_sums_in_assignment_order(self):
+        targets = [np.full(4, float(g)) for g in range(8)]
+        base = quadratic_gradient(targets)
+        fn = adopted_gradient_fn(base, {0: (4, 3)})
+        w = np.zeros(4)
+        expected = (w - targets[4]).astype(np.float64) + (w - targets[3])
+        assert np.array_equal(fn(w, 0, 0), expected)
+
+
+class TestResilientTrainer:
+    def run_drill(self, rng, *, policy=None, gpu=3, iterations=2,
+                  fault_at=1):
+        targets = [rng.normal(size=ELEMS) for _ in range(8)]
+        w0 = rng.normal(size=ELEMS)
+        gradient_fn = quadratic_gradient(targets)
+        trainer = make_trainer(gradient_fn, policy=policy)
+        report = trainer.train(
+            w0.copy(),
+            iterations=iterations,
+            fault_plan=crash_plan(gpu),
+            fault_at_iteration=fault_at,
+        )
+        return trainer, report, gradient_fn, w0
+
+    def test_no_fault_plan_runs_healthy(self, rng):
+        targets = [rng.normal(size=ELEMS) for _ in range(8)]
+        trainer = make_trainer(quadratic_gradient(targets))
+        report = trainer.train(rng.normal(size=ELEMS), iterations=2)
+        assert not report.aborted
+        assert report.dead_gpus == ()
+        assert report.decision is None
+        assert len(report.weight_history) == 2
+
+    def test_reembed_recovery_is_bit_exact(self, rng):
+        trainer, report, gradient_fn, w0 = self.run_drill(rng)
+        assert report.aborted
+        assert report.dead_gpus == (3,)
+        assert report.decision.action == REEMBED
+        assert report.embedding is not None
+        assert report.resumed_from_iteration == 1
+        reference = recovery_serial_reference(
+            make_network(), gradient_fn, w0.copy(),
+            report=report,
+            healthy_trees=trainer.trees,
+            healthy_layout=trainer.layout,
+            iterations=2,
+            learning_rate=0.02,
+        )
+        assert np.array_equal(report.weights, reference)
+
+    def test_restart_recovery_is_bit_exact(self, rng):
+        trainer, report, gradient_fn, w0 = self.run_drill(
+            rng, policy=RecoveryPolicy(mode=RESTART)
+        )
+        assert report.aborted
+        assert report.decision.action == RESTART
+        assert report.embedding is None
+        # Restart replays the healthy schedule end to end, so the plain
+        # serial reference applies.
+        reference = serial_reference(
+            make_network(), gradient_fn, w0.copy(),
+            nnodes=8, iterations=2, learning_rate=0.02,
+            reduce_order=tree_reduce_order(trainer.trees, trainer.layout),
+        )
+        assert np.array_equal(report.weights, reference)
+
+    def test_timeline_records_state_machine(self, rng):
+        _, report, _, _ = self.run_drill(rng)
+        stages = ("abort:", "drain:", "detect:", "decide:", "re-embed:",
+                  "resume:")
+        for stage in stages:
+            assert any(line.startswith(stage) for line in report.timeline), (
+                stage, report.timeline
+            )
+
+    def test_crash_at_iteration_zero(self, rng):
+        _, report, _, _ = self.run_drill(rng, fault_at=0)
+        assert report.aborted
+        assert report.resumed_from_iteration == 0
+        assert len(report.weight_history) == 2
+
+    def test_invalid_iteration_args_rejected(self, rng):
+        trainer = make_trainer(quadratic_gradient(
+            [rng.normal(size=ELEMS) for _ in range(8)]
+        ))
+        with pytest.raises(ConfigError):
+            trainer.train(rng.normal(size=ELEMS), iterations=0)
+        with pytest.raises(ConfigError):
+            trainer.train(
+                rng.normal(size=ELEMS), iterations=2,
+                fault_plan=crash_plan(3), fault_at_iteration=5,
+            )
+
+
+class TestRecoverySerialReference:
+    def test_requires_an_embedding(self, rng):
+        trainer = make_trainer(quadratic_gradient(
+            [rng.normal(size=ELEMS) for _ in range(8)]
+        ))
+        report = trainer.train(rng.normal(size=ELEMS), iterations=2)
+        with pytest.raises(ConfigError, match="no degraded embedding"):
+            recovery_serial_reference(
+                make_network(), trainer.gradient_fn, rng.normal(size=ELEMS),
+                report=report,
+                healthy_trees=trainer.trees,
+                healthy_layout=trainer.layout,
+                iterations=2,
+            )

@@ -144,3 +144,79 @@ class TestWithoutLink:
 
     def test_name_records_the_failure(self):
         assert line_topo().without_link(1, 2).name == "line-minus-1-2"
+
+    def test_single_lane_failure_keeps_duplicate(self):
+        topo = PhysicalTopology(nnodes=2, name="double")
+        topo.add_link(0, 1, alpha=1e-6, beta=1e-9)
+        topo.add_link(0, 1, alpha=2e-6, beta=2e-9)  # second brick
+        degraded = topo.without_link(0, 1, lane=0)
+        degraded.validate()
+        # The surviving brick re-densifies onto lane 0 in each direction.
+        assert degraded.lane_count(0, 1) == 1
+        assert degraded.lane_count(1, 0) == 1
+        assert degraded.link(0, 1, 0).alpha == 2e-6
+
+    def test_lane_failure_name_records_the_lane(self):
+        topo = PhysicalTopology(nnodes=2, name="double")
+        topo.add_link(0, 1, alpha=1e-6, beta=1e-9)
+        topo.add_link(0, 1, alpha=1e-6, beta=1e-9)
+        assert topo.without_link(0, 1, lane=1).name == "double-minus-0-1l1"
+
+    def test_missing_lane_rejected(self):
+        with pytest.raises(TopologyError, match="cannot fail missing lane"):
+            line_topo().without_link(1, 2, lane=1)
+
+
+class TestWithoutGpu:
+    def test_removes_every_touching_channel(self):
+        degraded = line_topo().without_gpu(1)
+        assert not degraded.has_link(0, 1)
+        assert not degraded.has_link(1, 0)
+        assert not degraded.has_link(1, 2)
+        assert not degraded.has_link(2, 1)
+        assert degraded.has_link(2, 3)
+        # 6 directed channels minus the 4 touching GPU 1.
+        assert degraded.total_lanes() == 2
+
+    def test_node_id_stays_isolated(self):
+        degraded = line_topo().without_gpu(1)
+        assert degraded.nnodes == 4
+        assert degraded.neighbors(1) == []
+
+    def test_original_untouched(self):
+        topo = line_topo()
+        topo.without_gpu(1)
+        assert topo.has_link(1, 2)
+        assert topo.total_lanes() == 6
+
+    def test_name_records_the_failure(self):
+        assert line_topo().without_gpu(2).name == "line-minus-gpu2"
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(TopologyError, match="cannot fail unknown gpu"):
+            line_topo().without_gpu(9)
+
+    def test_switch_node_rejected(self):
+        topo = PhysicalTopology(
+            nnodes=2, name="switched", switch_ids=frozenset({2})
+        )
+        topo.add_link(0, 2, alpha=0, beta=0)
+        topo.add_link(1, 2, alpha=0, beta=0)
+        with pytest.raises(TopologyError, match="cannot fail unknown gpu"):
+            topo.without_gpu(2)
+
+    def test_too_few_survivors_rejected(self):
+        topo = PhysicalTopology(nnodes=2, name="pair")
+        topo.add_link(0, 1, alpha=0, beta=0)
+        with pytest.raises(TopologyError, match="fewer than 2 surviving"):
+            topo.without_gpu(0)
+
+    def test_surviving_lanes_stay_dense(self):
+        topo = PhysicalTopology(nnodes=3, name="tri")
+        topo.add_link(0, 1, alpha=1e-6, beta=1e-9)
+        topo.add_link(0, 1, alpha=2e-6, beta=2e-9)
+        topo.add_link(1, 2, alpha=1e-6, beta=1e-9)
+        degraded = topo.without_gpu(2)
+        degraded.validate()
+        assert degraded.lane_count(0, 1) == 2
+        assert degraded.link(0, 1, 1).alpha == 2e-6
