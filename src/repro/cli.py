@@ -8,6 +8,9 @@ Usage::
     python -m repro chaos drops --drop 0.05 --corrupt 0.02
     python -m repro chaos crash --gpu 3
     python -m repro chaos crash --recover --gpu -1 --seed 7
+    python -m repro plan show --algorithm double_tree --physical
+    python -m repro plan verify --all
+    python -m repro plan run --algorithm ring --elems 1024
     python -m repro info
 """
 
@@ -87,6 +90,48 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--policy", choices=("cost", "reembed", "restart"),
                        default="reembed",
                        help="recovery policy (crash --recover)")
+
+    plan = sub.add_parser(
+        "plan",
+        help="compile collectives to verifiable plans of primitive ops",
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+    algorithms = ("ring", "tree", "double_tree", "halving_doubling")
+
+    def add_plan_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--algorithm", choices=algorithms,
+                       default="double_tree")
+        p.add_argument("--nnodes", type=int, default=8)
+        p.add_argument("--nbytes", type=float, default=4096.0,
+                       help="message size in bytes")
+        p.add_argument("--nchunks", type=int, default=4,
+                       help="pipeline chunks per tree (tree builders)")
+        p.add_argument("--physical", action="store_true",
+                       help="compile onto the DGX-1 topology (route "
+                            "legalization + lane assignment); "
+                            "double_tree uses the paper's tree pair")
+
+    show = plan_sub.add_parser(
+        "show", help="print the per-GPU program listing of a plan"
+    )
+    add_plan_args(show)
+
+    verify = plan_sub.add_parser(
+        "verify", help="statically verify plans (exactly-once reduce/"
+                       "broadcast, deadlock-freedom, physical legality)"
+    )
+    add_plan_args(verify)
+    verify.add_argument("--all", action="store_true", dest="verify_all",
+                        help="verify every builder, raw and compiled "
+                             "onto DGX-1 (CI smoke)")
+
+    run = plan_sub.add_parser(
+        "run", help="execute a plan on the thread-backed runtime"
+    )
+    add_plan_args(run)
+    run.add_argument("--elems", type=int, default=512,
+                     help="gradient element count")
+    run.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("info", help="print library and model summary")
     return parser
@@ -370,6 +415,136 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return 2
 
 
+def _plan_for_args(args: argparse.Namespace):
+    """Build (and optionally compile) the plan an argparse namespace asks
+    for; returns ``(plan, topo)`` with ``topo=None`` for logical plans."""
+    from repro.plan import build_plan, compile_plan
+    from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+    from repro.topology.routing import Router
+
+    kwargs = {}
+    if args.algorithm in ("tree", "double_tree"):
+        kwargs["nchunks"] = args.nchunks
+        kwargs["overlapped"] = True
+    if (
+        args.physical
+        and args.algorithm == "double_tree"
+        and args.nnodes == 8
+    ):
+        from repro.topology.dgx1_trees import dgx1_trees
+
+        kwargs["trees"] = dgx1_trees()
+    plan = build_plan(args.algorithm, args.nnodes, args.nbytes, **kwargs)
+    if not args.physical:
+        return plan, None
+    topo = dgx1_topology()
+    router = Router(topo, detour_preference=DETOUR_NODES)
+    compiled, _reports = compile_plan(plan, topo, router=router)
+    return compiled, topo
+
+
+def _cmd_plan_show(args: argparse.Namespace) -> int:
+    plan, _topo = _plan_for_args(args)
+    print(plan.describe())
+    for (rank, tb), prog in plan.programs().items():
+        print(f"\ngpu {rank}, thread block {tb!r}:")
+        for op in prog:
+            deps = f"  deps={list(op.deps)}" if op.deps else ""
+            print(f"  {op.name()}{deps}")
+    return 0
+
+
+def _cmd_plan_verify(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+    from repro.plan import verify_plan
+
+    rows = []
+    failures = 0
+    if args.verify_all:
+        import argparse as _argparse
+
+        algorithms = ("ring", "tree", "double_tree", "halving_doubling")
+        cases = [(a, False) for a in algorithms]
+        cases += [(a, True) for a in algorithms]
+        for algorithm, physical in cases:
+            case_args = _argparse.Namespace(
+                algorithm=algorithm,
+                nnodes=args.nnodes,
+                nbytes=args.nbytes,
+                nchunks=args.nchunks,
+                physical=physical,
+            )
+            plan, topo = _plan_for_args(case_args)
+            report = verify_plan(plan, topo=topo, raise_on_error=False)
+            failures += 0 if report.ok else 1
+            rows.append((
+                algorithm,
+                "dgx1" if physical else "logical",
+                len(plan.ops),
+                "ok" if report.ok else "FAIL",
+                report.errors[0] if report.errors else "",
+            ))
+    else:
+        plan, topo = _plan_for_args(args)
+        report = verify_plan(plan, topo=topo, raise_on_error=False)
+        failures += 0 if report.ok else 1
+        rows.append((
+            args.algorithm,
+            "dgx1" if args.physical else "logical",
+            len(plan.ops),
+            "ok" if report.ok else "FAIL",
+            report.errors[0] if report.errors else "",
+        ))
+    print(render_table(
+        ["algorithm", "target", "ops", "verdict", "first diagnostic"],
+        rows,
+        title="plan verification",
+    ))
+    return 0 if failures == 0 else 1
+
+
+def _cmd_plan_run(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.plan import PlanInterpreter
+    from repro.runtime.sync import SpinConfig
+
+    plan, _topo = _plan_for_args(args)
+    rng = np.random.default_rng(args.seed)
+    inputs = [rng.normal(size=args.elems) for _ in range(plan.nnodes)]
+    interp = PlanInterpreter(
+        plan,
+        total_elems=args.elems,
+        spin=SpinConfig(timeout=30.0, pause=0.0),
+    )
+    report = interp.run([a.copy() for a in inputs])
+    expected = np.sum(inputs, axis=0)
+    correct = all(
+        np.allclose(out, expected, rtol=1e-12) for out in report.outputs
+    )
+    print(
+        f"executed {args.algorithm} plan ({len(plan.ops)} ops, "
+        f"{plan.nnodes} GPUs, {args.elems} elems) in "
+        f"{report.wall_time:.3f}s wall"
+    )
+    print("all GPUs hold the global sum: " + ("yes" if correct else "NO"))
+    return 0 if correct else 1
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError, PlanError
+
+    try:
+        if args.plan_command == "show":
+            return _cmd_plan_show(args)
+        if args.plan_command == "verify":
+            return _cmd_plan_verify(args)
+        return _cmd_plan_run(args)
+    except (ConfigError, PlanError) as exc:
+        print(f"repro plan: error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {__version__} — C-Cube (HPCA 2023) reproduction")
     print("\nnetworks:")
@@ -391,6 +566,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "autotune": _cmd_autotune,
     "chaos": _cmd_chaos,
+    "plan": _cmd_plan,
     "info": _cmd_info,
 }
 

@@ -63,3 +63,22 @@ class AbortedError(RuntimeClusterError):
 
 class ConfigError(ReproError):
     """Invalid user-supplied configuration value."""
+
+
+class PlanError(ReproError):
+    """A collective plan is malformed or cannot be processed."""
+
+
+class PlanVerificationError(PlanError):
+    """The plan verifier rejected a plan.
+
+    Attributes:
+        errors: every diagnostic found, each naming the offending op.
+    """
+
+    def __init__(self, errors: list[str]):
+        self.errors = list(errors)
+        lines = "\n".join(f"  - {e}" for e in self.errors)
+        super().__init__(
+            f"plan verification failed with {len(self.errors)} error(s):\n{lines}"
+        )

@@ -29,6 +29,7 @@ from repro.experiments import (
     ext_algorithms,
     ext_dgx2,
     ext_hierarchical,
+    ext_plans,
     ext_sensitivity,
     ext_tree_search,
     ext_workloads,
@@ -53,6 +54,7 @@ __all__ = [
     "ext_algorithms",
     "ext_dgx2",
     "ext_hierarchical",
+    "ext_plans",
     "ext_sensitivity",
     "ext_tree_search",
     "ext_workloads",

@@ -59,6 +59,7 @@ def export_all(out_dir: str | Path) -> list[Path]:
         ext_dgx2,
         ext_faults,
         ext_hierarchical,
+        ext_plans,
         ext_recovery,
         ext_sensitivity,
         ext_tree_search,
@@ -94,6 +95,7 @@ def export_all(out_dir: str | Path) -> list[Path]:
         "ext_dgx2.csv": ext_dgx2.run,
         "ext_faults.csv": ext_faults.run,
         "ext_hierarchical.csv": ext_hierarchical.run,
+        "ext_plans.csv": ext_plans.run,
         "ext_recovery.csv": ext_recovery.run,
         "ext_tree_search.csv": ext_tree_search.run,
         "ext_workloads.csv": ext_workloads.run,

@@ -17,6 +17,7 @@ from repro.experiments import (
     ext_dgx2,
     ext_faults,
     ext_hierarchical,
+    ext_plans,
     ext_recovery,
     ext_sensitivity,
     ext_tree_search,
@@ -72,6 +73,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "ext_hierarchical": lambda: ext_hierarchical.format_table(
         ext_hierarchical.run()
     ),
+    "ext_plans": lambda: ext_plans.format_table(ext_plans.run()),
     "ext_recovery": lambda: ext_recovery.format_table(ext_recovery.run()),
     "ext_tree_search": lambda: ext_tree_search.format_table(
         ext_tree_search.run()

@@ -1,0 +1,76 @@
+"""Collective plan IR: compile collectives to verifiable primitive ops.
+
+The :mod:`repro.plan` subsystem expresses every collective as a *plan* —
+a flat program of chunk-level send/recv/reduce/copy primitives grouped
+into per-GPU thread blocks (the GC3 idea applied to this codebase):
+
+- :mod:`~repro.plan.ir` — :class:`PlanOp` / :class:`Plan`;
+- :mod:`~repro.plan.builders` — lower ring, tree, double-tree, and
+  halving-doubling into plans bit-compatible with the hand-written
+  runtimes;
+- :mod:`~repro.plan.passes` — physical route legalization (per-edge
+  NVLink-detour vs PCIe by cost model), lane assignment with conflict
+  detection, chunk pipelining;
+- :mod:`~repro.plan.verifier` — static exactly-once reduce/broadcast,
+  deadlock-freedom, race and physical-legality checking;
+- :mod:`~repro.plan.interpreter` — execute any legal plan on the
+  thread-backed runtime (fault-plan aware);
+- :mod:`~repro.plan.lowering` — lower the same plan to the
+  discrete-event simulator.
+"""
+
+from .builders import (
+    BUILDERS,
+    build_double_tree_plan,
+    build_halving_doubling_plan,
+    build_plan,
+    build_ring_plan,
+    build_tree_plan,
+)
+from .interpreter import PlanInterpreter, PlanRunReport, default_plan_layout
+from .ir import COPY, RECV, REDUCE, SEND, OpKind, Plan, PlanOp
+from .lowering import (
+    PlanOutcome,
+    lower_to_dag,
+    simulate_plan,
+    speedup_for_straggler,
+)
+from .passes import (
+    CompileReports,
+    assign_lanes,
+    compile_plan,
+    legalize_routes,
+    pipeline_chunks,
+)
+from .verifier import VerifyReport, match_wires, verify_plan
+
+__all__ = [
+    "Plan",
+    "PlanOp",
+    "OpKind",
+    "SEND",
+    "RECV",
+    "REDUCE",
+    "COPY",
+    "BUILDERS",
+    "build_plan",
+    "build_ring_plan",
+    "build_tree_plan",
+    "build_double_tree_plan",
+    "build_halving_doubling_plan",
+    "verify_plan",
+    "match_wires",
+    "VerifyReport",
+    "PlanInterpreter",
+    "PlanRunReport",
+    "default_plan_layout",
+    "lower_to_dag",
+    "simulate_plan",
+    "PlanOutcome",
+    "speedup_for_straggler",
+    "legalize_routes",
+    "assign_lanes",
+    "pipeline_chunks",
+    "compile_plan",
+    "CompileReports",
+]

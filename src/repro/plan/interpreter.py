@@ -1,0 +1,308 @@
+"""Execute a verified plan on the thread-backed runtime.
+
+One persistent kernel (thread) per ``(rank, tb)`` thread block walks its
+program in op-id order; transfers ride :class:`repro.runtime.cluster._Wire`
+frame queues (CRC-checked, fault-injectable via a
+:class:`~repro.runtime.faults.FaultPlan`), cross-thread-block deps ride
+per-op events, and the whole pool fails fast through the shared
+:class:`~repro.runtime.sync.AbortCell` exactly like the hand-written
+runtimes.
+
+Because every wire's capacity equals its total send count, sends never
+block; the verifier's combined-graph acyclicity is therefore a static
+deadlock-freedom proof for this interpreter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import ConfigError, RuntimeClusterError
+from ..runtime.cluster import KernelPool, _transmit, _Wire
+from ..runtime.faults import CRASH, STRAGGLER, STUCK, FaultPlan, PhaseBoard
+from ..runtime.memory import ChunkLayout, GradientBuffer
+from ..runtime.sync import AbortCell, SpinConfig
+from ..sim.dag import Phase
+from .ir import COPY, RECV, REDUCE, SEND, Plan, PlanOp
+from .verifier import is_relay, match_wires, verify_plan
+
+__all__ = ["PlanRunReport", "PlanInterpreter", "default_plan_layout"]
+
+_REDUCING_PHASES = (Phase.REDUCE, Phase.REDUCE_SCATTER)
+
+
+def default_plan_layout(plan: Plan, total_elems: int) -> ChunkLayout:
+    """The element layout matching the plan's chunk structure.
+
+    Identical to the layouts the hand-written runtimes build: the
+    element space is striped over ``ntrees`` trees with
+    ``nchunks / ntrees`` chunks each.
+    """
+    if plan.nchunks % plan.ntrees != 0:
+        raise ConfigError(
+            f"plan has {plan.nchunks} chunks over {plan.ntrees} trees "
+            "(not divisible); pass an explicit layout"
+        )
+    return ChunkLayout.split(
+        total_elems,
+        ntrees=plan.ntrees,
+        chunks_per_tree=plan.nchunks // plan.ntrees,
+    )
+
+
+def wire_tag(wire_key: tuple) -> str:
+    """Human-readable link tag for a wire (fault-plan matchable)."""
+    src, dst, tree, phase, flow = wire_key
+    tag = f"plan {phase.value} t{tree} {src}->{dst}"
+    if flow is not None:
+        tag += f" flow {flow[0]}->{flow[1]}"
+    return tag
+
+
+@dataclass
+class PlanRunReport:
+    """Result of one interpreted plan execution.
+
+    Attributes:
+        outputs: per-GPU gradient arrays after the collective.
+        layout: the element layout used.
+        wall_time: wall-clock seconds for the run.
+        fault_stats: injected-fault counters (empty without a plan).
+    """
+
+    outputs: list[np.ndarray]
+    layout: ChunkLayout
+    wall_time: float
+    fault_stats: dict = field(default_factory=dict)
+
+
+class PlanInterpreter:
+    """Runs any verified :class:`~repro.plan.ir.Plan` on threads.
+
+    Args:
+        plan: the plan to execute.
+        total_elems: gradient length (used to build the default layout).
+        layout: explicit layout override (must have ``plan.nchunks``
+            chunks).
+        spin: spin/timeout configuration for semaphore waits.
+        fault_plan: optional fault injection (link faults matched against
+            ``plan <phase> t<tree> <src>-><dst>`` tags, GPU faults fired
+            in reduce-phase thread blocks like the tree runtime).
+        verify: statically verify the plan before executing (on by
+            default — an unverified plan may deadlock).
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        *,
+        total_elems: int | None = None,
+        layout: ChunkLayout | None = None,
+        spin: SpinConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+        verify: bool = True,
+    ):
+        if layout is None:
+            if total_elems is None:
+                raise ConfigError("pass total_elems or an explicit layout")
+            layout = default_plan_layout(plan, total_elems)
+        if layout.nchunks != plan.nchunks:
+            raise ConfigError(
+                f"layout has {layout.nchunks} chunks, plan has "
+                f"{plan.nchunks}"
+            )
+        if verify:
+            verify_plan(plan)
+        self.plan = plan
+        self.layout = layout
+        self.spin = spin or SpinConfig()
+        self.fault_plan = fault_plan
+        self.abort_cell: AbortCell | None = None
+        self.phase_board: PhaseBoard | None = None
+
+    # -- fault mirroring (same contract as TreeAllReduceRuntime) --------
+
+    def _apply_gpu_fault(
+        self,
+        rank: int,
+        op: PlanOp,
+        pos: int,
+        board: PhaseBoard,
+        abort: AbortCell,
+    ) -> None:
+        """Fire ``rank``'s injected fault at reduce chunk position ``pos``.
+
+        Crash/stuck fire once, in the tree-0 reduce-phase thread block at
+        ``after_chunk``; a straggler sleeps before every reduce chunk.
+        """
+        if self.fault_plan is None:
+            return
+        fault = self.fault_plan.gpu_fault(rank)
+        if fault is None:
+            return
+        if fault.kind == STRAGGLER:
+            time.sleep(fault.delay)
+            return
+        if op.tree != 0 or pos != fault.after_chunk:
+            return
+        if fault.kind == CRASH:
+            self.fault_plan.stats.bump("crashes")
+            board.set(rank, f"crashed in reduce t{op.tree} at chunk {pos}")
+            raise RuntimeClusterError(
+                f"injected crash on gpu {rank} (plan reduce t{op.tree}, "
+                f"chunk {pos})"
+            )
+        if fault.kind == STUCK:
+            self.fault_plan.stats.bump("stalls")
+            board.set(rank, f"stuck in reduce t{op.tree} at chunk {pos}")
+            while True:
+                abort.raise_if_set()
+                time.sleep(self.spin.pause or 1e-4)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, inputs: list[np.ndarray]) -> PlanRunReport:
+        """Execute the plan over ``inputs`` (one array per GPU).
+
+        Raises:
+            AbortedError: a kernel crashed or stalled and the cluster
+                aborted fail-fast (carries the diagnostic dump).
+        """
+        plan = self.plan
+        if len(inputs) != plan.nnodes:
+            raise ConfigError(
+                f"expected {plan.nnodes} input arrays, got {len(inputs)}"
+            )
+        if {len(a) for a in inputs} != {self.layout.total_elems}:
+            raise ConfigError("all inputs must match the layout size")
+
+        abort = AbortCell()
+        board = PhaseBoard(plan.nnodes)
+        abort.register_dump("per-GPU last-known phase", board.dump)
+        self.abort_cell = abort
+        self.phase_board = board
+        run_spin = replace(self.spin, abort=abort)
+
+        buffers = [GradientBuffer(a, self.layout) for a in inputs]
+
+        pairing = match_wires(plan)
+        wires: dict[tuple, _Wire] = {}
+        injectors: dict[tuple, object] = {}
+        for key, (send_ids, _recv_ids) in pairing.wires.items():
+            capacity = sum(
+                len(plan.op(s).chunks_carried()) for s in send_ids
+            )
+            tag = wire_tag(key)
+            wires[key] = _Wire(
+                self.layout,
+                capacity=max(1, capacity),
+                spin=run_spin,
+                name=tag,
+            )
+            if self.fault_plan is not None:
+                injectors[key] = self.fault_plan.link_injector(tag)
+
+        # Per-op completion events for deps that cross thread blocks.
+        programs = plan.programs()
+        home = {
+            op.op_id: key for key, prog in programs.items() for op in prog
+        }
+        events: dict[int, threading.Event] = {}
+        for op in plan.ops:
+            for d in op.deps:
+                if home[d] != home[op.op_id]:
+                    events.setdefault(d, threading.Event())
+
+        def await_dep(dep_id: int) -> None:
+            event = events[dep_id]
+            deadline = time.monotonic() + run_spin.timeout
+            while not event.wait(0.001):
+                abort.raise_if_set()
+                if time.monotonic() > deadline:
+                    raise RuntimeClusterError(
+                        f"timed out waiting for {plan.op(dep_id).name()}"
+                    )
+
+        def make_kernel(key: tuple, prog: list[PlanOp]):
+            rank = key[0]
+
+            def kernel() -> None:
+                board.set(rank, f"start tb {key[1]!r}")
+                reduce_pos = -1
+                seen_chunk: int | None = None
+                # Relay staging: detour legs forward through here, never
+                # through this GPU's own gradient slot.
+                stash: dict[tuple, np.ndarray] = {}
+                for op in prog:
+                    if (
+                        op.phase in _REDUCING_PHASES
+                        and op.chunks_carried()
+                        and op.chunks_carried()[0] != seen_chunk
+                    ):
+                        seen_chunk = op.chunks_carried()[0]
+                        reduce_pos += 1
+                        self._apply_gpu_fault(
+                            rank, op, reduce_pos, board, abort
+                        )
+                    for dep in op.deps:
+                        if dep in events and home[dep] != key:
+                            await_dep(dep)
+                    if op.kind == SEND:
+                        wire = wires[op.wire_key()]
+                        injector = injectors.get(op.wire_key())
+                        relay = is_relay(op)
+                        for c in op.chunks_carried():
+                            if relay:
+                                try:
+                                    values = stash.pop(
+                                        (op.flow, op.tree, op.phase, c)
+                                    )
+                                except KeyError:
+                                    raise RuntimeClusterError(
+                                        f"{op.name()}: relay forwards "
+                                        f"chunk {c} before receiving it"
+                                    ) from None
+                            else:
+                                values = buffers[rank].chunk(c).copy()
+                            _transmit(wire, c, values, injector, abort)
+                    elif op.kind == REDUCE:
+                        wire = wires[op.wire_key()]
+                        for c in op.chunks_carried():
+                            buffers[rank].accumulate(c, wire.take(c))
+                    elif op.kind == RECV:
+                        wire = wires[op.wire_key()]
+                        relay = is_relay(op)
+                        for c in op.chunks_carried():
+                            values = wire.take(c)
+                            if relay:
+                                stash[(op.flow, op.tree, op.phase, c)] = (
+                                    values
+                                )
+                            else:
+                                buffers[rank].overwrite(c, values)
+                    elif op.kind == COPY:
+                        pass
+                    if op.op_id in events:
+                        events[op.op_id].set()
+
+            return kernel
+
+        pool = KernelPool(join_timeout=self.spin.timeout * 2, abort=abort)
+        for key, prog in programs.items():
+            pool.add(f"plan g{key[0]} tb {key[1]!r}", make_kernel(key, prog))
+
+        started = time.monotonic()
+        pool.run()
+        elapsed = time.monotonic() - started
+        return PlanRunReport(
+            outputs=[buf.data for buf in buffers],
+            layout=self.layout,
+            wall_time=elapsed,
+            fault_stats=(
+                self.fault_plan.stats.snapshot() if self.fault_plan else {}
+            ),
+        )

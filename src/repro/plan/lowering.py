@@ -1,0 +1,319 @@
+"""Lower a plan to the discrete-event simulator (:mod:`repro.sim`).
+
+A SEND and its paired RECV/REDUCE become *one* transfer op on a channel
+resource (the DES models a link as a FIFO channel, not two endpoints);
+the transfer's deps are the union of both endpoints' mapped deps, which
+reproduces the hand-written schedules' dependence structure exactly.
+COPY markers become zero-duration ops on per-GPU sync resources, and
+relay hops of a legalized detour charge the intermediate GPU's
+forwarding kernel — the same model
+:func:`repro.topology.embedding.embed_on_physical` applies to logical
+DAGs.
+
+With ``charge_compute=True`` every REDUCE additionally occupies its
+GPU's compute :class:`~repro.sim.resources.Processor`, so per-GPU
+``speedup < 1`` stretches the pipeline — the analytical mirror of the
+runtime's ``GpuFault(kind="straggler")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..errors import PlanError
+from ..sim.dag import Dag, Phase
+from ..sim.engine import DagSimulator, SimResult
+from ..sim.resources import Channel, Processor
+from ..topology.base import PhysicalTopology, chan_key, gpu_key
+from ..topology.dgx1 import PCIE_ALPHA, PCIE_BANDWIDTH
+from ..topology.embedding import (
+    FORWARDING_COPY_BANDWIDTH,
+    abstract_resources,
+    edge_key,
+    is_edge_key,
+)
+from ..topology.routing import Router
+from ..topology.switch import FabricSpec
+from .ir import COPY, RECV, REDUCE, SEND, Plan
+from .verifier import match_wires
+
+__all__ = [
+    "lower_to_dag",
+    "simulate_plan",
+    "PlanOutcome",
+    "speedup_for_straggler",
+    "pcie_key",
+]
+
+#: Bytes each REDUCE charges its GPU for per second when compute is
+#: charged (same effective rate as detour forwarding).
+REDUCTION_COMPUTE_BANDWIDTH = FORWARDING_COPY_BANDWIDTH
+
+
+def pcie_key(u: int, v: int) -> tuple:
+    """Resource key of the host (PCIe) path between two GPUs."""
+    return ("pcie", u, v)
+
+
+def lower_to_dag(
+    plan: Plan,
+    *,
+    charge_forwarding: bool = True,
+    charge_compute: bool = False,
+    compute_bandwidth: float = REDUCTION_COMPUTE_BANDWIDTH,
+) -> Dag:
+    """Lower a plan to a DES DAG.
+
+    Unlegalized plans produce logical ``("edge", src, dst, lane)``
+    resources (simulatable on an abstract fabric); legalized plans
+    produce physical ``("chan", ...)`` / ``("pcie", ...)`` resources.
+
+    Args:
+        plan: the (verified) plan.
+        charge_forwarding: emit a forwarding op on the intermediate
+            GPU's compute resource for every relay hop of a detour.
+        charge_compute: emit a reduction op on each REDUCE's GPU compute
+            resource, gating downstream consumers — makes per-GPU
+            ``Processor.speedup < 1`` (a straggler) visible analytically.
+        compute_bandwidth: bytes/s a healthy GPU reduces at when compute
+            is charged.
+    """
+    pairing = match_wires(plan)
+    if pairing.errors:
+        raise PlanError(
+            "cannot lower an unmatchable plan: " + pairing.errors[0]
+        )
+    dag = Dag()
+    # plan op id -> DES op id whose completion marks it done.
+    done: dict[int, int] = {}
+    pending: list[int] = []  # DES ops whose deps need a second pass
+
+    def add(resource: Hashable, *, plan_deps: tuple[int, ...], **kwargs) -> int:
+        des_id = dag.add(resource, deps=[], **kwargs)
+        # Stash the plan-level deps; resolved after every op exists.
+        dag.ops[des_id] = dag.ops[des_id].with_deps(tuple(plan_deps))
+        pending.append(des_id)
+        return des_id
+
+    for op in plan.ops:
+        if op.kind == COPY:
+            done[op.op_id] = add(
+                ("sync", "plan", op.rank, op.tree),
+                plan_deps=op.deps,
+                duration=0.0,
+                src=op.rank,
+                dst=op.rank,
+                chunk=op.chunk,
+                phase=op.phase,
+                tree=op.tree,
+                label=op.label,
+            )
+        elif op.kind == SEND:
+            recv_id = pairing.partner.get(op.op_id)
+            if recv_id is None:
+                raise PlanError(f"{op.name()}: unmatched send")
+            recv = plan.op(recv_id)
+            if plan.legalized:
+                if op.medium == "pcie":
+                    resource = pcie_key(op.rank, op.peer)
+                else:
+                    resource = chan_key(op.rank, op.peer, op.lane)
+            else:
+                resource = edge_key(op.rank, op.peer, op.lane)
+            des_id = add(
+                resource,
+                plan_deps=tuple(op.deps) + tuple(recv.deps),
+                nbytes=op.nbytes,
+                src=op.rank,
+                dst=op.peer,
+                chunk=op.chunk,
+                chunk_set=op.chunk_set,
+                phase=op.phase,
+                tree=op.tree,
+                label=op.label,
+            )
+            done[op.op_id] = des_id
+            done[recv_id] = des_id
+            # A relay hop (receiver is not the flow's final destination)
+            # charges the intermediate GPU's forwarding kernel; it does
+            # not delay the data path (GPUDirect forwarding pipelines).
+            if (
+                charge_forwarding
+                and op.flow is not None
+                and recv.rank != op.flow[1]
+            ):
+                dag.add(
+                    gpu_key(recv.rank),
+                    duration=op.nbytes / FORWARDING_COPY_BANDWIDTH,
+                    deps=[des_id],
+                    src=op.rank,
+                    dst=recv.rank,
+                    chunk=op.chunk,
+                    phase=Phase.OTHER,
+                    tree=op.tree,
+                    label=f"forward@gpu{recv.rank}",
+                )
+        # RECV/REDUCE are lowered with their paired send.
+
+    if charge_compute:
+        # Each REDUCE occupies its GPU's SMs after the transfer lands;
+        # downstream consumers (anything whose plan deps name the
+        # reduce) then wait on the compute op, so a slow GPU stretches
+        # the whole pipeline, not just its own timeline.
+        for op in plan.ops:
+            if op.kind != REDUCE:
+                continue
+            done[op.op_id] = dag.add(
+                gpu_key(op.rank),
+                duration=op.nbytes / compute_bandwidth,
+                deps=[done[op.op_id]],
+                src=op.peer,
+                dst=op.rank,
+                chunk=op.chunk,
+                phase=op.phase,
+                tree=op.tree,
+                label=f"reduce-compute@gpu{op.rank} "
+                      + (op.label or f"c{op.chunk}"),
+            )
+
+    # Second pass: resolve plan-level deps to DES ids (a dep may map to
+    # a transfer created after the dependent op when the paired send has
+    # a higher id than the recv).
+    for des_id in pending:
+        op = dag.ops[des_id]
+        dag.ops[des_id] = op.with_deps(
+            tuple(sorted({done[d] for d in op.deps}))
+        )
+
+    dag.validate()
+    return dag
+
+
+@dataclass
+class PlanOutcome:
+    """Simulated timing of a lowered plan.
+
+    Attributes:
+        plan: the simulated plan.
+        dag: the lowered DES DAG.
+        sim: raw per-op timings.
+        total_time: finish time of the last transfer — comparable to
+            :attr:`repro.collectives.base.AllReduceOutcome.total_time`.
+    """
+
+    plan: Plan
+    dag: Dag
+    sim: SimResult
+    total_time: float
+    notes: list[str] = field(default_factory=list)
+
+
+def simulate_plan(
+    plan: Plan,
+    *,
+    topo: PhysicalTopology | None = None,
+    fabric: FabricSpec | None = None,
+    router: Router | None = None,
+    gpu_speedup: dict[int, float] | None = None,
+    charge_forwarding: bool = True,
+    charge_compute: bool = False,
+    compute_bandwidth: float = REDUCTION_COMPUTE_BANDWIDTH,
+    pcie_alpha: float = PCIE_ALPHA,
+    pcie_beta: float = 1.0 / PCIE_BANDWIDTH,
+) -> PlanOutcome:
+    """Simulate a plan analytically on a fabric or a physical topology.
+
+    With ``topo``, an unlegalized plan is first route-legalized (via
+    :func:`repro.plan.passes.compile_plan`); channels come from the
+    topology, PCIe-fallback hops get host-path channels, and per-GPU
+    ``gpu_speedup`` (< 1 models a straggler) scales that GPU's compute.
+
+    With ``fabric``, the plan's logical edges get uniform alpha/beta
+    channels, lanes folded modulo ``fabric.lanes`` — identical to
+    :func:`repro.collectives.base.simulate_on_fabric`.
+    """
+    if (topo is None) == (fabric is None):
+        raise PlanError("pass exactly one of topo= or fabric=")
+
+    notes: list[str] = []
+    if topo is not None:
+        if not plan.legalized:
+            from .passes import compile_plan
+
+            plan, reports = compile_plan(plan, topo, router=router,
+                                         pcie_alpha=pcie_alpha,
+                                         pcie_beta=pcie_beta)
+            notes.extend(reports.notes)
+        dag = lower_to_dag(
+            plan,
+            charge_forwarding=charge_forwarding,
+            charge_compute=charge_compute,
+            compute_bandwidth=compute_bandwidth,
+        )
+        resources = topo.to_resources(gpu_speedup=gpu_speedup or {})
+        for key in dag.resources():
+            if key in resources:
+                continue
+            if isinstance(key, tuple) and key and key[0] == "pcie":
+                resources[key] = Channel(
+                    alpha=pcie_alpha,
+                    beta=pcie_beta,
+                    name=f"pcie {key[1]}->{key[2]}",
+                )
+            else:
+                resources[key] = Processor(name=str(key))
+    else:
+        assert fabric is not None
+        dag = lower_to_dag(
+            plan,
+            charge_forwarding=charge_forwarding,
+            charge_compute=charge_compute,
+            compute_bandwidth=compute_bandwidth,
+        )
+        if fabric.lanes >= 1:
+            import dataclasses as _dc
+
+            folded = Dag()
+            for op in dag.ops:
+                resource = op.resource
+                if is_edge_key(resource):
+                    tag, u, v, lane = resource
+                    resource = (tag, u, v, lane % fabric.lanes)
+                folded.ops.append(_dc.replace(op, resource=resource))
+            dag = folded
+        resources = abstract_resources(
+            dag, alpha=fabric.alpha, beta=fabric.beta
+        )
+
+    sim = DagSimulator(resources).run(dag)
+    transfer_finish = [
+        sim.finish[i]
+        for i, op in enumerate(dag.ops)
+        if op.nbytes > 0 or op.duration == 0.0
+    ]
+    if not transfer_finish:
+        raise PlanError("plan lowered to no timed operations")
+    return PlanOutcome(
+        plan=plan,
+        dag=dag,
+        sim=sim,
+        total_time=max(transfer_finish),
+        notes=notes,
+    )
+
+
+def speedup_for_straggler(
+    delay: float, chunk_nbytes: float,
+    compute_bandwidth: float = REDUCTION_COMPUTE_BANDWIDTH,
+) -> float:
+    """Processor speedup mirroring a runtime straggler's per-chunk sleep.
+
+    A healthy GPU reduces a chunk in ``t0 = chunk_nbytes / bandwidth``
+    seconds; a straggler adds ``delay`` per chunk, so its effective
+    speedup is ``t0 / (t0 + delay)``.
+    """
+    if delay < 0:
+        raise PlanError("straggler delay must be non-negative")
+    t0 = chunk_nbytes / compute_bandwidth
+    return t0 / (t0 + delay) if delay > 0 else 1.0

@@ -1,0 +1,388 @@
+"""Plan transformation passes: route legalization, lanes, pipelining.
+
+``legalize_routes`` maps every logical transfer onto the physical
+topology.  Where the endpoints share no NVLink it chooses **per edge**
+between a multi-hop NVLink detour and the PCIe host path by comparing
+their alpha-beta costs — the ROADMAP's routing-policy item (the old
+embedding globally preferred one or the other).  Detours materialize as
+relay thread blocks (one forwarding kernel per route, as in the
+runtime's static detour routing); PCIe fallbacks just retag the
+transfer's medium.
+
+``assign_lanes`` spreads trees over parallel physical lanes
+(``tree % lane_count`` per hop, the same rule the embedding applies)
+and reports link conflicts — distinct trees sharing one lane, the
+contention that forbids overlapping a double tree without the DGX-1's
+duplicated links.
+
+``pipeline_chunks`` splits every chunk into ``factor`` sub-chunks so
+transfers pipeline more finely without changing the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..collectives.chunking import split_bytes
+from ..errors import PlanError, RoutingError
+from ..topology.base import PhysicalTopology
+from ..topology.dgx1 import PCIE_ALPHA, PCIE_BANDWIDTH
+from ..topology.routing import Router
+from .ir import RECV, REDUCE, SEND, Plan, PlanOp
+from .verifier import match_wires
+
+__all__ = [
+    "EdgeChoice",
+    "LegalizeReport",
+    "LaneReport",
+    "CompileReports",
+    "legalize_routes",
+    "assign_lanes",
+    "pipeline_chunks",
+    "compile_plan",
+]
+
+
+@dataclass(frozen=True)
+class EdgeChoice:
+    """How one logical edge was realized physically."""
+
+    src: int
+    dst: int
+    choice: str  # "direct" | "detour" | "pcie"
+    path: tuple[int, ...]
+    detour_cost: float | None = None
+    pcie_cost: float | None = None
+
+
+@dataclass
+class LegalizeReport:
+    """What route legalization did."""
+
+    choices: dict[tuple[int, int], EdgeChoice] = field(default_factory=dict)
+    detour_transfers: int = 0
+    pcie_transfers: int = 0
+
+    @property
+    def notes(self) -> list[str]:
+        out = []
+        for (u, v), c in sorted(self.choices.items()):
+            if c.choice == "direct":
+                continue
+            cost = (
+                f" (detour {c.detour_cost:.2e}s vs pcie {c.pcie_cost:.2e}s)"
+                if c.detour_cost is not None and c.pcie_cost is not None
+                else ""
+            )
+            path = "->".join(str(n) for n in c.path) if c.path else "host"
+            out.append(f"edge {u}->{v}: {c.choice} via {path}{cost}")
+        return out
+
+
+@dataclass
+class LaneReport:
+    """Lane assignment outcome."""
+
+    assignments: dict[tuple[int, int], set[int]] = field(default_factory=dict)
+    conflicts: list[str] = field(default_factory=list)
+
+    @property
+    def notes(self) -> list[str]:
+        return [f"lane conflict: {c}" for c in self.conflicts]
+
+
+@dataclass
+class CompileReports:
+    """Bundle of per-pass reports from :func:`compile_plan`."""
+
+    legalize: LegalizeReport
+    lanes: LaneReport
+
+    @property
+    def notes(self) -> list[str]:
+        return self.legalize.notes + self.lanes.notes
+
+
+def _detour_cost(
+    topo: PhysicalTopology, path: tuple[int, ...], nbytes: float
+) -> float:
+    cost = 0.0
+    for a, b in zip(path, path[1:]):
+        spec = topo.link(a, b, 0)
+        cost += spec.alpha + spec.beta * nbytes
+    return cost
+
+
+def legalize_routes(
+    plan: Plan,
+    topo: PhysicalTopology,
+    *,
+    router: Router | None = None,
+    pcie_alpha: float = PCIE_ALPHA,
+    pcie_beta: float = 1.0 / PCIE_BANDWIDTH,
+) -> tuple[Plan, LegalizeReport]:
+    """Map every transfer onto the physical topology.
+
+    Per missing link, the cheaper of the NVLink detour (sum of per-hop
+    alpha-beta costs) and the PCIe host path wins; detours insert relay
+    thread blocks, PCIe fallbacks retag ``medium="pcie"``.
+
+    Returns a new, ``legalized`` plan plus the report of per-edge
+    choices.  Raises :class:`PlanError` when an edge has neither route.
+    """
+    if plan.legalized:
+        return plan, LegalizeReport()
+    router = router or Router(topo)
+    pairing = match_wires(plan)
+    if pairing.errors:
+        raise PlanError(
+            "cannot legalize an unmatchable plan: " + pairing.errors[0]
+        )
+    report = LegalizeReport()
+
+    def choose(src: int, dst: int, nbytes: float) -> EdgeChoice:
+        key = (src, dst)
+        if key in report.choices:
+            return report.choices[key]
+        if topo.lane_count(src, dst) > 0:
+            choice = EdgeChoice(src, dst, "direct", (src, dst))
+        else:
+            pcie_cost = pcie_alpha + pcie_beta * nbytes
+            try:
+                path = tuple(router.route(src, dst))
+            except RoutingError:
+                path = ()
+            if path and len(path) > 2:
+                det = _detour_cost(topo, path, nbytes)
+                if det <= pcie_cost:
+                    choice = EdgeChoice(src, dst, "detour", path, det,
+                                        pcie_cost)
+                else:
+                    choice = EdgeChoice(src, dst, "pcie", (), det, pcie_cost)
+            elif path:
+                choice = EdgeChoice(src, dst, "direct", path)
+            else:
+                choice = EdgeChoice(src, dst, "pcie", (), None, pcie_cost)
+        report.choices[key] = choice
+        return choice
+
+    new_plan = Plan(
+        algorithm=plan.algorithm,
+        nnodes=plan.nnodes,
+        nbytes=plan.nbytes,
+        chunk_sizes=plan.chunk_sizes,
+        chunk_offsets=plan.chunk_offsets,
+        ntrees=plan.ntrees,
+        legalized=True,
+        notes=list(plan.notes),
+    )
+    id_map: dict[int, int] = {}
+    for op in plan.ops:
+        deps = tuple(id_map[d] for d in op.deps)
+        if not op.is_transfer:
+            id_map[op.op_id] = new_plan.add(
+                rank=op.rank, kind=op.kind, chunk=op.chunk,
+                chunk_set=op.chunk_set, tree=op.tree, tb=op.tb,
+                phase=op.phase, deps=deps, label=op.label,
+            ).op_id
+            continue
+        choice = choose(op.src, op.dst, op.nbytes)
+        if choice.choice == "direct":
+            id_map[op.op_id] = new_plan.add(
+                rank=op.rank, kind=op.kind, chunk=op.chunk,
+                chunk_set=op.chunk_set, peer=op.peer, nbytes=op.nbytes,
+                lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
+                deps=deps, label=op.label,
+            ).op_id
+            continue
+        if choice.choice == "pcie":
+            id_map[op.op_id] = new_plan.add(
+                rank=op.rank, kind=op.kind, chunk=op.chunk,
+                chunk_set=op.chunk_set, peer=op.peer, nbytes=op.nbytes,
+                lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
+                deps=deps, medium="pcie", label=op.label,
+            ).op_id
+            if op.kind == SEND:
+                report.pcie_transfers += 1
+            continue
+        # Detour: the sender targets the first intermediate; each
+        # intermediate runs a relay thread block (recv + forward, its
+        # own persistent kernel); the receiver's peer becomes the last
+        # intermediate.  All legs share flow=(src, dst).
+        path, flow = choice.path, (op.src, op.dst)
+        if op.kind == SEND:
+            report.detour_transfers += 1
+            id_map[op.op_id] = new_plan.add(
+                rank=op.rank, kind=SEND, chunk=op.chunk,
+                chunk_set=op.chunk_set, peer=path[1], nbytes=op.nbytes,
+                lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
+                flow=flow, deps=deps, label=op.label,
+            ).op_id
+            for i in range(1, len(path) - 1):
+                relay_tb = ("relay", op.src, op.dst, op.tree,
+                            op.phase.value)
+                recv = new_plan.add(
+                    rank=path[i], kind=RECV, chunk=op.chunk,
+                    chunk_set=op.chunk_set, peer=path[i - 1],
+                    nbytes=op.nbytes, lane=op.lane, tree=op.tree,
+                    tb=relay_tb, phase=op.phase, flow=flow,
+                    label=f"relay-recv {op.label}".strip(),
+                )
+                new_plan.add(
+                    rank=path[i], kind=SEND, chunk=op.chunk,
+                    chunk_set=op.chunk_set, peer=path[i + 1],
+                    nbytes=op.nbytes, lane=op.lane, tree=op.tree,
+                    tb=relay_tb, phase=op.phase, flow=flow,
+                    deps=(recv.op_id,),
+                    label=f"relay-send {op.label}".strip(),
+                )
+        else:  # RECV / REDUCE endpoint
+            id_map[op.op_id] = new_plan.add(
+                rank=op.rank, kind=op.kind, chunk=op.chunk,
+                chunk_set=op.chunk_set, peer=path[-2], nbytes=op.nbytes,
+                lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
+                flow=flow, deps=deps, label=op.label,
+            ).op_id
+    if report.detour_transfers or report.pcie_transfers:
+        new_plan.notes.append(
+            f"legalized on {topo.name!r}: {report.detour_transfers} "
+            f"detoured, {report.pcie_transfers} pcie transfer(s)"
+        )
+    return new_plan, report
+
+
+def assign_lanes(
+    plan: Plan, topo: PhysicalTopology
+) -> tuple[Plan, LaneReport]:
+    """Assign each NVLink hop its physical lane (``tree % lane_count``).
+
+    Returns a new plan plus a report of per-link lane usage and
+    conflicts (two or more trees forced onto one lane of one directed
+    link — the contention the overlap ablation measures).
+    """
+    report = LaneReport()
+    users: dict[tuple[int, int, int], set[int]] = {}
+    new_ops: list[PlanOp] = []
+    for op in plan.ops:
+        if not op.is_transfer or op.medium == "pcie":
+            new_ops.append(op)
+            continue
+        u, v = op.src, op.dst
+        lanes = topo.lane_count(u, v)
+        if lanes == 0:
+            new_ops.append(op)
+            continue
+        lane = op.tree % lanes
+        report.assignments.setdefault((u, v), set()).add(lane)
+        users.setdefault((u, v, lane), set()).add(op.tree)
+        new_ops.append(op.replace(lane=lane))
+    for (u, v, lane), trees in sorted(users.items()):
+        if len(trees) > 1:
+            report.conflicts.append(
+                f"link {u}->{v} lane {lane} shared by trees "
+                f"{sorted(trees)}"
+            )
+    return plan.replace_ops(new_ops), report
+
+
+def pipeline_chunks(plan: Plan, factor: int) -> Plan:
+    """Split every chunk into ``factor`` equal sub-chunks.
+
+    Single-chunk ops are replicated per sub-chunk (deps mapped
+    sub-to-sub, so sub-pipelines stay independent); aggregated
+    ``chunk_set`` transfers and chunk-less markers keep one op whose
+    deps fan in over every sub-chunk.
+    """
+    if factor < 1:
+        raise PlanError("pipeline factor must be >= 1")
+    if factor == 1:
+        return plan
+    new_sizes: list[float] = []
+    for size in plan.chunk_sizes:
+        new_sizes.extend(split_bytes(size, factor))
+    offsets: list[float] = []
+    acc = 0.0
+    for size in new_sizes:
+        offsets.append(acc)
+        acc += size
+
+    new_plan = Plan(
+        algorithm=plan.algorithm,
+        nnodes=plan.nnodes,
+        nbytes=plan.nbytes,
+        chunk_sizes=tuple(new_sizes),
+        chunk_offsets=tuple(offsets),
+        ntrees=plan.ntrees,
+        legalized=plan.legalized,
+        notes=list(plan.notes) + [f"pipelined x{factor}"],
+    )
+    # old op id -> new ids (length `factor` for split ops, else 1).
+    id_map: dict[int, list[int]] = {}
+
+    def map_deps(deps: tuple[int, ...], j: int | None) -> tuple[int, ...]:
+        out: list[int] = []
+        for d in deps:
+            mapped = id_map[d]
+            if j is not None and len(mapped) == factor:
+                out.append(mapped[j])
+            else:
+                out.extend(mapped)
+        return tuple(out)
+
+    for op in plan.ops:
+        if op.chunk_set:
+            subs = tuple(
+                c * factor + j for c in sorted(op.chunk_set)
+                for j in range(factor)
+            )
+            new = new_plan.add(
+                rank=op.rank, kind=op.kind, chunk=min(subs),
+                chunk_set=subs, peer=op.peer, nbytes=op.nbytes,
+                lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
+                flow=op.flow, medium=op.medium,
+                deps=map_deps(op.deps, None), label=op.label,
+            )
+            id_map[op.op_id] = [new.op_id]
+        elif op.chunk >= 0:
+            ids = []
+            for j in range(factor):
+                sub = op.chunk * factor + j
+                new = new_plan.add(
+                    rank=op.rank, kind=op.kind, chunk=sub, peer=op.peer,
+                    nbytes=new_sizes[sub] if op.is_transfer else 0.0,
+                    lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
+                    flow=op.flow, medium=op.medium,
+                    deps=map_deps(op.deps, j),
+                    label=f"{op.label}.{j}" if op.label else "",
+                )
+                ids.append(new.op_id)
+            id_map[op.op_id] = ids
+        else:  # chunk-less marker (phase barrier)
+            new = new_plan.add(
+                rank=op.rank, kind=op.kind, peer=op.peer, lane=op.lane,
+                tree=op.tree, tb=op.tb, phase=op.phase, flow=op.flow,
+                medium=op.medium, deps=map_deps(op.deps, None),
+                label=op.label,
+            )
+            id_map[op.op_id] = [new.op_id]
+    return new_plan
+
+
+def compile_plan(
+    plan: Plan,
+    topo: PhysicalTopology,
+    *,
+    router: Router | None = None,
+    pipeline: int = 1,
+    pcie_alpha: float = PCIE_ALPHA,
+    pcie_beta: float = 1.0 / PCIE_BANDWIDTH,
+) -> tuple[Plan, CompileReports]:
+    """Full pipeline: optional chunk split, legalize routes, assign lanes."""
+    if pipeline > 1:
+        plan = pipeline_chunks(plan, pipeline)
+    plan, leg = legalize_routes(
+        plan, topo, router=router, pcie_alpha=pcie_alpha,
+        pcie_beta=pcie_beta,
+    )
+    plan, lanes = assign_lanes(plan, topo)
+    return plan, CompileReports(legalize=leg, lanes=lanes)

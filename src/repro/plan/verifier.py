@@ -1,0 +1,451 @@
+"""Static verification of collective plans.
+
+The verifier proves, without executing anything, that a plan is a
+correct AllReduce:
+
+1. **Structure** — dense op ids, backward deps, valid kinds/peers/
+   chunks/payloads.
+2. **Wire matching** — on every FIFO wire ``(src, dst, tree, phase,
+   flow)`` the k-th SEND pairs with the k-th RECV/REDUCE and both carry
+   the same chunks and bytes; each wire has a single sending and a
+   single receiving thread block (otherwise FIFO order is racy).
+3. **Deadlock freedom** — the combined graph of explicit deps,
+   per-thread-block program order, and send→recv pairing is acyclic.
+   Sends never block (the interpreter sizes each wire to its total send
+   count), so acyclicity of this graph is exactly deadlock freedom.
+4. **Dataflow** — replaying ops in a topological order of that graph,
+   every rank must end holding each chunk's full reduction: every
+   contributor reduced exactly once (no drops, no double counting) and
+   every broadcast an overwrite of a fully-reduced copy delivered
+   exactly once.  Unordered accesses to the same (rank, chunk) slot are
+   reported as races.
+5. **Physical legality** (with a topology) — every NVLink hop must ride
+   an existing link and an existing lane.
+
+Every diagnostic names the offending op (``op 17 [send c3 2->4 t0]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlanVerificationError
+from ..topology.base import PhysicalTopology
+from .ir import COPY, RECV, REDUCE, SEND, OpKind, Plan, PlanOp
+
+__all__ = [
+    "WirePairing",
+    "VerifyReport",
+    "match_wires",
+    "verify_plan",
+    "is_relay",
+]
+
+
+def is_relay(op: PlanOp) -> bool:
+    """True for detour relay legs: transfers at an intermediate GPU.
+
+    Relay ops forward through a staging buffer — they never touch the
+    relay GPU's own gradient slot.
+    """
+    if op.flow is None:
+        return False
+    if op.kind == SEND:
+        return op.rank != op.flow[0]
+    if op.kind in (RECV, REDUCE):
+        return op.rank != op.flow[1]
+    return False
+
+
+@dataclass
+class WirePairing:
+    """Send/recv pairing of one plan, shared with interpreter/lowering.
+
+    Attributes:
+        partner: op_id -> paired op_id (send <-> recv/reduce).
+        wires: wire key -> (send op ids, recv op ids) in FIFO order.
+        errors: pairing diagnostics (mismatched counts/payloads, racy
+            multi-producer wires).
+    """
+
+    partner: dict[int, int] = field(default_factory=dict)
+    wires: dict[tuple, tuple[list[int], list[int]]] = field(
+        default_factory=dict
+    )
+    errors: list[str] = field(default_factory=list)
+
+
+def match_wires(plan: Plan) -> WirePairing:
+    """Pair every SEND with its RECV/REDUCE by FIFO order per wire."""
+    pairing = WirePairing()
+    sends: dict[tuple, list[int]] = {}
+    recvs: dict[tuple, list[int]] = {}
+    send_tbs: dict[tuple, set] = {}
+    recv_tbs: dict[tuple, set] = {}
+    for op in plan.ops:
+        if not op.is_transfer:
+            continue
+        try:
+            wire = op.wire_key()
+        except Exception:  # pragma: no cover - is_transfer guards this
+            continue
+        if op.kind == SEND:
+            sends.setdefault(wire, []).append(op.op_id)
+            send_tbs.setdefault(wire, set()).add((op.rank, op.tb))
+        else:
+            recvs.setdefault(wire, []).append(op.op_id)
+            recv_tbs.setdefault(wire, set()).add((op.rank, op.tb))
+
+    for wire in sorted(set(sends) | set(recvs), key=repr):
+        s_ids = sends.get(wire, [])
+        r_ids = recvs.get(wire, [])
+        pairing.wires[wire] = (s_ids, r_ids)
+        if len(s_ids) != len(r_ids):
+            longer = s_ids if len(s_ids) > len(r_ids) else r_ids
+            culprit = plan.op(longer[min(len(s_ids), len(r_ids))])
+            pairing.errors.append(
+                f"wire {wire}: {len(s_ids)} send(s) vs {len(r_ids)} "
+                f"recv(s); unmatched {culprit.name()}"
+            )
+            continue
+        for tbs, role in ((send_tbs.get(wire), "sender"),
+                          (recv_tbs.get(wire), "receiver")):
+            if tbs and len(tbs) > 1:
+                first = plan.op(s_ids[0] if role == "sender" else r_ids[0])
+                pairing.errors.append(
+                    f"wire {wire}: {len(tbs)} {role} thread blocks "
+                    f"{sorted(tbs, key=repr)} — FIFO order is racy; "
+                    f"first {first.name()}"
+                )
+        for s_id, r_id in zip(s_ids, r_ids):
+            s_op, r_op = plan.op(s_id), plan.op(r_id)
+            if s_op.chunks_carried() != r_op.chunks_carried():
+                pairing.errors.append(
+                    f"wire {wire}: {s_op.name()} carries "
+                    f"{s_op.chunks_carried()} but paired {r_op.name()} "
+                    f"expects {r_op.chunks_carried()}"
+                )
+                continue
+            if abs(s_op.nbytes - r_op.nbytes) > 1e-9 * max(1.0, s_op.nbytes):
+                pairing.errors.append(
+                    f"wire {wire}: payload mismatch between {s_op.name()} "
+                    f"({s_op.nbytes}B) and {r_op.name()} ({r_op.nbytes}B)"
+                )
+            pairing.partner[s_id] = r_id
+            pairing.partner[r_id] = s_id
+    return pairing
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of :func:`verify_plan`.
+
+    Attributes:
+        ok: no errors found.
+        errors: every diagnostic, each naming an op.
+        pairing: the send/recv pairing (reusable by interpreter and
+            lowering).
+        order: a combined-graph topological order of op ids (execution
+            order certificate), empty when a cycle was found.
+    """
+
+    ok: bool
+    errors: list[str]
+    pairing: WirePairing
+    order: list[int] = field(default_factory=list)
+
+
+def _structural_errors(plan: Plan) -> list[str]:
+    errors = []
+    for i, op in enumerate(plan.ops):
+        if op.op_id != i:
+            errors.append(
+                f"{op.name()}: op_id {op.op_id} at position {i} "
+                "(ids must be dense and ordered)"
+            )
+        if op.kind not in OpKind.ALL:
+            errors.append(f"{op.name()}: unknown kind {op.kind!r}")
+            continue
+        if not (0 <= op.rank < plan.nnodes):
+            errors.append(f"{op.name()}: rank {op.rank} out of range")
+        if op.is_transfer:
+            if not (0 <= op.peer < plan.nnodes):
+                errors.append(f"{op.name()}: peer {op.peer} out of range")
+            elif op.peer == op.rank:
+                errors.append(f"{op.name()}: self-transfer")
+            if not op.chunks_carried():
+                errors.append(f"{op.name()}: transfer carries no chunks")
+            if op.nbytes <= 0:
+                errors.append(f"{op.name()}: non-positive payload")
+        for c in op.chunks_carried():
+            if not (0 <= c < plan.nchunks):
+                errors.append(f"{op.name()}: chunk {c} out of range")
+        for d in op.deps:
+            if not (0 <= d < len(plan.ops)):
+                errors.append(f"{op.name()}: dep {d} out of range")
+            elif d >= op.op_id:
+                errors.append(
+                    f"{op.name()}: forward/self dep on op {d} "
+                    "(deps must reference earlier ops)"
+                )
+    return errors
+
+
+def _combined_edges(plan: Plan, pairing: WirePairing) -> list[set[int]]:
+    """Predecessor sets under deps ∪ program order ∪ send→recv pairing."""
+    preds: list[set[int]] = [set() for _ in plan.ops]
+    for op in plan.ops:
+        preds[op.op_id].update(d for d in op.deps if 0 <= d < len(plan.ops))
+    for prog in plan.programs().values():
+        for prev, nxt in zip(prog, prog[1:]):
+            preds[nxt.op_id].add(prev.op_id)
+    for s_ids, r_ids in pairing.wires.values():
+        for s_id, r_id in zip(s_ids, r_ids):
+            preds[r_id].add(s_id)
+    return preds
+
+
+def _topo_order(
+    plan: Plan, preds: list[set[int]]
+) -> tuple[list[int], list[str]]:
+    n = len(plan.ops)
+    indeg = [len(p) for p in preds]
+    succs: list[list[int]] = [[] for _ in range(n)]
+    for op_id, p in enumerate(preds):
+        for d in p:
+            succs[d].append(op_id)
+    ready = sorted(i for i in range(n) if indeg[i] == 0)
+    order: list[int] = []
+    import heapq
+
+    heapq.heapify(ready)
+    while ready:
+        op_id = heapq.heappop(ready)
+        order.append(op_id)
+        for s in succs[op_id]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                heapq.heappush(ready, s)
+    if len(order) < n:
+        stuck = [i for i in range(n) if indeg[i] > 0]
+        first = plan.op(stuck[0])
+        return [], [
+            f"dependency cycle (deadlock): {len(stuck)} op(s) can never "
+            f"run, first {first.name()}"
+        ]
+    return order, []
+
+
+def _dataflow_errors(
+    plan: Plan, pairing: WirePairing, order: list[int]
+) -> list[str]:
+    """Replay the plan symbolically and check exactly-once semantics."""
+    errors: list[str] = []
+    nnodes, nchunks = plan.nnodes, plan.nchunks
+    # Per (rank, chunk): the multiset of original contributors held in
+    # the local slot, as a dict rank -> count.  Every rank starts with
+    # its own contribution for every chunk.
+    slot: dict[tuple[int, int], dict[int, int]] = {
+        (r, c): {r: 1} for r in range(nnodes) for c in range(nchunks)
+    }
+    # How often each (rank, chunk) slot was overwritten by a broadcast
+    # after being fully reduced.
+    deliveries: dict[tuple[int, int], int] = {}
+    payload: dict[int, dict[int, dict[int, int]]] = {}  # send -> chunk -> ms
+    last_writer: dict[tuple[int, int], PlanOp] = {}
+    full = {r: 1 for r in range(nnodes)}
+
+    # Relay legs forward through a staging register, not the slot.
+    relay_reg: dict[tuple, dict[int, int]] = {}
+
+    def _relay_key(op: PlanOp, c: int) -> tuple:
+        return (op.rank, op.flow, op.tree, op.phase, c)
+
+    for op_id in order:
+        op = plan.op(op_id)
+        if op.kind == SEND:
+            if is_relay(op):
+                staged: dict[int, dict[int, int]] = {}
+                for c in op.chunks_carried():
+                    key = _relay_key(op, c)
+                    if key not in relay_reg:
+                        errors.append(
+                            f"{op.name()}: relay forwards chunk {c} "
+                            "before receiving it"
+                        )
+                        staged[c] = {}
+                    else:
+                        staged[c] = dict(relay_reg[key])
+                payload[op_id] = staged
+                continue
+            payload[op_id] = {
+                c: dict(slot[(op.rank, c)]) for c in op.chunks_carried()
+            }
+        elif op.kind == REDUCE:
+            s_id = pairing.partner.get(op_id)
+            if s_id is None:
+                continue
+            for c in op.chunks_carried():
+                incoming = payload.get(s_id, {}).get(c, {})
+                local = slot[(op.rank, c)]
+                for contributor, count in incoming.items():
+                    local[contributor] = local.get(contributor, 0) + count
+                    if local[contributor] > 1:
+                        errors.append(
+                            f"{op.name()}: rank {op.rank} reduces chunk "
+                            f"{c} contribution of rank {contributor} "
+                            f"twice (duplicate reduction)"
+                        )
+                last_writer[(op.rank, c)] = op
+        elif op.kind == RECV:
+            s_id = pairing.partner.get(op_id)
+            if s_id is None:
+                continue
+            if is_relay(op):
+                for c in op.chunks_carried():
+                    relay_reg[_relay_key(op, c)] = dict(
+                        payload.get(s_id, {}).get(c, {})
+                    )
+                continue
+            for c in op.chunks_carried():
+                incoming = payload.get(s_id, {}).get(c, {})
+                slot[(op.rank, c)] = dict(incoming)
+                last_writer[(op.rank, c)] = op
+                if incoming == full:
+                    deliveries[(op.rank, c)] = (
+                        deliveries.get((op.rank, c), 0) + 1
+                    )
+                    if deliveries[(op.rank, c)] > 1:
+                        errors.append(
+                            f"{op.name()}: rank {op.rank} receives the "
+                            f"reduced chunk {c} twice (duplicate "
+                            f"broadcast)"
+                        )
+
+    for r in range(nnodes):
+        for c in range(nchunks):
+            held = slot[(r, c)]
+            if held == full:
+                continue
+            missing = sorted(set(range(nnodes)) - set(
+                k for k, v in held.items() if v >= 1
+            ))
+            extra = sorted(k for k, v in held.items() if v > 1)
+            writer = last_writer.get((r, c))
+            where = f" (last written by {writer.name()})" if writer else ""
+            if missing:
+                errors.append(
+                    f"rank {r} chunk {c}: contributions from rank(s) "
+                    f"{missing} never reduced in{where} (dropped reduce)"
+                )
+            if extra:
+                errors.append(
+                    f"rank {r} chunk {c}: contributions from rank(s) "
+                    f"{extra} counted more than once{where}"
+                )
+            if not missing and not extra:
+                errors.append(
+                    f"rank {r} chunk {c}: final value is not the full "
+                    f"reduction{where}"
+                )
+    return errors
+
+
+def _race_errors(
+    plan: Plan, preds: list[set[int]], order: list[int]
+) -> list[str]:
+    """Unordered write/write or read/write pairs on one (rank, chunk)."""
+    n = len(plan.ops)
+    reach = [0] * n  # bitset of ancestors (inclusive)
+    for op_id in order:
+        bits = 1 << op_id
+        for d in preds[op_id]:
+            bits |= reach[d]
+        reach[op_id] = bits
+
+    def ordered(a: int, b: int) -> bool:
+        return bool(reach[b] >> a & 1) or bool(reach[a] >> b & 1)
+
+    errors = []
+    accesses: dict[tuple[int, int], list[tuple[int, bool]]] = {}
+    for op in plan.ops:
+        if op.kind == COPY or is_relay(op):
+            continue
+        writes = op.kind in (REDUCE, RECV)
+        for c in op.chunks_carried():
+            accesses.setdefault((op.rank, c), []).append((op.op_id, writes))
+    for (rank, chunk), ops in accesses.items():
+        for i, (a, a_writes) in enumerate(ops):
+            for b, b_writes in ops[i + 1:]:
+                if not (a_writes or b_writes):
+                    continue
+                if not ordered(a, b):
+                    errors.append(
+                        f"race on rank {rank} chunk {chunk}: "
+                        f"{plan.op(a).name()} and {plan.op(b).name()} "
+                        "are unordered"
+                    )
+    return errors
+
+
+def _physical_errors(plan: Plan, topo: PhysicalTopology) -> list[str]:
+    errors = []
+    for op in plan.ops:
+        if op.kind != SEND:
+            continue
+        if op.medium == "pcie":
+            continue
+        if not (0 <= op.rank < topo.nnodes and 0 <= op.peer < topo.nnodes):
+            errors.append(
+                f"{op.name()}: endpoint outside topology "
+                f"{topo.name!r} ({topo.nnodes} nodes)"
+            )
+            continue
+        lanes = topo.lane_count(op.rank, op.peer)
+        if lanes == 0:
+            errors.append(
+                f"{op.name()}: no physical link {op.rank}->{op.peer} "
+                f"in topology {topo.name!r}"
+            )
+        elif plan.legalized and not (0 <= op.lane < lanes):
+            errors.append(
+                f"{op.name()}: lane {op.lane} out of range "
+                f"(link {op.rank}->{op.peer} has {lanes} lane(s))"
+            )
+    return errors
+
+
+def verify_plan(
+    plan: Plan,
+    *,
+    topo: PhysicalTopology | None = None,
+    raise_on_error: bool = True,
+) -> VerifyReport:
+    """Statically verify a plan; see the module docstring for the checks.
+
+    Args:
+        plan: the plan to verify.
+        topo: when given, additionally check every NVLink hop rides an
+            existing physical link/lane (``medium="pcie"`` hops are
+            exempt — they ride the host path).
+        raise_on_error: raise :class:`PlanVerificationError` listing all
+            diagnostics instead of returning a failed report.
+    """
+    errors = _structural_errors(plan)
+    pairing = match_wires(plan)
+    errors.extend(pairing.errors)
+    order: list[int] = []
+    if not errors:
+        preds = _combined_edges(plan, pairing)
+        order, cycle_errors = _topo_order(plan, preds)
+        errors.extend(cycle_errors)
+        if order:
+            errors.extend(_dataflow_errors(plan, pairing, order))
+            errors.extend(_race_errors(plan, preds, order))
+    if topo is not None:
+        errors.extend(_physical_errors(plan, topo))
+    if errors and raise_on_error:
+        raise PlanVerificationError(errors)
+    return VerifyReport(
+        ok=not errors, errors=errors, pairing=pairing, order=order
+    )

@@ -1,0 +1,176 @@
+"""Functional halving-doubling AllReduce on the virtual cluster.
+
+One persistent kernel per GPU runs the classic recursive
+halving/doubling exchange (Thakur et al., the paper's [52]): at
+reduce-scatter step ``s`` each rank swaps the half of its active vector
+selected by its partner's bit with partner ``rank ^ 2^s`` and
+accumulates the incoming half; the all-gather phase reverses the
+exchanges with overwrites.  Pairwise staging buffers are flow-controlled
+by the same semaphores the ring runtime uses.
+
+This is the hand-written counterpart the plan interpreter's
+``halving_doubling`` plans are checked bit-identical against: both
+accumulate incoming chunks in ascending chunk-id order within each
+step, so the floating-point accumulation order matches exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.runtime.cluster import KernelPool
+from repro.runtime.memory import ChunkLayout, GradientBuffer
+from repro.runtime.sync import DeviceSemaphore, SpinConfig
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+@dataclass
+class HDRunReport:
+    """Outcome of one functional halving-doubling AllReduce.
+
+    Attributes:
+        outputs: per-GPU result arrays (each equals the input sum).
+        layout: the P-chunk layout used.
+        owned_after_rs: per GPU, the chunk id it owned (fully reduced)
+            at the end of reduce-scatter — the scattered ownership that
+            makes the algorithm order-free (paper Observation #3).
+        wall_time: wall-clock duration.
+    """
+
+    outputs: list[np.ndarray]
+    layout: ChunkLayout
+    owned_after_rs: dict[int, int]
+    wall_time: float
+
+
+class HalvingDoublingRuntime:
+    """Functional recursive halving-doubling AllReduce.
+
+    Args:
+        nnodes: GPU count; must be a power of two and >= 2 (chunk count
+            equals ``nnodes``).
+        total_elems: gradient element count.
+        spin: spin configuration for the semaphores.
+    """
+
+    def __init__(
+        self,
+        nnodes: int,
+        *,
+        total_elems: int,
+        spin: SpinConfig | None = None,
+    ):
+        if nnodes < 2 or not _is_power_of_two(nnodes):
+            raise ConfigError(
+                "halving-doubling requires a power-of-two node count"
+            )
+        self.nnodes = nnodes
+        self.layout = ChunkLayout.split(
+            total_elems, ntrees=1, chunks_per_tree=nnodes
+        )
+        self.spin = spin or SpinConfig()
+
+    def run(self, inputs: list[np.ndarray]) -> HDRunReport:
+        """Execute one AllReduce over ``inputs`` (one array per GPU)."""
+        if len(inputs) != self.nnodes:
+            raise ConfigError(f"expected {self.nnodes} input arrays")
+        if any(len(a) != self.layout.total_elems for a in inputs):
+            raise ConfigError("all inputs must match the layout size")
+        p = self.nnodes
+        steps = p.bit_length() - 1
+        buffers = [GradientBuffer(a, self.layout) for a in inputs]
+        # One staging array + semaphore per receiving GPU; a rank talks
+        # to one partner per step and phases alternate reads/writes in
+        # lockstep, but a fast partner could start the *next* step's
+        # write before this rank finished reading the current one, so
+        # each (phase, step) gets its own staging array.
+        staging = [
+            [np.zeros(self.layout.total_elems) for _ in range(p)]
+            for _ in range(2 * steps)
+        ]
+        # Per-(stage, gpu) semaphores: partners change every step, so a
+        # plain counting semaphore per GPU would let a fast rank's
+        # step-s+1 post satisfy this rank's step-s wait before the real
+        # step-s partner delivered.
+        sems = [
+            [
+                DeviceSemaphore(1, spin=self.spin, name=f"hd.s{stage}@{gpu}")
+                for gpu in range(p)
+            ]
+            for stage in range(2 * steps)
+        ]
+        owned_after_rs: dict[int, int] = {}
+
+        def kernel_for(rank: int):
+            buffer = buffers[rank]
+
+            def exchange(
+                stage: int, partner: int, send: list[int], recv: list[int],
+                accumulate: bool,
+            ) -> None:
+                stg = staging[stage]
+                for c in send:
+                    sl = self.layout.slice_of(c)
+                    stg[partner][sl] = buffer.data[sl]
+                sems[stage][partner].post()
+                sems[stage][rank].wait()
+                for c in recv:
+                    incoming = stg[rank][self.layout.slice_of(c)]
+                    if accumulate:
+                        buffer.accumulate(c, incoming)
+                    else:
+                        buffer.overwrite(c, incoming)
+
+            def kernel() -> None:
+                active = set(range(p))
+                # Reduce-scatter: swap-and-accumulate halves, distance
+                # doubling.
+                for step in range(steps):
+                    bit = 1 << step
+                    partner = rank ^ bit
+                    keep = {c for c in active if (c & bit) == (rank & bit)}
+                    exchange(
+                        step, partner,
+                        send=sorted(active - keep),
+                        recv=sorted(keep),
+                        accumulate=True,
+                    )
+                    active = keep
+                (mine,) = active
+                owned_after_rs[rank] = mine
+                # All-gather: reverse the exchanges, doubling owned sets.
+                owned = set(active)
+                for step in reversed(range(steps)):
+                    bit = 1 << step
+                    partner = rank ^ bit
+                    # The partner owns the mirror-image set.
+                    incoming = {c ^ bit for c in owned}
+                    exchange(
+                        steps + step, partner,
+                        send=sorted(owned),
+                        recv=sorted(incoming),
+                        accumulate=False,
+                    )
+                    owned |= incoming
+
+            return kernel
+
+        pool = KernelPool(join_timeout=self.spin.timeout * 2)
+        for rank in range(p):
+            pool.add(f"hd g{rank}", kernel_for(rank))
+        started = time.monotonic()
+        pool.run()
+        elapsed = time.monotonic() - started
+        return HDRunReport(
+            outputs=[buf.data for buf in buffers],
+            layout=self.layout,
+            owned_after_rs=owned_after_rs,
+            wall_time=elapsed,
+        )

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import re
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -312,6 +312,13 @@ class RecoveryReport:
             re-embedded).
         resumed_from_iteration: iteration index training resumed at.
         timeline: human-readable state-machine trace.
+        cascade_dead_gpus: physical GPUs lost to a second crash while
+            running degraded (empty without a cascade).
+        cascade_decision: the policy's comparison for the second crash.
+        cascade_embedding: the second (6-survivor) re-embedding.
+        cascade_assignments: rank -> adopted shards after the cascade.
+        cascade_resumed_from_iteration: iteration index the post-cascade
+            resume restarted at (-1 without a cascade).
     """
 
     weights: np.ndarray
@@ -325,6 +332,16 @@ class RecoveryReport:
     assignments: dict[int, tuple[int, ...]] | None
     resumed_from_iteration: int
     timeline: list[str] = field(default_factory=list)
+    cascade_dead_gpus: tuple[int, ...] = ()
+    cascade_decision: RecoveryDecision | None = None
+    cascade_embedding: DegradedEmbedding | None = None
+    cascade_assignments: dict[int, tuple[int, ...]] | None = None
+    cascade_resumed_from_iteration: int = -1
+
+    @property
+    def all_dead_gpus(self) -> tuple[int, ...]:
+        """Every physical GPU lost across both crashes."""
+        return tuple(sorted({*self.dead_gpus, *self.cascade_dead_gpus}))
 
 
 class ResilientTrainer:
@@ -409,7 +426,9 @@ class ResilientTrainer:
         )
 
     def _degraded_runtime(
-        self, embedding: DegradedEmbedding
+        self,
+        embedding: DegradedEmbedding,
+        fault_plan: FaultPlan | None = None,
     ) -> TreeAllReduceRuntime:
         return TreeAllReduceRuntime(
             embedding.trees,
@@ -417,7 +436,33 @@ class ResilientTrainer:
             chunks_per_tree=self.chunks_per_tree,
             detour_map=embedding.detour_map,
             spin=self.spin,
+            fault_plan=fault_plan,
         )
+
+    @staticmethod
+    def _translated_faults(
+        plan: FaultPlan, embedding: DegradedEmbedding
+    ) -> FaultPlan:
+        """Rewrite GPU-fault targets from physical ids to degraded ranks.
+
+        A cascade fault is specified against the *physical* GPU (what an
+        operator would name); the degraded runtime addresses its kernels
+        by dense survivor rank.
+
+        Raises:
+            ConfigError: when a fault targets an already-dead GPU.
+        """
+        faults = []
+        for fault in plan.gpu_faults:
+            if fault.gpu not in embedding.rank_of:
+                raise ConfigError(
+                    f"cascade fault targets gpu {fault.gpu}, which did "
+                    "not survive the first crash"
+                )
+            faults.append(
+                replace(fault, gpu=embedding.rank_of[fault.gpu])
+            )
+        return replace(plan, gpu_faults=tuple(faults))
 
     def _segment(
         self,
@@ -453,9 +498,18 @@ class ResilientTrainer:
         iterations: int,
         fault_plan: FaultPlan | None = None,
         fault_at_iteration: int = 0,
+        cascade_fault_plan: FaultPlan | None = None,
+        cascade_at_iteration: int = 0,
     ) -> RecoveryReport:
         """Run ``iterations`` steps, arming ``fault_plan`` at the given
         iteration and recovering if the cluster aborts.
+
+        ``cascade_fault_plan`` models a second failure while already
+        running degraded: it is armed ``cascade_at_iteration`` degraded
+        iterations after the first resume (GPU-fault targets given as
+        *physical* ids), and a second abort re-embeds again on the
+        remaining survivors.  It is only armed when the first recovery
+        chose re-embedding.
 
         Raises:
             ConfigError: on invalid iteration indices.
@@ -553,6 +607,11 @@ class ResilientTrainer:
         )
 
         assignments: dict[int, tuple[int, ...]] | None = None
+        cascade_dead: tuple[int, ...] = ()
+        cascade_decision: RecoveryDecision | None = None
+        cascade_embedding: DegradedEmbedding | None = None
+        cascade_assignments: dict[int, tuple[int, ...]] | None = None
+        cascade_split = -1
         if decision.action == REEMBED:
             assignments = shard_assignments(embedding, self.topo.nnodes)
             timeline.append(
@@ -560,21 +619,145 @@ class ResilientTrainer:
                 f"{embedding.topology.nnodes} ranks, cost {embedding.cost}, "
                 f"shards {assignments}"
             )
-            resumed_runtime = self._degraded_runtime(embedding)
-            resume_fn = self._shifted(
-                adopted_gradient_fn(self.gradient_fn, assignments), prefix
-            )
+            degraded_fn = adopted_gradient_fn(self.gradient_fn, assignments)
+            if cascade_fault_plan is None:
+                history.extend(
+                    self._segment(
+                        self._degraded_runtime(embedding),
+                        self._shifted(degraded_fn, prefix),
+                        weights, remaining,
+                    )
+                )
+            else:
+                if not 0 <= cascade_at_iteration < remaining:
+                    raise ConfigError(
+                        f"cascade_at_iteration {cascade_at_iteration} "
+                        f"outside [0, {remaining})"
+                    )
+                if cascade_at_iteration:
+                    history.extend(
+                        self._segment(
+                            self._degraded_runtime(embedding),
+                            self._shifted(degraded_fn, prefix),
+                            weights, cascade_at_iteration,
+                        )
+                    )
+                    weights = history[-1].copy()
+                    timeline.append(
+                        f"degraded: iterations {prefix}.."
+                        f"{prefix + cascade_at_iteration - 1} done on "
+                        f"{embedding.topology.nnodes} ranks"
+                    )
+                cascade_split = prefix + cascade_at_iteration
+                left = remaining - cascade_at_iteration
+                armed = self._translated_faults(
+                    cascade_fault_plan, embedding
+                )
+                cascade_runtime = self._degraded_runtime(
+                    embedding, fault_plan=armed
+                )
+                try:
+                    history.extend(
+                        self._segment(
+                            cascade_runtime,
+                            self._shifted(degraded_fn, cascade_split),
+                            weights, left,
+                        )
+                    )
+                    timeline.append(
+                        "degraded: armed cascade fault never aborted"
+                    )
+                    cascade_split = -1
+                except AbortedError as second:
+                    timeline.append(f"cascade abort: {second.reason}")
+                    stats = drain_aborted_run(cascade_runtime)
+                    timeline.append(
+                        "drain: in-flight chunks discarded with the "
+                        "aborted degraded run"
+                        + (f"; fault stats {stats}" if stats else "")
+                    )
+                    dead_ranks = detect_dead_gpus(cascade_runtime)
+                    if not dead_ranks:
+                        timeline.append(
+                            "detect: no dead GPU identified; rethrowing"
+                        )
+                        raise
+                    cascade_dead = tuple(
+                        sorted(embedding.gpu_of[r] for r in dead_ranks)
+                    )
+                    timeline.append(
+                        f"detect: dead ranks {list(dead_ranks)} = "
+                        f"physical GPUs {list(cascade_dead)}"
+                    )
+                    all_dead = tuple(sorted({*dead, *cascade_dead}))
+                    cascade_embedding = search_degraded_pair(
+                        self.topo,
+                        all_dead,
+                        detour_preference=self.detour_preference,
+                        **self._search_kwargs,
+                    )
+                    cascade_decision = self.policy.decide(
+                        nnodes_healthy=self.topo.nnodes,
+                        nnodes_degraded=cascade_embedding.topology.nnodes,
+                        nbytes=float(self.network.total_params * 8),
+                        detours=cascade_embedding.cost.detours,
+                        conflicts=cascade_embedding.cost.conflicts,
+                        remaining_iterations=left,
+                    )
+                    timeline.append(
+                        f"decide: {cascade_decision.action} "
+                        f"({cascade_decision.reason})"
+                    )
+                    if cascade_decision.action == REEMBED:
+                        cascade_assignments = shard_assignments(
+                            cascade_embedding, self.topo.nnodes
+                        )
+                        timeline.append(
+                            "re-embed: "
+                            f"{cascade_embedding.topology.nnodes} ranks, "
+                            f"cost {cascade_embedding.cost}, "
+                            f"shards {cascade_assignments}"
+                        )
+                        resume_runtime = self._degraded_runtime(
+                            cascade_embedding
+                        )
+                        resume_fn = self._shifted(
+                            adopted_gradient_fn(
+                                self.gradient_fn, cascade_assignments
+                            ),
+                            cascade_split,
+                        )
+                    else:
+                        timeline.append(
+                            "restart: replacement GPUs join, healthy "
+                            "8-GPU schedule"
+                        )
+                        cascade_embedding = None
+                        resume_runtime = self._healthy_runtime(None)
+                        resume_fn = self._shifted(
+                            self.gradient_fn, cascade_split
+                        )
+                    history.extend(
+                        self._segment(
+                            resume_runtime, resume_fn, weights, left
+                        )
+                    )
+                    timeline.append(
+                        f"resume: iterations {cascade_split}.."
+                        f"{iterations - 1} redone after cascading crash"
+                    )
         else:
             timeline.append(
                 "restart: replacement GPU joins, healthy 8-GPU schedule"
             )
-            resumed_runtime = self._healthy_runtime(None)
-            resume_fn = self._shifted(self.gradient_fn, prefix)
+            history.extend(
+                self._segment(
+                    self._healthy_runtime(None),
+                    self._shifted(self.gradient_fn, prefix),
+                    weights, remaining,
+                )
+            )
             embedding = None
-
-        history.extend(
-            self._segment(resumed_runtime, resume_fn, weights, remaining)
-        )
         timeline.append(
             f"resume: iterations {prefix}..{iterations - 1} redone from "
             f"the last consistent weight_history entry"
@@ -591,6 +774,11 @@ class ResilientTrainer:
             assignments=assignments,
             resumed_from_iteration=prefix,
             timeline=timeline,
+            cascade_dead_gpus=cascade_dead,
+            cascade_decision=cascade_decision,
+            cascade_embedding=cascade_embedding,
+            cascade_assignments=cascade_assignments,
+            cascade_resumed_from_iteration=cascade_split,
         )
 
 
@@ -610,10 +798,12 @@ def recovery_serial_reference(
     Replays the recovered run's schedule without ever experiencing the
     fault: iterations before the resume point use the healthy tree
     reduction order over all physical shards; iterations from the resume
-    point use the degraded 7-rank order with the same shard adoption.
-    Floating-point addition is not associative, so matching this replayed
-    order — rather than ``np.sum`` — is exactly the accuracy-neutrality
-    claim extended across the recovery boundary.
+    point use the degraded 7-rank order with the same shard adoption; and
+    when the run suffered a cascading second crash, iterations from the
+    cascade resume point use the 6-rank order with the cumulative
+    adoption.  Floating-point addition is not associative, so matching
+    this replayed order — rather than ``np.sum`` — is exactly the
+    accuracy-neutrality claim extended across the recovery boundary.
 
     Raises:
         ConfigError: when ``report`` did not re-embed (use the plain
@@ -635,17 +825,37 @@ def recovery_serial_reference(
             learning_rate=learning_rate,
             reduce_order=tree_reduce_order(healthy_trees, healthy_layout),
         )
-    degraded_fn = adopted_gradient_fn(gradient_fn, report.assignments)
-    # The degraded runtime splits the same buffer the same way: the chunk
-    # layout depends on element count, tree count, and K — not on P.
-    return serial_reference(
-        network,
-        ResilientTrainer._shifted(degraded_fn, split),
-        weights,
-        nnodes=report.embedding.topology.nnodes,
-        iterations=iterations - split,
-        learning_rate=learning_rate,
-        reduce_order=tree_reduce_order(
-            report.embedding.trees, healthy_layout
-        ),
-    )
+    # Post-crash segments: (start iteration, embedding, assignments),
+    # one per successful re-embedding.  The chunk layout is shared by
+    # every runtime — it depends on element count, tree count, and K,
+    # not on P.
+    segments = [(split, report.embedding, report.assignments)]
+    if (
+        report.cascade_embedding is not None
+        and report.cascade_assignments is not None
+        and report.cascade_resumed_from_iteration >= 0
+    ):
+        segments.append((
+            report.cascade_resumed_from_iteration,
+            report.cascade_embedding,
+            report.cascade_assignments,
+        ))
+    for i, (start, embedding, assignments) in enumerate(segments):
+        end = (
+            segments[i + 1][0] if i + 1 < len(segments) else iterations
+        )
+        if end <= start:
+            continue
+        degraded_fn = adopted_gradient_fn(gradient_fn, assignments)
+        weights = serial_reference(
+            network,
+            ResilientTrainer._shifted(degraded_fn, start),
+            weights,
+            nnodes=embedding.topology.nnodes,
+            iterations=end - start,
+            learning_rate=learning_rate,
+            reduce_order=tree_reduce_order(
+                embedding.trees, healthy_layout
+            ),
+        )
+    return weights

@@ -13,6 +13,7 @@ from repro.core.config import Bandwidth, CCubeConfig, Strategy
 from repro.experiments import (
     ablations,
     ext_faults,
+    ext_plans,
     ext_recovery,
     fig01_allreduce_ratio,
     fig03_invocation,
@@ -398,3 +399,37 @@ class TestExtRecovery:
         text = ext_recovery.format_table(rows)
         assert "restart wins above" in text
         assert "policy @100 iters" in text
+
+
+class TestExtPlans:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_plans.run(nbytes=4 * _MB, nchunks=4)
+
+    def test_every_algorithm_compared(self, rows):
+        names = [r.algorithm for r in rows]
+        assert names == [
+            "ring",
+            "tree",
+            "double_tree",
+            "halving_doubling",
+            "double_tree (C-Cube)",
+        ]
+
+    def test_all_plans_verified(self, rows):
+        assert all(r.verified for r in rows)
+
+    def test_gap_within_acceptance(self, rows):
+        """The headline: the lowered plan's simulated time matches the
+        hand-written schedule within the 5% acceptance tolerance."""
+        for r in rows:
+            assert abs(r.gap_pct) <= 5.0
+
+    def test_physical_row_uses_dgx1(self, rows):
+        assert rows[-1].target == "dgx1"
+        assert rows[-1].ops > 0
+
+    def test_format_table(self, rows):
+        text = ext_plans.format_table(rows)
+        assert "plan IR vs hand-written" in text
+        assert "C-Cube" in text

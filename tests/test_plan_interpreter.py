@@ -1,0 +1,199 @@
+"""Bit-exactness of plan-interpreted AllReduce against the hand-written
+runtimes, plus fault-plan behaviour of the interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AbortedError, ConfigError
+from repro.collectives.ring import DGX1_RING_ORDER
+from repro.plan import (
+    PlanInterpreter,
+    build_double_tree_plan,
+    build_halving_doubling_plan,
+    build_ring_plan,
+    build_tree_plan,
+    compile_plan,
+)
+from repro.runtime.allreduce import TreeAllReduceRuntime
+from repro.runtime.faults import FaultPlan, GpuFault
+from repro.runtime.hd_runtime import HalvingDoublingRuntime
+from repro.runtime.ring_runtime import RingAllReduceRuntime
+from repro.runtime.sync import SpinConfig
+from repro.runtime.training import tree_reduce_order
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.dgx1_trees import DETOURED_EDGES, dgx1_trees
+from repro.topology.logical import balanced_binary_tree, two_trees
+from repro.topology.routing import Router
+
+FAST = SpinConfig(timeout=15.0, pause=0.0)
+E = 64
+N = float(E * 8)
+
+
+def random_inputs(rng, nnodes=8, elems=E):
+    return [rng.normal(size=elems) * 10 for _ in range(nnodes)]
+
+
+def interpret(plan, inputs, **kwargs):
+    interp = PlanInterpreter(
+        plan, total_elems=len(inputs[0]), spin=FAST, **kwargs
+    )
+    return interp.run([a.copy() for a in inputs])
+
+
+def assert_bit_identical(lhs, rhs):
+    for a, b in zip(lhs, rhs):
+        assert np.array_equal(a, b)
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("overlapped", [False, True])
+    def test_tree_matches_runtime(self, rng, overlapped):
+        inputs = random_inputs(rng)
+        tree = balanced_binary_tree(8)
+        plan = build_tree_plan(8, N, nchunks=4, overlapped=overlapped)
+        runtime = TreeAllReduceRuntime(
+            (tree,),
+            total_elems=E,
+            chunks_per_tree=4,
+            overlapped=overlapped,
+            spin=FAST,
+        )
+        expected = runtime.run([a.copy() for a in inputs]).outputs
+        got = interpret(plan, inputs).outputs
+        assert_bit_identical(got, expected)
+
+    def test_double_tree_matches_runtime(self, rng):
+        inputs = random_inputs(rng)
+        trees = two_trees(8)
+        plan = build_double_tree_plan(
+            8, N, nchunks=4, trees=trees, overlapped=True
+        )
+        runtime = TreeAllReduceRuntime(
+            trees,
+            total_elems=E,
+            chunks_per_tree=4,
+            overlapped=True,
+            spin=FAST,
+        )
+        expected = runtime.run([a.copy() for a in inputs]).outputs
+        got = interpret(plan, inputs).outputs
+        assert_bit_identical(got, expected)
+
+    def test_double_tree_matches_serial_reduce_order(self, rng):
+        inputs = random_inputs(rng)
+        trees = two_trees(8)
+        plan = build_double_tree_plan(
+            8, N, nchunks=4, trees=trees, overlapped=True
+        )
+        report = interpret(plan, inputs)
+        reference = tree_reduce_order(trees, report.layout)(inputs)
+        for out in report.outputs:
+            assert np.array_equal(out, reference)
+
+    def test_dgx1_detoured_runtime_matches_raw_plan(self, rng):
+        # The hand-written runtime's physical detours are bit-transparent,
+        # so the raw logical plan must match it exactly.
+        inputs = random_inputs(rng)
+        trees = dgx1_trees()
+        plan = build_double_tree_plan(
+            8, N, nchunks=4, trees=trees, overlapped=True
+        )
+        runtime = TreeAllReduceRuntime(
+            trees,
+            total_elems=E,
+            chunks_per_tree=4,
+            overlapped=True,
+            detour_map=dict(DETOURED_EDGES),
+            spin=FAST,
+        )
+        expected = runtime.run([a.copy() for a in inputs]).outputs
+        got = interpret(plan, inputs).outputs
+        assert_bit_identical(got, expected)
+
+    def test_ring_matches_runtime(self, rng):
+        inputs = random_inputs(rng)
+        plan = build_ring_plan(8, N, order=list(DGX1_RING_ORDER))
+        runtime = RingAllReduceRuntime(
+            8, total_elems=E, order=list(DGX1_RING_ORDER), spin=FAST
+        )
+        expected = runtime.run([a.copy() for a in inputs]).outputs
+        got = interpret(plan, inputs).outputs
+        assert_bit_identical(got, expected)
+
+    @pytest.mark.parametrize("nnodes", [2, 4, 8])
+    def test_halving_doubling_matches_runtime(self, rng, nnodes):
+        inputs = random_inputs(rng, nnodes=nnodes, elems=nnodes * 8)
+        plan = build_halving_doubling_plan(nnodes, float(nnodes * 64))
+        runtime = HalvingDoublingRuntime(
+            nnodes, total_elems=nnodes * 8, spin=FAST
+        )
+        expected = runtime.run([a.copy() for a in inputs]).outputs
+        got = interpret(plan, inputs).outputs
+        assert_bit_identical(got, expected)
+
+
+class TestLegalizedExecution:
+    def test_legalized_plan_bit_identical_to_raw(self, rng):
+        # Route legalization (detour relays through GPU 0) must not
+        # change a single bit of the result.
+        inputs = random_inputs(rng)
+        topo = dgx1_topology()
+        router = Router(topo, detour_preference=DETOUR_NODES)
+        plan = build_double_tree_plan(
+            8, N, nchunks=4, trees=dgx1_trees(), overlapped=True
+        )
+        legal, _ = compile_plan(plan, topo, router=router)
+        raw = interpret(plan, inputs).outputs
+        got = interpret(legal, inputs).outputs
+        assert_bit_identical(got, raw)
+
+    def test_pipelined_plan_correct(self, rng):
+        inputs = random_inputs(rng, elems=2 * E)
+        topo = dgx1_topology()
+        router = Router(topo, detour_preference=DETOUR_NODES)
+        plan = build_double_tree_plan(
+            8, N, nchunks=4, trees=dgx1_trees(), overlapped=True
+        )
+        pipe, _ = compile_plan(plan, topo, router=router, pipeline=2)
+        report = interpret(pipe, inputs)
+        expected = np.sum(inputs, axis=0)
+        for out in report.outputs:
+            np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+
+class TestFaults:
+    def test_injected_crash_aborts(self, rng):
+        inputs = random_inputs(rng)
+        plan = build_tree_plan(8, N, nchunks=4)
+        faults = FaultPlan(gpu_faults=[
+            GpuFault(gpu=3, kind="crash", after_chunk=1)
+        ])
+        with pytest.raises(AbortedError):
+            interpret(plan, inputs, fault_plan=faults)
+        assert faults.stats.snapshot().get("crashes") == 1
+
+    def test_straggler_still_correct(self, rng):
+        inputs = random_inputs(rng)
+        plan = build_tree_plan(8, N, nchunks=2)
+        faults = FaultPlan(gpu_faults=[
+            GpuFault(gpu=5, kind="straggler", delay=0.002)
+        ])
+        report = interpret(plan, inputs, fault_plan=faults)
+        expected = np.sum(inputs, axis=0)
+        for out in report.outputs:
+            np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+
+class TestValidation:
+    def test_wrong_input_count(self):
+        plan = build_ring_plan(4, 256.0)
+        with pytest.raises(ConfigError):
+            PlanInterpreter(plan, total_elems=16, spin=FAST).run(
+                [np.zeros(16)] * 3
+            )
+
+    def test_needs_layout_or_elems(self):
+        plan = build_ring_plan(4, 256.0)
+        with pytest.raises(ConfigError):
+            PlanInterpreter(plan)

@@ -1,0 +1,171 @@
+"""DES lowering: the simulated time of a lowered plan must track the
+hand-written schedule simulations within the acceptance tolerance."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.collectives.base import simulate_on_fabric, simulate_on_physical
+from repro.collectives.double_tree import double_tree_allreduce
+from repro.collectives.halving_doubling import halving_doubling_allreduce
+from repro.collectives.ring import DGX1_RING_ORDER, ring_allreduce
+from repro.collectives.tree import tree_allreduce
+from repro.plan import (
+    build_double_tree_plan,
+    build_halving_doubling_plan,
+    build_ring_plan,
+    build_tree_plan,
+    lower_to_dag,
+    simulate_plan,
+    speedup_for_straggler,
+)
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.dgx1_trees import dgx1_trees
+from repro.topology.routing import Router
+from repro.topology.switch import FabricSpec
+
+N = 64e6
+TOLERANCE = 0.05  # acceptance: within 5% of the hand-written simulation
+
+FABRIC = FabricSpec(nnodes=8, alpha=2e-6, beta=1 / 25e9, lanes=2)
+
+
+def rel_diff(a: float, b: float) -> float:
+    return abs(a - b) / max(a, b)
+
+
+def fabric_cases():
+    return [
+        (
+            "ring",
+            build_ring_plan(8, N, order=list(DGX1_RING_ORDER)),
+            ring_allreduce(8, N, order=list(DGX1_RING_ORDER)),
+        ),
+        (
+            "tree",
+            build_tree_plan(8, N, nchunks=8),
+            tree_allreduce(8, N, nchunks=8),
+        ),
+        (
+            "tree-ov",
+            build_tree_plan(8, N, nchunks=8, overlapped=True),
+            tree_allreduce(8, N, nchunks=8, overlapped=True),
+        ),
+        (
+            "double-tree",
+            build_double_tree_plan(8, N, nchunks=8, overlapped=True),
+            double_tree_allreduce(8, N, nchunks=8, overlapped=True),
+        ),
+        (
+            "halving-doubling",
+            build_halving_doubling_plan(8, N),
+            halving_doubling_allreduce(8, N),
+        ),
+    ]
+
+
+class TestFabricParity:
+    @pytest.mark.parametrize(
+        "name,plan,schedule",
+        fabric_cases(),
+        ids=[c[0] for c in fabric_cases()],
+    )
+    def test_within_tolerance(self, name, plan, schedule):
+        planned = simulate_plan(plan, fabric=FABRIC).total_time
+        handwritten = simulate_on_fabric(schedule, FABRIC).total_time
+        assert rel_diff(planned, handwritten) <= TOLERANCE
+
+
+class TestDgx1Parity:
+    def test_double_tree_on_dgx1(self):
+        topo = dgx1_topology()
+        router = Router(topo, detour_preference=DETOUR_NODES)
+        plan = build_double_tree_plan(
+            8, N, nchunks=8, trees=dgx1_trees(), overlapped=True
+        )
+        schedule = double_tree_allreduce(
+            8, N, nchunks=8, trees=dgx1_trees(), overlapped=True
+        )
+        planned = simulate_plan(plan, topo=topo, router=router).total_time
+        handwritten = simulate_on_physical(
+            schedule, topo, router=router
+        ).total_time
+        assert rel_diff(planned, handwritten) <= TOLERANCE
+
+    def test_ring_on_dgx1(self):
+        topo = dgx1_topology()
+        plan = build_ring_plan(8, N, order=list(DGX1_RING_ORDER))
+        schedule = ring_allreduce(8, N, order=list(DGX1_RING_ORDER))
+        planned = simulate_plan(plan, topo=topo).total_time
+        handwritten = simulate_on_physical(schedule, topo).total_time
+        assert rel_diff(planned, handwritten) <= TOLERANCE
+
+
+class TestStragglerModeling:
+    """Satellite: Processor.speedup < 1 mirrors runtime straggler sweeps."""
+
+    def test_slow_gpu_stretches_completion(self):
+        topo = dgx1_topology()
+        router = Router(topo, detour_preference=DETOUR_NODES)
+        plan = build_double_tree_plan(
+            8, N, nchunks=8, trees=dgx1_trees(), overlapped=True
+        )
+        base = simulate_plan(
+            plan, topo=topo, router=router, charge_compute=True
+        ).total_time
+        slowed = simulate_plan(
+            plan,
+            topo=topo,
+            router=router,
+            charge_compute=True,
+            gpu_speedup={3: 0.5},
+        ).total_time
+        assert slowed > base
+
+    def test_speedup_monotone_in_delay(self):
+        topo = dgx1_topology()
+        router = Router(topo, detour_preference=DETOUR_NODES)
+        plan = build_double_tree_plan(
+            8, N, nchunks=8, trees=dgx1_trees(), overlapped=True
+        )
+        chunk_nbytes = N / plan.nchunks
+        times = []
+        for delay in (0.0, 50e-6, 200e-6):
+            sp = speedup_for_straggler(delay, chunk_nbytes, 100e9)
+            times.append(
+                simulate_plan(
+                    plan,
+                    topo=topo,
+                    router=router,
+                    charge_compute=True,
+                    gpu_speedup={2: sp},
+                ).total_time
+            )
+        assert times[0] < times[1] < times[2]
+
+    def test_speedup_formula(self):
+        # No delay -> full speed; delay equal to the chunk's compute
+        # time -> exactly half speed.
+        assert speedup_for_straggler(0.0, 1e6, 100e9) == pytest.approx(1.0)
+        t0 = 1e6 / 100e9
+        assert speedup_for_straggler(t0, 1e6, 100e9) == pytest.approx(0.5)
+
+
+class TestLoweringStructure:
+    def test_transfer_count_matches_wire_pairs(self):
+        from repro.plan import match_wires
+
+        plan = build_tree_plan(8, N, nchunks=4)
+        dag = lower_to_dag(plan)
+        pairing = match_wires(plan)
+        npairs = sum(
+            len(s) for s, _ in pairing.wires.values()
+        )
+        transfers = [op for op in dag.ops if op.nbytes > 0]
+        assert len(transfers) == npairs
+
+    def test_simulate_plan_needs_exactly_one_target(self):
+        plan = build_ring_plan(4, 1024.0)
+        with pytest.raises(PlanError):
+            simulate_plan(plan)
+        with pytest.raises(PlanError):
+            simulate_plan(plan, topo=dgx1_topology(), fabric=FABRIC)

@@ -1,0 +1,107 @@
+"""Property tests: every builder's plan verifies, intact and degraded.
+
+The compile pipeline must produce a statically-legal plan on the intact
+DGX-1 and on every single-GPU-degraded survivor topology — the situation
+the resilient trainer re-embeds into after a crash.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.plan import (
+    build_double_tree_plan,
+    build_halving_doubling_plan,
+    build_plan,
+    build_ring_plan,
+    build_tree_plan,
+    compile_plan,
+    verify_plan,
+)
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.routing import Router
+from repro.topology.tree_search import search_degraded_pair, survivor_topology
+
+ALGORITHMS = ["ring", "tree", "double_tree", "halving_doubling"]
+
+
+def builder_kwargs(algorithm, nchunks):
+    if algorithm in ("ring", "halving_doubling"):
+        return {}
+    return {"nchunks": nchunks}
+
+
+class TestIntactProperties:
+    @given(
+        algorithm=st.sampled_from(ALGORITHMS),
+        nchunks=st.integers(min_value=1, max_value=8),
+        nbytes=st.floats(min_value=64.0, max_value=1e9),
+    )
+    @settings(max_examples=24, deadline=None)
+    def test_every_builder_verifies(self, algorithm, nchunks, nbytes):
+        plan = build_plan(
+            algorithm, 8, nbytes, **builder_kwargs(algorithm, nchunks)
+        )
+        assert verify_plan(plan).ok
+
+    @given(
+        nchunks=st.integers(min_value=1, max_value=6),
+        pipeline=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_compiled_double_tree_legal_on_dgx1(self, nchunks, pipeline):
+        from repro.topology.dgx1_trees import dgx1_trees
+
+        topo = dgx1_topology()
+        router = Router(topo, detour_preference=DETOUR_NODES)
+        plan = build_double_tree_plan(
+            8, 4096.0, nchunks=nchunks, trees=dgx1_trees(), overlapped=True
+        )
+        compiled, _ = compile_plan(
+            plan, topo, router=router, pipeline=pipeline
+        )
+        assert verify_plan(compiled, topo=topo).ok
+
+    @given(power=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=4, deadline=None)
+    def test_halving_doubling_any_power_of_two(self, power):
+        plan = build_halving_doubling_plan(2**power, 4096.0)
+        assert verify_plan(plan).ok
+
+
+class TestDegradedProperties:
+    @given(
+        dead=st.integers(min_value=0, max_value=7),
+        nchunks=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_double_tree_on_survivors(self, dead, nchunks):
+        # Re-embed the double tree on the 7 survivors and compile the
+        # plan against the compacted physical topology.
+        topo = dgx1_topology()
+        embedding = search_degraded_pair(
+            topo, [dead], iterations=200, restarts=1, seed=dead
+        )
+        # The searched trees are in survivor-rank space already.
+        plan = build_double_tree_plan(
+            7,
+            4096.0,
+            nchunks=nchunks,
+            trees=embedding.trees,
+            overlapped=True,
+        )
+        compacted = embedding.topology
+        router = Router(compacted)
+        compiled, _ = compile_plan(plan, compacted, router=router)
+        assert verify_plan(compiled, topo=compacted).ok
+
+    @given(dead=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=8, deadline=None)
+    def test_ring_and_tree_on_survivors(self, dead):
+        topo = dgx1_topology()
+        compacted, _ = survivor_topology(topo, [dead])
+        router = Router(compacted)
+        for plan in (
+            build_ring_plan(7, 4096.0),
+            build_tree_plan(7, 4096.0, nchunks=2, overlapped=True),
+        ):
+            compiled, _ = compile_plan(plan, compacted, router=router)
+            assert verify_plan(compiled, topo=compacted).ok

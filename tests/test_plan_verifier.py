@@ -1,0 +1,185 @@
+"""Tests for the static plan verifier: mutated plans are rejected with
+diagnostics naming the offending op."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import PlanVerificationError
+from repro.plan import (
+    REDUCE,
+    SEND,
+    build_double_tree_plan,
+    build_tree_plan,
+    compile_plan,
+    match_wires,
+    verify_plan,
+)
+from repro.sim.dag import Phase
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.dgx1_trees import dgx1_trees
+from repro.topology.routing import Router
+
+N = 4096.0
+
+
+def drop_op(plan, op_id):
+    """Remove one op, re-densifying ids and dropping dangling deps."""
+    out = plan.replace_ops([])
+    idmap = {}
+    for op in plan.ops:
+        if op.op_id == op_id:
+            continue
+        new = dataclasses.replace(
+            op,
+            op_id=len(out.ops),
+            deps=tuple(idmap[d] for d in op.deps if d in idmap),
+        )
+        idmap[op.op_id] = new.op_id
+        out.ops.append(new)
+    return out
+
+
+def errors_of(plan, **kwargs):
+    report = verify_plan(plan, raise_on_error=False, **kwargs)
+    assert not report.ok
+    return report.errors
+
+
+class TestMutationRejection:
+    def test_dropped_reduce(self):
+        plan = build_tree_plan(8, N, nchunks=2)
+        victim = next(op for op in plan.ops if op.kind == REDUCE)
+        mutated = drop_op(plan, victim.op_id)
+        errors = errors_of(mutated)
+        # The unmatched partner send is named in the diagnostic.
+        assert any("unmatched op" in e for e in errors)
+
+    def test_dropped_reduce_raises_by_default(self):
+        plan = build_tree_plan(8, N, nchunks=2)
+        victim = next(op for op in plan.ops if op.kind == REDUCE)
+        with pytest.raises(PlanVerificationError) as exc:
+            verify_plan(drop_op(plan, victim.op_id))
+        assert exc.value.errors
+
+    def test_duplicated_broadcast(self):
+        plan = build_tree_plan(8, N, nchunks=2)
+        send = next(
+            op for op in plan.ops
+            if op.kind == SEND and op.phase == Phase.BROADCAST
+        )
+        recv_id = match_wires(plan).partner[send.op_id]
+        recv = plan.op(recv_id)
+        mutated = plan.replace_ops(list(plan.ops))
+        mutated.ops.append(
+            dataclasses.replace(
+                send, op_id=len(mutated.ops), deps=(send.op_id,)
+            )
+        )
+        mutated.ops.append(
+            dataclasses.replace(
+                recv, op_id=len(mutated.ops), deps=(recv.op_id,)
+            )
+        )
+        errors = errors_of(mutated)
+        assert any("duplicate broadcast" in e for e in errors)
+        # The diagnostic names the second delivery op.
+        assert any(f"op {len(mutated.ops) - 1}" in e for e in errors)
+
+    def test_duplicate_reduction(self):
+        plan = build_tree_plan(8, N, nchunks=2)
+        red = next(op for op in plan.ops if op.kind == REDUCE)
+        send_id = match_wires(plan).partner[red.op_id]
+        send = plan.op(send_id)
+        mutated = plan.replace_ops(list(plan.ops))
+        mutated.ops.append(
+            dataclasses.replace(
+                send, op_id=len(mutated.ops), deps=(send.op_id,)
+            )
+        )
+        mutated.ops.append(
+            dataclasses.replace(
+                red, op_id=len(mutated.ops), deps=(red.op_id,)
+            )
+        )
+        errors = errors_of(mutated)
+        assert any("duplicate reduction" in e for e in errors)
+
+    def test_nonexistent_physical_link(self):
+        topo = dgx1_topology()
+        router = Router(topo, detour_preference=DETOUR_NODES)
+        plan = build_double_tree_plan(
+            8, N, nchunks=2, trees=dgx1_trees(), overlapped=True
+        )
+        legal, _ = compile_plan(plan, topo, router=router)
+        assert verify_plan(legal, topo=topo).ok
+        sid = next(
+            op.op_id for op in legal.ops
+            if op.kind == SEND and op.rank == 0 and op.peer in (1, 2, 3)
+        )
+        mutated = legal.replace_ops([
+            dataclasses.replace(op, peer=7) if op.op_id == sid else op
+            for op in legal.ops
+        ])
+        errors = errors_of(mutated, topo=topo)
+        assert any("no physical link" in e for e in errors)
+        assert any(f"op {sid}" in e for e in errors)
+
+    def test_unlegalized_detour_edge_flagged(self):
+        # The dgx1 tree pair crosses 2<->4 which has no NVLink; the raw
+        # plan must fail the physical check until legalized.
+        topo = dgx1_topology()
+        plan = build_double_tree_plan(
+            8, N, nchunks=2, trees=dgx1_trees(), overlapped=True
+        )
+        errors = errors_of(plan, topo=topo)
+        assert any("no physical link 2->4" in e for e in errors)
+
+    def test_dependency_cycle(self):
+        # Two ranks that each RECV before their SEND: the implied
+        # send->recv edges cross and the combined graph deadlocks.
+        from repro.plan import RECV, Plan
+        from repro.sim.dag import Phase as P
+
+        plan = Plan(
+            algorithm="test",
+            nnodes=2,
+            nbytes=2.0,
+            chunk_sizes=[1.0, 1.0],
+            chunk_offsets=[0.0, 1.0],
+        )
+        plan.add(rank=0, kind=RECV, chunk=0, peer=1, nbytes=1.0,
+                 phase=P.BROADCAST)
+        plan.add(rank=0, kind=SEND, chunk=1, peer=1, nbytes=1.0,
+                 phase=P.BROADCAST)
+        plan.add(rank=1, kind=RECV, chunk=1, peer=0, nbytes=1.0,
+                 phase=P.BROADCAST)
+        plan.add(rank=1, kind=SEND, chunk=0, peer=0, nbytes=1.0,
+                 phase=P.BROADCAST)
+        errors = errors_of(plan)
+        assert any("cycle" in e or "deadlock" in e for e in errors)
+
+    def test_backward_dep_rejected(self):
+        plan = build_tree_plan(4, N, nchunks=1)
+        mutated = plan.replace_ops([
+            dataclasses.replace(op, deps=(op.op_id,))
+            if op.op_id == 3 else op
+            for op in plan.ops
+        ])
+        errors = errors_of(mutated)
+        assert any("op 3" in e for e in errors)
+
+
+class TestWirePairing:
+    def test_every_transfer_paired(self):
+        plan = build_double_tree_plan(8, N, nchunks=4, overlapped=True)
+        pairing = match_wires(plan)
+        assert not pairing.errors
+        transfers = [op for op in plan.ops if op.is_transfer]
+        assert set(pairing.partner) == {op.op_id for op in transfers}
+
+    def test_partner_is_involution(self):
+        plan = build_tree_plan(8, N, nchunks=2)
+        pairing = match_wires(plan)
+        for a, b in pairing.partner.items():
+            assert pairing.partner[b] == a
