@@ -10,7 +10,13 @@ Usage::
     python -m repro chaos crash --recover --gpu -1 --seed 7
     python -m repro plan show --algorithm double_tree --physical
     python -m repro plan verify --all
+    python -m repro plan export --algorithm ring --out ring.json
+    python -m repro plan verify ring.json
     python -m repro plan run --algorithm ring --elems 1024
+    python -m repro sanitize list
+    python -m repro sanitize run --all --elems 256
+    python -m repro sanitize run --scenario seeded_dropped_post --json
+    python -m repro sanitize report findings.json
     python -m repro info
 """
 
@@ -121,9 +127,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        "broadcast, deadlock-freedom, physical legality)"
     )
     add_plan_args(verify)
+    verify.add_argument("file", nargs="?", default=None,
+                        help="serialized plan JSON to verify instead of "
+                             "building one (logical checks only)")
     verify.add_argument("--all", action="store_true", dest="verify_all",
                         help="verify every builder, raw and compiled "
                              "onto DGX-1 (CI smoke)")
+
+    export = plan_sub.add_parser(
+        "export", help="serialize a plan to JSON (load back with "
+                       "`plan verify <file>`)"
+    )
+    add_plan_args(export)
+    export.add_argument("--out", default="-",
+                        help="output path (default: stdout)")
 
     run = plan_sub.add_parser(
         "run", help="execute a plan on the thread-backed runtime"
@@ -132,6 +149,40 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--elems", type=int, default=512,
                      help="gradient element count")
     run.add_argument("--seed", type=int, default=0)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="device-memory sanitizer: race / lock-order / wait-cycle "
+             "analysis of the virtual-GPU runtimes",
+    )
+    sanitize_sub = sanitize.add_subparsers(dest="sanitize_command",
+                                           required=True)
+
+    san_run = sanitize_sub.add_parser(
+        "run", help="run scenarios under the vector-clock tracer"
+    )
+    san_run.add_argument("--all", action="store_true", dest="run_all",
+                         help="every scenario: all shipped runtimes must "
+                              "come back clean AND every seeded-broken "
+                              "kernel must be flagged (the default when "
+                              "no --scenario is given)")
+    san_run.add_argument("--scenario", action="append", default=None,
+                         help="run one named scenario (repeatable; "
+                              "see `sanitize list`)")
+    san_run.add_argument("--elems", type=int, default=64,
+                         help="gradient element count per scenario")
+    san_run.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit a machine-readable findings document")
+    san_run.add_argument("--out", default="-",
+                         help="where to write the --json document "
+                              "(default: stdout)")
+
+    san_report = sanitize_sub.add_parser(
+        "report", help="render a saved `sanitize run --json` document"
+    )
+    san_report.add_argument("file", help="findings JSON path")
+
+    sanitize_sub.add_parser("list", help="list registered scenarios")
 
     sub.add_parser("info", help="print library and model summary")
     return parser
@@ -454,10 +505,33 @@ def _cmd_plan_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_plan_file(path: str) -> int:
+    """Deserialize a plan JSON file and statically verify it."""
+    from pathlib import Path
+
+    from repro.plan import Plan, verify_plan
+
+    plan = Plan.from_json(Path(path).read_text())
+    report = verify_plan(plan, raise_on_error=False)
+    print(
+        f"{path}: {len(plan.ops)} ops, {plan.nnodes} GPUs, "
+        f"{plan.nchunks} chunks ({plan.algorithm})"
+    )
+    if report.ok:
+        print("verdict: ok")
+        return 0
+    print("verdict: FAIL")
+    for error in report.errors:
+        print(f"  {error}")
+    return 1
+
+
 def _cmd_plan_verify(args: argparse.Namespace) -> int:
     from repro.experiments.report import render_table
     from repro.plan import verify_plan
 
+    if args.file is not None:
+        return _verify_plan_file(args.file)
     rows = []
     failures = 0
     if args.verify_all:
@@ -503,6 +577,22 @@ def _cmd_plan_verify(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_plan_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    plan, _topo = _plan_for_args(args)
+    text = plan.to_json()
+    if args.out == "-":
+        print(text)
+    else:
+        Path(args.out).write_text(text + "\n")
+        print(
+            f"wrote {args.algorithm} plan ({len(plan.ops)} ops, "
+            f"{plan.nnodes} GPUs) to {args.out}"
+        )
+    return 0
+
+
 def _cmd_plan_run(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -539,9 +629,132 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             return _cmd_plan_show(args)
         if args.plan_command == "verify":
             return _cmd_plan_verify(args)
+        if args.plan_command == "export":
+            return _cmd_plan_export(args)
         return _cmd_plan_run(args)
     except (ConfigError, PlanError) as exc:
         print(f"repro plan: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_sanitize_list(_args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+    from repro.sanitizer import SCENARIOS
+
+    rows = [
+        (sc.name, "seeded-bug" if sc.seeded else "healthy",
+         sc.expect.kind, sc.doc)
+        for sc in SCENARIOS.values()
+    ]
+    print(render_table(
+        ["scenario", "family", "expects", "description"],
+        rows,
+        title="sanitizer scenarios",
+    ))
+    return 0
+
+
+def _cmd_sanitize_run(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.report import render_table
+    from repro.sanitizer import SCENARIOS, run_scenario
+
+    if args.scenario:
+        unknown = [n for n in args.scenario if n not in SCENARIOS]
+        if unknown:
+            print(
+                f"repro sanitize: unknown scenario(s) {unknown}; "
+                f"see `repro sanitize list`",
+                file=sys.stderr,
+            )
+            return 2
+        names = args.scenario
+    else:
+        names = list(SCENARIOS)
+
+    rows = []
+    documents = []
+    failures = 0
+    for name in names:
+        result = run_scenario(name, elems=args.elems)
+        scenario = SCENARIOS[name]
+        failures += 0 if result.passed else 1
+        rows.append((
+            name,
+            "seeded-bug" if scenario.seeded else "healthy",
+            result.report.nevents,
+            result.report.nthreads,
+            len(result.report.findings),
+            "ok" if result.passed else "FAIL",
+            result.detail.splitlines()[0],
+        ))
+        documents.append({
+            "scenario": name,
+            "seeded": scenario.seeded,
+            "passed": result.passed,
+            "detail": result.detail,
+            "report": result.report.to_json_dict(),
+        })
+
+    if args.as_json:
+        text = json.dumps({"version": 1, "scenarios": documents}, indent=2)
+        if args.out == "-":
+            print(text)
+        else:
+            Path(args.out).write_text(text + "\n")
+            print(f"wrote findings document to {args.out}")
+    else:
+        print(render_table(
+            ["scenario", "family", "events", "threads", "findings",
+             "verdict", "detail"],
+            rows,
+            title=f"sanitizer run (elems={args.elems})",
+        ))
+        for doc in documents:
+            if not doc["passed"]:
+                print(f"\n{doc['scenario']}:")
+                print(doc["detail"])
+    return 0 if failures == 0 else 1
+
+
+def _cmd_sanitize_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.sanitizer import render_report_dict
+
+    data = json.loads(Path(args.file).read_text())
+    scenarios = data.get("scenarios")
+    if scenarios is None:  # a bare to_json_dict payload
+        print(render_report_dict(data))
+        return 0 if not any(
+            data.get(g) for g in
+            ("races", "inversions", "wait_cycles", "post_cycles")
+        ) else 1
+    failures = 0
+    for entry in scenarios:
+        verdict = "ok" if entry.get("passed") else "FAIL"
+        failures += 0 if entry.get("passed") else 1
+        family = "seeded-bug" if entry.get("seeded") else "healthy"
+        print(f"== {entry.get('scenario')} ({family}) — {verdict}")
+        print(render_report_dict(entry.get("report", {})))
+        print()
+    return 0 if failures == 0 else 1
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+
+    try:
+        if args.sanitize_command == "list":
+            return _cmd_sanitize_list(args)
+        if args.sanitize_command == "report":
+            return _cmd_sanitize_report(args)
+        return _cmd_sanitize_run(args)
+    except (ConfigError, OSError, ValueError) as exc:
+        print(f"repro sanitize: error: {exc}", file=sys.stderr)
         return 2
 
 
@@ -567,6 +780,7 @@ _COMMANDS = {
     "autotune": _cmd_autotune,
     "chaos": _cmd_chaos,
     "plan": _cmd_plan,
+    "sanitize": _cmd_sanitize,
     "info": _cmd_info,
 }
 

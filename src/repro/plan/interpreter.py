@@ -15,7 +15,6 @@ deadlock-freedom proof for this interpreter.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field, replace
 
@@ -25,7 +24,7 @@ from ..errors import ConfigError, RuntimeClusterError
 from ..runtime.cluster import KernelPool, _transmit, _Wire
 from ..runtime.faults import CRASH, STRAGGLER, STUCK, FaultPlan, PhaseBoard
 from ..runtime.memory import ChunkLayout, GradientBuffer
-from ..runtime.sync import AbortCell, SpinConfig
+from ..runtime.sync import AbortCell, DeviceEvent, SpinConfig
 from ..sim.dag import Phase
 from .ir import COPY, RECV, REDUCE, SEND, Plan, PlanOp
 from .verifier import is_relay, match_wires, verify_plan
@@ -187,7 +186,10 @@ class PlanInterpreter:
         self.phase_board = board
         run_spin = replace(self.spin, abort=abort)
 
-        buffers = [GradientBuffer(a, self.layout) for a in inputs]
+        buffers = [
+            GradientBuffer(a, self.layout, owner=g)
+            for g, a in enumerate(inputs)
+        ]
 
         pairing = match_wires(plan)
         wires: dict[tuple, _Wire] = {}
@@ -206,26 +208,24 @@ class PlanInterpreter:
             if self.fault_plan is not None:
                 injectors[key] = self.fault_plan.link_injector(tag)
 
-        # Per-op completion events for deps that cross thread blocks.
+        # Per-op completion events for deps that cross thread blocks —
+        # DeviceEvents, so they honor the abort flag/timeout and emit
+        # happens-before edges like every other primitive.
         programs = plan.programs()
         home = {
             op.op_id: key for key, prog in programs.items() for op in prog
         }
-        events: dict[int, threading.Event] = {}
+        events: dict[int, DeviceEvent] = {}
         for op in plan.ops:
             for d in op.deps:
                 if home[d] != home[op.op_id]:
-                    events.setdefault(d, threading.Event())
+                    events.setdefault(
+                        d,
+                        DeviceEvent(run_spin, name=plan.op(d).name()),
+                    )
 
         def await_dep(dep_id: int) -> None:
-            event = events[dep_id]
-            deadline = time.monotonic() + run_spin.timeout
-            while not event.wait(0.001):
-                abort.raise_if_set()
-                if time.monotonic() > deadline:
-                    raise RuntimeClusterError(
-                        f"timed out waiting for {plan.op(dep_id).name()}"
-                    )
+            events[dep_id].wait()
 
         def make_kernel(key: tuple, prog: list[PlanOp]):
             rank = key[0]
@@ -267,7 +267,7 @@ class PlanInterpreter:
                                         f"chunk {c} before receiving it"
                                     ) from None
                             else:
-                                values = buffers[rank].chunk(c).copy()
+                                values = buffers[rank].read(c)
                             _transmit(wire, c, values, injector, abort)
                     elif op.kind == REDUCE:
                         wire = wires[op.wire_key()]

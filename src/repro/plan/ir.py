@@ -164,6 +164,84 @@ class PlanOp:
         return dataclasses.replace(self, **changes)
 
 
+_JSON_VERSION = 1
+
+
+def _tb_to_json(tb: Hashable):
+    """Thread-block ids are ints, strings, or tuples (``(0, "up")``);
+    tuples get tagged so JSON round-trips them back to tuples."""
+    if isinstance(tb, tuple):
+        return {"tuple": [_tb_to_json(part) for part in tb]}
+    if isinstance(tb, (int, str)):
+        return tb
+    raise PlanError(f"thread-block id {tb!r} is not JSON-serializable")
+
+
+def _tb_from_json(data) -> Hashable:
+    if isinstance(data, dict):
+        try:
+            parts = data["tuple"]
+        except KeyError:
+            raise PlanError(f"malformed thread-block id {data!r}") from None
+        return tuple(_tb_from_json(part) for part in parts)
+    if isinstance(data, (int, str)):
+        return data
+    raise PlanError(f"malformed thread-block id {data!r}")
+
+
+def _op_to_dict(op: "PlanOp") -> dict:
+    return {
+        "op_id": op.op_id,
+        "rank": op.rank,
+        "kind": op.kind,
+        "chunk": op.chunk,
+        "chunk_set": list(op.chunk_set),
+        "peer": op.peer,
+        "nbytes": op.nbytes,
+        "lane": op.lane,
+        "tree": op.tree,
+        "tb": _tb_to_json(op.tb),
+        "phase": op.phase.value,
+        "flow": list(op.flow) if op.flow is not None else None,
+        "medium": op.medium,
+        "deps": list(op.deps),
+        "label": op.label,
+    }
+
+
+def _op_from_dict(data: dict) -> "PlanOp":
+    if not isinstance(data, dict):
+        raise PlanError(f"plan op must be an object, got {type(data).__name__}")
+    try:
+        kind = data["kind"]
+        if kind not in OpKind.ALL:
+            raise PlanError(f"unknown op kind {kind!r}")
+        try:
+            phase = Phase(data["phase"])
+        except ValueError:
+            raise PlanError(f"unknown phase {data['phase']!r}") from None
+        flow = data.get("flow")
+        return PlanOp(
+            op_id=int(data["op_id"]),
+            rank=int(data["rank"]),
+            kind=kind,
+            chunk=int(data.get("chunk", -1)),
+            chunk_set=tuple(int(c) for c in data.get("chunk_set", ())),
+            peer=int(data.get("peer", -1)),
+            nbytes=float(data.get("nbytes", 0.0)),
+            lane=int(data.get("lane", 0)),
+            tree=int(data.get("tree", 0)),
+            tb=_tb_from_json(data.get("tb", 0)),
+            phase=phase,
+            flow=(int(flow[0]), int(flow[1])) if flow is not None else None,
+            medium=str(data.get("medium", "nvlink")),
+            deps=tuple(int(d) for d in data.get("deps", ())),
+            label=str(data.get("label", "")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlanError(f"malformed plan op: {exc}") from exc
+
+
 @dataclass
 class Plan:
     """A compiled collective: per-GPU thread-block programs of ops.
@@ -218,6 +296,77 @@ class Plan:
     def replace_ops(self, ops: list[PlanOp]) -> "Plan":
         """A copy of this plan with a different op list."""
         return dataclasses.replace(self, ops=ops, notes=list(self.notes))
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON form of the plan (round-trips via
+        :meth:`from_json_dict`)."""
+        return {
+            "version": _JSON_VERSION,
+            "algorithm": self.algorithm,
+            "nnodes": self.nnodes,
+            "nbytes": self.nbytes,
+            "chunk_sizes": list(self.chunk_sizes),
+            "chunk_offsets": list(self.chunk_offsets),
+            "ntrees": self.ntrees,
+            "legalized": self.legalized,
+            "notes": list(self.notes),
+            "ops": [_op_to_dict(op) for op in self.ops],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        import json
+
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+    @staticmethod
+    def from_json_dict(data: dict) -> "Plan":
+        """Rebuild a plan from :meth:`to_json_dict` output.
+
+        Raises:
+            PlanError: on version mismatch or malformed content.
+        """
+        if not isinstance(data, dict):
+            raise PlanError("plan JSON must be an object")
+        version = data.get("version")
+        if version != _JSON_VERSION:
+            raise PlanError(
+                f"unsupported plan JSON version {version!r} "
+                f"(expected {_JSON_VERSION})"
+            )
+        try:
+            plan = Plan(
+                algorithm=str(data["algorithm"]),
+                nnodes=int(data["nnodes"]),
+                nbytes=float(data["nbytes"]),
+                chunk_sizes=tuple(float(s) for s in data["chunk_sizes"]),
+                chunk_offsets=tuple(float(o) for o in data["chunk_offsets"]),
+                ntrees=int(data.get("ntrees", 1)),
+                legalized=bool(data.get("legalized", False)),
+                notes=[str(n) for n in data.get("notes", [])],
+            )
+            ops_data = data["ops"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanError(f"malformed plan JSON: {exc}") from exc
+        for i, op_data in enumerate(ops_data):
+            op = _op_from_dict(op_data)
+            if op.op_id != i:
+                raise PlanError(
+                    f"plan JSON ops out of order: op {op.op_id} at index {i}"
+                )
+            plan.ops.append(op)
+        return plan
+
+    @staticmethod
+    def from_json(text: str) -> "Plan":
+        import json
+
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise PlanError(f"plan JSON does not parse: {exc}") from exc
+        return Plan.from_json_dict(data)
 
     def describe(self) -> str:
         """Multi-line human-readable dump (``repro plan show``)."""

@@ -28,6 +28,7 @@ check-semaphore pattern the paper uses.
 from repro.runtime.sync import (
     AbortCell,
     AtomicCell,
+    DeviceEvent,
     DeviceLock,
     DeviceSemaphore,
     SpinConfig,
@@ -65,6 +66,7 @@ from repro.runtime.training import (
 __all__ = [
     "AbortCell",
     "AtomicCell",
+    "DeviceEvent",
     "DeviceLock",
     "DeviceSemaphore",
     "SpinConfig",

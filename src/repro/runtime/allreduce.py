@@ -260,9 +260,7 @@ class TreeAllReduceRuntime:
                 if node == tree.root:
                     reduced_sem.post()
                 else:
-                    uplinks[(t, node)].send(
-                        chunk, buffers[node].chunk(chunk).copy()
-                    )
+                    uplinks[(t, node)].send(chunk, buffers[node].read(chunk))
 
         return kernel
 
@@ -294,7 +292,7 @@ class TreeAllReduceRuntime:
                         reduced_sem.wait()
                 else:
                     downlinks[(t, node)].recv_wait(chunk)
-                payload = buffers[node].chunk(chunk).copy()
+                payload = buffers[node].read(chunk)
                 for child in tree.children[node]:
                     downlinks[(t, child)].send(chunk, payload)
                 enqueue.post(node, t)
@@ -350,7 +348,10 @@ class TreeAllReduceRuntime:
         self.phase_board = board
         run_spin = replace(self.spin, abort=abort)
 
-        buffers = [GradientBuffer(a, self.layout) for a in inputs]
+        buffers = [
+            GradientBuffer(a, self.layout, owner=g)
+            for g, a in enumerate(inputs)
+        ]
         uplinks, downlinks, relays = self._build_links(buffers, run_spin)
         reduced_sems = [
             DeviceSemaphore(

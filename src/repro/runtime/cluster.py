@@ -43,7 +43,9 @@ import numpy as np
 from repro.errors import AbortedError, LinkFaultError, RuntimeClusterError
 from repro.runtime.faults import LinkInjector, payload_checksum
 from repro.runtime.memory import ChunkLayout, GradientBuffer
+from repro.runtime.memory import _emit as _access_emit
 from repro.runtime.sync import AbortCell, DeviceSemaphore, SpinConfig
+from repro.runtime.sync import _emit as _sync_emit
 
 
 class _Wire:
@@ -64,18 +66,25 @@ class _Wire:
         spin: SpinConfig,
         name: str,
         buffer: np.ndarray | None = None,
+        owner_buffer: GradientBuffer | None = None,
     ):
         self._layout = layout
         self.name = name
         self._data = buffer if buffer is not None else np.zeros(layout.total_elems)
+        # When the wire aliases a GPU's gradient memory (DownLink), the
+        # owning buffer is kept so deliveries/takes are visible to the
+        # sanitizer as remote writes / local reads of that GPU.
+        self._owner_buffer = owner_buffer
         self._sem = DeviceSemaphore(capacity, spin=spin, name=name)
         self._frames: deque[tuple[int, int, int]] = deque()
-        self._frame_lock = threading.Lock()
+        self._frame_lock = threading.Lock()  # sync-lint: allow(raw-threading)
         self._send_seq = 0
         self._recv_seq = 0
 
     def deliver(self, chunk: int, values: np.ndarray, checksum: int) -> None:
         """Sender side: land ``values`` in the chunk slot and signal."""
+        if self._owner_buffer is not None:
+            self._owner_buffer.note_remote_write(chunk)
         self._data[self._layout.slice_of(chunk)] = values
         with self._frame_lock:
             self._frames.append((self._send_seq, chunk, checksum))
@@ -90,6 +99,10 @@ class _Wire:
                 mismatch, or a CRC32 mismatch (corrupted payload).
         """
         self._sem.wait()
+        if self._owner_buffer is not None:
+            # The checksum verification below reads the aliased gradient
+            # memory; record it as a local read of the owning GPU.
+            _access_emit("read", self._owner_buffer.label, chunk)
         with self._frame_lock:
             seq, frame_chunk, checksum = self._frames.popleft()
         if seq != self._recv_seq:
@@ -249,6 +262,7 @@ class DownLink:
             spin=spin,
             name=f"{name}.down",
             buffer=child_buffer.data,
+            owner_buffer=child_buffer,
         )
         if relay_via is not None:
             self._mid_wire = _Wire(
@@ -313,11 +327,12 @@ class KernelPool:
                 or join timeout.
         """
         failures: list[tuple[str, BaseException]] = []
-        fail_lock = threading.Lock()
+        fail_lock = threading.Lock()  # sync-lint: allow(raw-threading)
 
         def wrap(name: str, body: Callable[[], None]) -> Callable[[], None]:
             def runner() -> None:
                 try:
+                    _sync_emit("thread_start", self)
                     body()
                 except BaseException as exc:  # noqa: BLE001 - reported below
                     with fail_lock:
@@ -330,6 +345,8 @@ class KernelPool:
                         exc, AbortedError
                     ):
                         self.abort.trigger(f"kernel {name!r} failed: {exc!r}")
+                finally:
+                    _sync_emit("thread_end", self)
 
             return runner
 
@@ -337,12 +354,15 @@ class KernelPool:
             threading.Thread(target=wrap(name, body), name=name, daemon=True)
             for name, body in self._entries
         ]
+        # Launch edge: everything the launching thread did so far
+        # happens-before every kernel body.
+        _sync_emit("fork", self)
         for thread in threads:
             thread.start()
 
-        deadline_lock = threading.Lock()
+        deadline_lock = threading.Lock()  # sync-lint: allow(raw-threading)
         deadline = {"t": time.monotonic() + self.join_timeout}
-        stop = threading.Event()
+        stop = threading.Event()  # sync-lint: allow(raw-threading)
 
         def watchdog() -> None:
             # Collapse the join deadline once the abort flag is set: the
@@ -371,6 +391,9 @@ class KernelPool:
             stop.set()
             dog.join(timeout=1.0)
 
+        # Join edge: every kernel that finished happens-before anything
+        # the caller does next (reading results, computing errors).
+        _sync_emit("join_all", self)
         alive = [t.name for t in threads if t.is_alive()]
         if self.abort is not None and self.abort.is_set():
             primary = next(

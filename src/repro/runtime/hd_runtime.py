@@ -17,14 +17,14 @@ step, so the floating-point accumulation order matches exactly.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.runtime.cluster import KernelPool
 from repro.runtime.memory import ChunkLayout, GradientBuffer
-from repro.runtime.sync import DeviceSemaphore, SpinConfig
+from repro.runtime.sync import AbortCell, DeviceSemaphore, SpinConfig
 
 
 def _is_power_of_two(n: int) -> bool:
@@ -76,16 +76,35 @@ class HalvingDoublingRuntime:
             total_elems, ntrees=1, chunks_per_tree=nnodes
         )
         self.spin = spin or SpinConfig()
+        #: Abort flag of the most recent ``run`` (set at run start).
+        self.abort_cell: AbortCell | None = None
 
-    def run(self, inputs: list[np.ndarray]) -> HDRunReport:
-        """Execute one AllReduce over ``inputs`` (one array per GPU)."""
+    def run(
+        self,
+        inputs: list[np.ndarray],
+        *,
+        extra_kernels: list[tuple[str, object]] | None = None,
+    ) -> HDRunReport:
+        """Execute one AllReduce over ``inputs`` (one array per GPU).
+
+        Every semaphore and the kernel pool share one per-run
+        :class:`AbortCell`, so a crashed kernel (including any of
+        ``extra_kernels``) releases all spinning peers immediately
+        instead of leaving each to its own full spin timeout.
+        """
         if len(inputs) != self.nnodes:
             raise ConfigError(f"expected {self.nnodes} input arrays")
         if any(len(a) != self.layout.total_elems for a in inputs):
             raise ConfigError("all inputs must match the layout size")
         p = self.nnodes
         steps = p.bit_length() - 1
-        buffers = [GradientBuffer(a, self.layout) for a in inputs]
+        abort = AbortCell()
+        self.abort_cell = abort
+        run_spin = replace(self.spin, abort=abort)
+        buffers = [
+            GradientBuffer(a, self.layout, owner=g)
+            for g, a in enumerate(inputs)
+        ]
         # One staging array + semaphore per receiving GPU; a rank talks
         # to one partner per step and phases alternate reads/writes in
         # lockstep, but a fast partner could start the *next* step's
@@ -101,7 +120,7 @@ class HalvingDoublingRuntime:
         # step-s partner delivered.
         sems = [
             [
-                DeviceSemaphore(1, spin=self.spin, name=f"hd.s{stage}@{gpu}")
+                DeviceSemaphore(1, spin=run_spin, name=f"hd.s{stage}@{gpu}")
                 for gpu in range(p)
             ]
             for stage in range(2 * steps)
@@ -118,7 +137,7 @@ class HalvingDoublingRuntime:
                 stg = staging[stage]
                 for c in send:
                     sl = self.layout.slice_of(c)
-                    stg[partner][sl] = buffer.data[sl]
+                    stg[partner][sl] = buffer.read(c)
                 sems[stage][partner].post()
                 sems[stage][rank].wait()
                 for c in recv:
@@ -162,9 +181,11 @@ class HalvingDoublingRuntime:
 
             return kernel
 
-        pool = KernelPool(join_timeout=self.spin.timeout * 2)
+        pool = KernelPool(join_timeout=self.spin.timeout * 2, abort=abort)
         for rank in range(p):
             pool.add(f"hd g{rank}", kernel_for(rank))
+        for name, body in extra_kernels or []:
+            pool.add(name, body)
         started = time.monotonic()
         pool.run()
         elapsed = time.monotonic() - started

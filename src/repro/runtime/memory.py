@@ -10,11 +10,22 @@ double tree owning one contiguous half, as in the schedules).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.sanitizer import hooks as _hooks
+
+#: Distinct labels for buffers constructed without an owner rank.
+_ANON_LABELS = itertools.count()
+
+
+def _emit(kind: str, label: str, chunk: int) -> None:
+    tracer = _hooks.active()
+    if tracer is not None:
+        tracer.on_access(kind, label, chunk)
 
 
 @dataclass(frozen=True)
@@ -98,9 +109,20 @@ class GradientBuffer:
     The buffer doubles as the gradient queue (paper Section III-D): a
     broadcast delivery writes the fully reduced chunk in place, and the
     enqueue semaphore is the only extra state.
+
+    Every chunk access is reported to an active sanitizer tracer as a
+    ``read`` / ``write`` / ``reduce`` event under the buffer's label
+    (``gpu<rank>`` when an ``owner`` was given).  ``reduce`` counts as a
+    write: numpy's in-place add is a read-modify-write.
     """
 
-    def __init__(self, data: np.ndarray, layout: ChunkLayout):
+    def __init__(
+        self,
+        data: np.ndarray,
+        layout: ChunkLayout,
+        *,
+        owner: int | None = None,
+    ):
         if data.ndim != 1:
             raise ConfigError("gradient buffer must be one-dimensional")
         if len(data) != layout.total_elems:
@@ -110,18 +132,50 @@ class GradientBuffer:
             )
         self.data = data.astype(np.float64, copy=True)
         self.layout = layout
+        self.owner = owner
+        self.label = (
+            f"gpu{owner}" if owner is not None
+            else f"buffer{next(_ANON_LABELS)}"
+        )
 
     def chunk(self, chunk_id: int) -> np.ndarray:
-        """View of one chunk's elements (writable)."""
+        """View of one chunk's elements (writable, untraced).
+
+        Kernel code should go through :meth:`read` / :meth:`accumulate` /
+        :meth:`overwrite` so the access is visible to the sanitizer;
+        ``chunk`` remains for single-threaded setup/inspection.
+        """
         return self.data[self.layout.slice_of(chunk_id)]
+
+    def read(self, chunk_id: int) -> np.ndarray:
+        """Copy of one chunk's elements (a traced kernel-side read)."""
+        _emit("read", self.label, chunk_id)
+        return self.chunk(chunk_id).copy()
+
+    def read_range(self, start: int, stop: int) -> np.ndarray:
+        """View of an element range (traced as reads of every chunk the
+        range overlaps — the compute kernel's per-layer gradient fetch)."""
+        for chunk_id, (lo, hi) in enumerate(self.layout.bounds):
+            if lo < stop and start < hi:
+                _emit("read", self.label, chunk_id)
+        return self.data[start:stop]
 
     def accumulate(self, chunk_id: int, values: np.ndarray) -> None:
         """Reduce ``values`` into the chunk (the reduction kernel's add)."""
+        _emit("reduce", self.label, chunk_id)
         self.chunk(chunk_id)[:] += values
 
     def overwrite(self, chunk_id: int, values: np.ndarray) -> None:
         """Replace the chunk with the fully reduced payload (broadcast)."""
+        _emit("write", self.label, chunk_id)
         self.chunk(chunk_id)[:] = values
 
+    def note_remote_write(self, chunk_id: int) -> None:
+        """Record a write performed directly into :attr:`data` by another
+        GPU's kernel (a wire delivery into aliased receive memory)."""
+        _emit("write", self.label, chunk_id)
+
     def snapshot(self) -> np.ndarray:
+        for chunk_id in range(self.layout.nchunks):
+            _emit("read", self.label, chunk_id)
         return self.data.copy()

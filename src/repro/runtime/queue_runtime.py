@@ -165,7 +165,9 @@ class ChainedTrainingRuntime:
                     )
                 )
                 lo_b, hi_b = self.network.byte_range(layer_idx)
-                sl = slice(lo_b // BYTES_PER_PARAM, hi_b // BYTES_PER_PARAM)
-                weights[sl] -= self.learning_rate * buffer.data[sl]
+                lo, hi = lo_b // BYTES_PER_PARAM, hi_b // BYTES_PER_PARAM
+                weights[lo:hi] -= (
+                    self.learning_rate * buffer.read_range(lo, hi)
+                )
 
         return kernel

@@ -16,14 +16,14 @@ cannot chain on the ring — the property tests assert exactly that.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.runtime.cluster import KernelPool
 from repro.runtime.memory import ChunkLayout, GradientBuffer
-from repro.runtime.sync import DeviceSemaphore, SpinConfig
+from repro.runtime.sync import AbortCell, DeviceSemaphore, SpinConfig
 
 
 @dataclass
@@ -72,15 +72,34 @@ class RingAllReduceRuntime:
             total_elems, ntrees=1, chunks_per_tree=nnodes
         )
         self.spin = spin or SpinConfig()
+        #: Abort flag of the most recent ``run`` (set at run start).
+        self.abort_cell: AbortCell | None = None
 
-    def run(self, inputs: list[np.ndarray]) -> RingRunReport:
-        """Execute one AllReduce over ``inputs`` (one array per GPU)."""
+    def run(
+        self,
+        inputs: list[np.ndarray],
+        *,
+        extra_kernels: list[tuple[str, object]] | None = None,
+    ) -> RingRunReport:
+        """Execute one AllReduce over ``inputs`` (one array per GPU).
+
+        Every semaphore and the kernel pool share one per-run
+        :class:`AbortCell`, so a crashed kernel (including any of
+        ``extra_kernels``) releases all spinning peers immediately
+        instead of leaving each to its own full spin timeout.
+        """
         if len(inputs) != self.nnodes:
             raise ConfigError(f"expected {self.nnodes} input arrays")
         if any(len(a) != self.layout.total_elems for a in inputs):
             raise ConfigError("all inputs must match the layout size")
         p = self.nnodes
-        buffers = [GradientBuffer(a, self.layout) for a in inputs]
+        abort = AbortCell()
+        self.abort_cell = abort
+        run_spin = replace(self.spin, abort=abort)
+        buffers = [
+            GradientBuffer(a, self.layout, owner=g)
+            for g, a in enumerate(inputs)
+        ]
         # Staging + semaphore per ring hop (pos -> pos+1), indexed by the
         # *receiving* position.  Each phase gets its own staging array so
         # a chunk slot is written at most once per phase — otherwise a
@@ -89,7 +108,7 @@ class RingAllReduceRuntime:
         staging_rs = [np.zeros(self.layout.total_elems) for _ in range(p)]
         staging_ag = [np.zeros(self.layout.total_elems) for _ in range(p)]
         sems = [
-            DeviceSemaphore(2 * p, spin=self.spin, name=f"ring@{pos}")
+            DeviceSemaphore(2 * p, spin=run_spin, name=f"ring@{pos}")
             for pos in range(p)
         ]
         completion: dict[int, list[int]] = {g: [] for g in range(p)}
@@ -107,7 +126,7 @@ class RingAllReduceRuntime:
                 for step in range(p - 1):
                     send_chunk = (pos - step) % p
                     sl = self.layout.slice_of(send_chunk)
-                    staging_rs[nxt][sl] = buffer.data[sl]
+                    staging_rs[nxt][sl] = buffer.read(send_chunk)
                     sems[nxt].post()
                     recv_chunk = (pos - step - 1) % p
                     sems[pos].wait()
@@ -122,7 +141,7 @@ class RingAllReduceRuntime:
                 for step in range(p - 1):
                     send_chunk = (pos + 1 - step) % p
                     sl = self.layout.slice_of(send_chunk)
-                    staging_ag[nxt][sl] = buffer.data[sl]
+                    staging_ag[nxt][sl] = buffer.read(send_chunk)
                     sems[nxt].post()
                     recv_chunk = (pos - step) % p
                     sems[pos].wait()
@@ -134,9 +153,11 @@ class RingAllReduceRuntime:
 
             return kernel
 
-        pool = KernelPool(join_timeout=self.spin.timeout * 2)
+        pool = KernelPool(join_timeout=self.spin.timeout * 2, abort=abort)
         for pos in range(p):
             pool.add(f"ring g{self.order[pos]}", kernel_for(pos))
+        for name, body in extra_kernels or []:
+            pool.add(name, body)
         started = time.monotonic()
         pool.run()
         elapsed = time.monotonic() - started

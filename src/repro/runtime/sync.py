@@ -20,6 +20,20 @@ import time
 from dataclasses import dataclass, replace
 
 from repro.errors import AbortedError, RuntimeClusterError
+from repro.sanitizer import hooks as _hooks
+
+
+def _emit(kind: str, obj: object, detail: object = None) -> None:
+    """Forward one sync event to the active sanitizer tracer, if any.
+
+    Emission points are chosen so the tracer observes a release strictly
+    before the acquire it enables (release events fire *before* the
+    underlying store, acquire events *after* the observing operation),
+    keeping the recorded order consistent with the real memory order.
+    """
+    tracer = _hooks.active()
+    if tracer is not None:
+        tracer.on_sync(kind, obj, detail)
 
 
 @dataclass(frozen=True)
@@ -46,18 +60,29 @@ class AtomicCell:
     Emulates a device memory word accessed with ``atomicCAS`` /
     ``atomicExch``; the internal lock stands in for the memory
     controller's atomicity.
+
+    Named cells emit happens-before events to an active sanitizer
+    tracer; unnamed cells (the private cells inside locks, semaphores
+    and the abort flag) stay silent so failed spin iterations don't
+    fabricate ordering edges — the owning primitive emits its own
+    semantic events instead.
     """
 
-    def __init__(self, value: int = 0):
+    def __init__(self, value: int = 0, *, name: str = ""):
         self._value = value
         self._hw = threading.Lock()
+        self.name = name
 
     def load(self) -> int:
         with self._hw:
+            if self.name:
+                _emit("atomic_load", self)
             return self._value
 
     def store(self, value: int) -> None:
         with self._hw:
+            if self.name:
+                _emit("atomic_store", self)
             self._value = value
 
     def compare_and_swap(self, expected: int, new: int) -> int:
@@ -67,11 +92,17 @@ class AtomicCell:
             old = self._value
             if old == expected:
                 self._value = new
+                if self.name:
+                    _emit("atomic_rmw", self)
+            elif self.name:
+                _emit("atomic_load", self)
             return old
 
     def exchange(self, new: int) -> int:
         """atomicExch: unconditionally store ``new``; returns the old value."""
         with self._hw:
+            if self.name:
+                _emit("atomic_rmw", self)
             old = self._value
             self._value = new
             return old
@@ -79,6 +110,8 @@ class AtomicCell:
     def add(self, delta: int) -> int:
         """atomicAdd; returns the value before the addition."""
         with self._hw:
+            if self.name:
+                _emit("atomic_rmw", self)
             old = self._value
             self._value = old + delta
             return old
@@ -153,6 +186,10 @@ class AbortCell:
                     f"{sem.name or '<unnamed>'}: count={count}/"
                     f"{sem.capacity} total_posted={total}"
                 )
+        tracer = _hooks.active()
+        if tracer is not None and hasattr(tracer, "dump_tails"):
+            lines.append("-- sanitizer: last sync ops per thread --")
+            lines.append(tracer.dump_tails())
         return "\n".join(lines)
 
     def to_error(self) -> AbortedError:
@@ -164,11 +201,18 @@ class AbortCell:
 
 
 class DeviceLock:
-    """Fig. 11 ``lock``/``unlock``: a CAS spinlock over an atomic cell."""
+    """Fig. 11 ``lock``/``unlock``: a CAS spinlock over an atomic cell.
 
-    def __init__(self, spin: SpinConfig | None = None):
+    Named locks report acquire/release (and lockset membership) to an
+    active sanitizer tracer; unnamed locks — notably the one inside
+    every :class:`DeviceSemaphore` — are silent, because the semaphore's
+    post/wait/check events carry the semantic ordering.
+    """
+
+    def __init__(self, spin: SpinConfig | None = None, *, name: str = ""):
         self._cell = AtomicCell(0)
         self._spin = spin or SpinConfig()
+        self.name = name
 
     def attach_abort(self, abort: AbortCell) -> None:
         """Bind a cluster abort flag after construction."""
@@ -183,8 +227,14 @@ class DeviceLock:
                 raise RuntimeClusterError("device lock acquisition timed out")
             time.sleep(self._spin.pause)
         # threadfence(): Python's lock release/acquire orders memory.
+        if self.name:
+            _emit("lock_acquire", self)
 
     def unlock(self) -> None:
+        # The release event fires before the cell exchange so a tracer
+        # can never observe the enabled acquire first.
+        if self.name:
+            _emit("lock_release", self)
         # threadfence() before release, as in the paper's pseudocode.
         if self._cell.exchange(0) != 1:
             raise RuntimeClusterError("unlock of a lock that was not held")
@@ -271,9 +321,15 @@ class DeviceSemaphore:
         flag (when present) so every peer exits right behind us.
         """
         deadline = time.monotonic() + self._spin.timeout
+        blocked_reported = False
         self._lock.lock()
         while not predicate():
             self._lock.unlock()
+            if not blocked_reported:
+                # Tells the sanitizer's wait-graph which semaphore each
+                # thread is parked on; cleared by the next success.
+                _emit("sem_block", self, what)
+                blocked_reported = True
             if self._spin.abort is not None:
                 self._spin.abort.raise_if_set()
             if time.monotonic() > deadline:
@@ -293,16 +349,65 @@ class DeviceSemaphore:
         self._spin_until(lambda: self._count < self._capacity, "post")
         self._count += 1
         self._total_posted += 1
+        # Emitted under the internal lock: the tracer sees posts and the
+        # waits/checks they satisfy in true counter order.
+        _emit("sem_post", self)
         self._lock.unlock()
 
     def wait(self) -> None:
         """Consumer: take one item (blocks while empty)."""
         self._spin_until(lambda: self._count > 0, "wait")
         self._count -= 1
+        _emit("sem_wait", self)
         self._lock.unlock()
 
     def check(self, value: int) -> None:
         """Block until at least ``value`` items were ever posted; does not
         consume (paper: gradient queuing's dequeue test)."""
         self._spin_until(lambda: self._total_posted >= value, f"check({value})")
+        _emit("sem_check", self, value)
         self._lock.unlock()
+
+
+class DeviceEvent:
+    """A one-shot device event: ``set`` once, ``wait`` spins until set.
+
+    Replaces raw ``threading.Event`` for cross-threadblock dependencies
+    in the plan interpreter: built on an :class:`AtomicCell` store plus
+    a spin-load, it honors :class:`SpinConfig` timeouts and the cluster
+    abort flag like every other primitive, and reports set/wait edges to
+    the sanitizer.
+    """
+
+    def __init__(self, spin: SpinConfig | None = None, *, name: str = ""):
+        self._cell = AtomicCell(0)
+        self._spin = spin or SpinConfig()
+        self.name = name
+
+    def attach_abort(self, abort: AbortCell) -> None:
+        """Bind a cluster abort flag after construction."""
+        self._spin = replace(self._spin, abort=abort)
+
+    def is_set(self) -> bool:
+        return self._cell.load() != 0
+
+    def set(self) -> None:
+        # Release event before the store, so no tracer ordering can show
+        # the enabled wait first.
+        _emit("event_set", self)
+        self._cell.store(1)
+
+    def wait(self) -> None:
+        deadline = time.monotonic() + self._spin.timeout
+        while self._cell.load() == 0:
+            if self._spin.abort is not None:
+                self._spin.abort.raise_if_set()
+            if time.monotonic() > deadline:
+                # No abort trigger here: the kernel pool's wrapper turns
+                # this failure into the cluster abort, preserving the
+                # "kernel ... failed" abort reason callers rely on.
+                raise RuntimeClusterError(
+                    f"timed out waiting for {self.name or 'event'}"
+                )
+            time.sleep(self._spin.pause)
+        _emit("event_wait", self)

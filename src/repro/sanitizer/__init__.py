@@ -1,0 +1,58 @@
+"""Correctness tooling for the emulated device runtime.
+
+A dynamic vector-clock race detector plus lockset / wait-graph analyses
+over the sync primitives of :mod:`repro.runtime.sync` and the chunk
+accesses of :mod:`repro.runtime.memory`.  See DESIGN §8 for the
+happens-before model and the mapping onto CUDA compute-sanitizer.
+
+Entry points:
+
+- ``with tracing() as t: ...`` — trace a scope, then ``t.report``;
+- ``pytest --sanitize`` — run the whole suite traced (conftest);
+- ``repro sanitize run --all`` — trace every shipped runtime plus the
+  deliberately broken seeded kernels (CLI).
+"""
+
+from .hooks import active, pop, push
+from .lockgraph import (
+    BlockedWait,
+    InversionFinding,
+    LockEdge,
+    PostOrderCycleFinding,
+    WaitCycleFinding,
+)
+from .races import Access, MemoryState, RaceFinding
+from .report import SanitizerReport, render_report_dict
+from .tracer import Tracer, tracing
+from .vectorclock import VectorClock
+
+__all__ = [
+    "Access",
+    "BlockedWait",
+    "InversionFinding",
+    "LockEdge",
+    "MemoryState",
+    "PostOrderCycleFinding",
+    "RaceFinding",
+    "SanitizerReport",
+    "Tracer",
+    "VectorClock",
+    "WaitCycleFinding",
+    "active",
+    "pop",
+    "push",
+    "render_report_dict",
+    "tracing",
+    "run_scenario",
+    "scenario_names",
+]
+
+
+def __getattr__(name: str):
+    # Scenario registry pulls in the full runtime; load it on demand so
+    # importing the runtime (which imports sanitizer.hooks) stays cheap.
+    if name in ("run_scenario", "scenario_names", "SCENARIOS", "Expectation"):
+        from . import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(name)

@@ -1,0 +1,82 @@
+"""Instrumentation hooks: the bridge between the runtime and a tracer.
+
+This module is the *only* sanitizer module the runtime imports, and it
+imports nothing from the rest of the repo, so the instrumentation in
+:mod:`repro.runtime.sync`, :mod:`repro.runtime.memory` and
+:mod:`repro.runtime.cluster` adds one attribute lookup and one ``None``
+check per primitive operation when no tracer is active.
+
+Tracers are kept on a stack: events go to the **top** tracer only.  That
+lets the ``--sanitize`` pytest fixture keep a suite-wide tracer active
+while a seeded-broken-kernel test pushes its own private tracer for the
+duration of the deliberately racy run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+
+__all__ = ["active", "push", "pop", "call_site"]
+
+_STACK: list = []
+_STACK_LOCK = threading.Lock()  # sync-lint: allow(raw-threading)
+
+
+def active():
+    """The tracer events should go to right now (``None`` when inactive)."""
+    stack = _STACK
+    return stack[-1] if stack else None
+
+
+def push(tracer) -> None:
+    """Activate ``tracer`` (it shadows any currently active tracer)."""
+    with _STACK_LOCK:
+        _STACK.append(tracer)
+
+
+def pop():
+    """Deactivate and return the most recently pushed tracer."""
+    with _STACK_LOCK:
+        return _STACK.pop()
+
+
+# Frames from these locations are instrumentation plumbing, not the code
+# the user wants to see in a race report.  Scenario bodies
+# (sanitizer/scenarios.py) are deliberately NOT skipped: their seeded
+# bugs must report real code locations like any user kernel.
+_SKIP_PARTS = (
+    os.path.join("repro", "runtime", "sync.py"),
+    os.path.join("repro", "runtime", "memory.py"),
+    os.path.join("repro", "runtime", "cluster.py"),
+    os.path.join("repro", "sanitizer", "hooks.py"),
+    os.path.join("repro", "sanitizer", "tracer.py"),
+    os.path.join("repro", "sanitizer", "races.py"),
+    os.path.join("repro", "sanitizer", "vectorclock.py"),
+    os.path.join("repro", "sanitizer", "lockgraph.py"),
+    os.sep + "threading.py",
+)
+
+
+def call_site(max_frames: int = 2) -> str:
+    """Compact call-site context: the first frames outside the plumbing.
+
+    Walking ``sys._getframe`` is far cheaper than building a full
+    traceback, which matters because every traced sync op and every
+    traced chunk access captures its site.
+    """
+    try:
+        frame = sys._getframe(1)
+    except ValueError:  # pragma: no cover - no caller frame
+        return "<unknown>"
+    out: list[str] = []
+    while frame is not None and len(out) < max_frames:
+        filename = frame.f_code.co_filename
+        if not any(part in filename for part in _SKIP_PARTS):
+            out.append(
+                f"{os.path.basename(filename)}:{frame.f_lineno} "
+                f"in {frame.f_code.co_name}"
+            )
+        frame = frame.f_back
+    return " < ".join(out) if out else "<internal>"

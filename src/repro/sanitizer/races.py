@@ -1,0 +1,124 @@
+"""FastTrack-style dynamic race detection over chunk access events.
+
+The tracer feeds every :class:`Access` (read / write / reduce on one
+``(buffer, chunk)`` cell) together with the acting thread's current
+vector clock.  State per cell follows FastTrack's shape:
+
+- one *last write* epoch (writes to a race-free cell are totally
+  ordered, so a single epoch suffices), and
+- a read map ``tid -> epoch`` (reads may be concurrent with each other,
+  so the full map is kept until an ordered write clears it).
+
+``reduce`` (the accumulation kernel's ``+=``) is classified as a write:
+numpy's in-place add is a read-modify-write, so two unsynchronized
+reduces of the same chunk corrupt the sum even though addition commutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .vectorclock import VectorClock
+
+__all__ = ["Access", "RaceFinding", "MemoryState"]
+
+#: Access kinds that modify the cell.
+_WRITING = ("write", "reduce")
+
+
+@dataclass(frozen=True)
+class Access:
+    """One recorded chunk access.
+
+    Attributes:
+        thread: acting thread's name (the kernel name).
+        tid: dense thread id.
+        clock: the thread's own clock component at access time (the
+            epoch is ``(tid, clock)``).
+        kind: ``read`` / ``write`` / ``reduce``.
+        site: call-site context of the access.
+        last_sync: the last sync operations the thread performed before
+            this access — the ops that *failed* to order the race.
+    """
+
+    thread: str
+    tid: int
+    clock: int
+    kind: str
+    site: str
+    last_sync: str
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """Two unsynchronized conflicting accesses to the same chunk."""
+
+    buffer: str
+    chunk: int
+    first: Access
+    second: Access
+
+    def describe(self) -> str:
+        lines = [
+            f"RACE on {self.buffer} chunk {self.chunk}: "
+            f"{self.first.kind} vs {self.second.kind} "
+            "with no happens-before edge",
+        ]
+        for label, acc in (("first", self.first), ("second", self.second)):
+            lines.append(
+                f"  {label}: {acc.kind} by {acc.thread!r} at {acc.site}"
+            )
+            lines.append(f"    last sync ops: {acc.last_sync}")
+        return "\n".join(lines)
+
+
+class MemoryState:
+    """Per-(buffer, chunk) FastTrack state; collects race findings.
+
+    Not thread-safe on its own — the tracer serializes calls under its
+    event lock.
+    """
+
+    def __init__(self) -> None:
+        self._write: dict[tuple[str, int], Access] = {}
+        self._reads: dict[tuple[str, int], dict[int, Access]] = {}
+        self.races: list[RaceFinding] = []
+        self._seen: set[tuple] = set()
+
+    def _report(self, buffer: str, chunk: int, a: Access, b: Access) -> None:
+        key = (buffer, chunk, a.site, a.kind, b.site, b.kind)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.races.append(
+            RaceFinding(buffer=buffer, chunk=chunk, first=a, second=b)
+        )
+
+    def on_access(
+        self,
+        buffer: str,
+        chunk: int,
+        access: Access,
+        clock: VectorClock,
+    ) -> None:
+        """Record ``access`` performed under ``clock``; detect conflicts."""
+        key = (buffer, chunk)
+        prev_write = self._write.get(key)
+        if (
+            prev_write is not None
+            and prev_write.tid != access.tid
+            and not clock.covers(prev_write.tid, prev_write.clock)
+        ):
+            self._report(buffer, chunk, prev_write, access)
+        if access.kind not in _WRITING:
+            self._reads.setdefault(key, {})[access.tid] = access
+            return
+        reads = self._reads.get(key)
+        if reads:
+            for prev_read in reads.values():
+                if prev_read.tid != access.tid and not clock.covers(
+                    prev_read.tid, prev_read.clock
+                ):
+                    self._report(buffer, chunk, prev_read, access)
+            reads.clear()
+        self._write[key] = access

@@ -1,0 +1,44 @@
+"""Sparse vector clocks for happens-before tracking.
+
+A clock maps thread id -> logical time.  Threads are dense small ints
+assigned by the tracer, but clocks stay sparse dicts because most sync
+objects only ever see two or three threads.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A sparse vector clock: ``tid -> last-known logical time``."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, clocks: dict[int, int] | None = None):
+        self._c: dict[int, int] = dict(clocks) if clocks else {}
+
+    def get(self, tid: int) -> int:
+        return self._c.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        """Advance ``tid``'s own component (a release point)."""
+        self._c[tid] = self._c.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum — the acquire/release merge."""
+        mine = self._c
+        for tid, clk in other._c.items():
+            if clk > mine.get(tid, 0):
+                mine[tid] = clk
+
+    def covers(self, tid: int, clk: int) -> bool:
+        """Does this clock happen-after the epoch ``(tid, clk)``?"""
+        return self._c.get(tid, 0) >= clk
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"t{t}={c}" for t, c in sorted(self._c.items()))
+        return f"VC({inner})"

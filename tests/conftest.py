@@ -54,3 +54,49 @@ def fast_spin() -> SpinConfig:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+# -- opt-in sanitizer mode (`pytest --sanitize`) --------------------------
+#
+# Wraps every test in a fresh vector-clock tracer: all device-level sync
+# and memory traffic the test triggers is checked for data races,
+# lock-order inversions, and semaphore wait cycles, and any finding
+# fails the test.  Tests that *seed* bugs on purpose opt out with
+# ``@pytest.mark.no_sanitize``.
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run every test under the device-memory sanitizer and fail "
+             "on any race / lock-order inversion / wait cycle",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "no_sanitize: test deliberately breaks sync; skip tracer checks",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_guard(request: pytest.FixtureRequest):
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    if request.node.get_closest_marker("no_sanitize"):
+        yield
+        return
+    from repro.sanitizer.tracer import tracing
+
+    with tracing() as traced:
+        yield
+    report = traced.report
+    if report is not None and not report.ok:
+        pytest.fail(
+            "sanitizer findings in traced test:\n" + report.describe(),
+            pytrace=False,
+        )

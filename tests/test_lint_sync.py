@@ -1,0 +1,182 @@
+"""The sync-discipline lint: clean on the shipped tree, sharp on
+violations."""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+import lint_sync  # noqa: E402
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _lint_source(tmp_path: Path, source: str, name: str = "mod.py"):
+    file = tmp_path / name
+    file.write_text(textwrap.dedent(source))
+    return lint_sync.lint_file(file)
+
+
+def test_shipped_src_tree_is_clean():
+    findings = lint_sync.lint_paths([REPO / "src"])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+class TestRawThreading:
+    def test_threading_lock_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import threading
+            lock = threading.Lock()
+        """)
+        assert [f.rule for f in findings] == ["SYNC001"]
+        assert "repro.runtime.sync" in findings[0].message
+
+    def test_from_import_alias_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            from threading import Event
+            done = Event()
+        """)
+        assert [f.rule for f in findings] == ["SYNC001"]
+
+    def test_thread_itself_is_allowed(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import threading
+            t = threading.Thread(target=print)
+            name = threading.current_thread().name
+        """)
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import threading
+            lock = threading.Lock()  # sync-lint: allow(raw-threading)
+        """)
+        assert findings == []
+
+    def test_unrelated_event_name_not_flagged(self, tmp_path):
+        # Event() that was never imported from threading is someone
+        # else's class.
+        findings = _lint_source(tmp_path, """
+            from mylib import Event
+            done = Event()
+        """)
+        assert findings == []
+
+    def test_sync_impl_file_is_exempt(self, tmp_path):
+        impl = tmp_path / "runtime" / "sync.py"
+        impl.parent.mkdir()
+        impl.write_text("import threading\nlock = threading.Lock()\n")
+        assert lint_sync.lint_file(impl) == []
+
+
+class TestSpinAbort:
+    def test_abortless_spin_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import time
+            def spin(cell):
+                while cell.load() == 0:
+                    time.sleep(1e-4)
+        """)
+        assert [f.rule for f in findings] == ["SYNC002"]
+
+    def test_abort_checking_spin_is_clean(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import time
+            def spin(cell, abort):
+                while cell.load() == 0:
+                    abort.raise_if_set()
+                    time.sleep(1e-4)
+        """)
+        assert findings == []
+
+    def test_raise_if_set_attribute_satisfies_the_rule(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            import time
+            def spin(self, cell):
+                while cell.load() == 0:
+                    self._abort_flag.raise_if_set()
+                    time.sleep(1e-4)
+        """)
+        assert findings == []
+
+    def test_sleepless_loop_is_not_a_spin(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def drain(queue):
+                while queue:
+                    queue.pop()
+        """)
+        assert findings == []
+
+    def test_bare_sleep_import_detected(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            from time import sleep
+            def spin(cell):
+                while cell.load() == 0:
+                    sleep(1e-4)
+        """)
+        assert [f.rule for f in findings] == ["SYNC002"]
+
+
+class TestUnfencedStore:
+    def test_bare_store_flagged_when_atomics_imported(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            from repro.runtime.sync import AtomicCell
+            def publish(cell: AtomicCell):
+                cell.store(1)
+        """)
+        assert [f.rule for f in findings] == ["SYNC003"]
+
+    def test_store_without_atomics_in_scope_ignored(self, tmp_path):
+        # .store() on some unrelated object (a KV client, say).
+        findings = _lint_source(tmp_path, """
+            def save(db):
+                db.store(1)
+        """)
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            from repro.runtime.sync import AtomicCell
+            def publish(cell: AtomicCell):
+                cell.store(1)  # sync-lint: allow(unfenced-store)
+        """)
+        assert findings == []
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, capsys):
+        assert lint_sync.main([str(REPO / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import threading\nlock = threading.Lock()\n")
+        assert lint_sync.main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "SYNC001" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path):
+        assert lint_sync.main([str(tmp_path / "nope")]) == 2
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        findings = lint_sync.lint_file(bad)
+        assert len(findings) == 1
+        assert "does not parse" in findings[0].message
+
+
+def test_pragma_must_name_the_right_rule(tmp_path):
+    # A raw-threading pragma does not silence a spin-abort finding.
+    file = tmp_path / "mod.py"
+    file.write_text(textwrap.dedent("""
+        import time
+        def spin(cell):
+            while cell.load() == 0:  # sync-lint: allow(raw-threading)
+                time.sleep(1e-4)
+    """))
+    findings = lint_sync.lint_file(file)
+    assert [f.rule for f in findings] == ["SYNC002"]

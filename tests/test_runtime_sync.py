@@ -141,6 +141,7 @@ class TestDeviceSemaphore:
         t.join(timeout=2.0)
         assert result == ["got"]
 
+    @pytest.mark.no_sanitize  # deliberately times out: terminal block is the point
     def test_post_blocks_at_capacity(self):
         sem = DeviceSemaphore(1, spin=SpinConfig(timeout=0.1, pause=0.0))
         sem.post()
@@ -200,6 +201,7 @@ class TestDeviceSemaphore:
         with pytest.raises(RuntimeClusterError, match="wait timed out"):
             sem.wait()
 
+    @pytest.mark.no_sanitize  # deliberately times out: terminal block is the point
     def test_post_blocks_until_timeout_then_names_itself(self):
         """post on a full buffer spins for the configured duration and
         the error identifies both the semaphore and the operation."""
@@ -215,6 +217,7 @@ class TestDeviceSemaphore:
             sem.post()
         assert time.monotonic() - started >= timeout * 0.9
 
+    @pytest.mark.no_sanitize  # deliberately times out: terminal block is the point
     def test_check_timeout_names_threshold(self):
         sem = DeviceSemaphore(
             4, spin=SpinConfig(timeout=0.05, pause=0.0), name="enq"

@@ -1,0 +1,358 @@
+"""Sanitizer core: vector clocks, race detection, graph analyses, and
+clean bills of health for every shipped runtime.
+
+The seeded-bug scenarios (true-positive power and exact diagnostics)
+live in ``test_sanitizer_seeded.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import AbortedError
+from repro.runtime.hd_runtime import HalvingDoublingRuntime
+from repro.runtime.ring_runtime import RingAllReduceRuntime
+from repro.runtime.sync import SpinConfig
+from repro.sanitizer.lockgraph import (
+    BlockedWait,
+    LockEdge,
+    find_lock_cycles,
+    find_post_order_cycles,
+    find_wait_cycles,
+)
+from repro.sanitizer.races import Access, MemoryState
+from repro.sanitizer.scenarios import run_scenario, scenario_names
+from repro.sanitizer.tracer import Tracer, tracing
+from repro.sanitizer.vectorclock import VectorClock
+
+FAST = SpinConfig(timeout=10.0, pause=0.0)
+
+
+# -- vector clocks --------------------------------------------------------
+
+
+class TestVectorClock:
+    def test_fresh_clock_is_zero(self):
+        assert VectorClock().get(0) == 0
+
+    def test_tick_is_per_component(self):
+        clock = VectorClock()
+        clock.tick(2)
+        clock.tick(2)
+        clock.tick(5)
+        assert clock.get(2) == 2
+        assert clock.get(5) == 1
+        assert clock.get(0) == 0
+
+    def test_join_is_pointwise_max(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick(0), a.tick(0), b.tick(0), b.tick(1)
+        a.join(b)
+        assert a.get(0) == 2
+        assert a.get(1) == 1
+
+    def test_covers(self):
+        a = VectorClock()
+        a.tick(0)
+        assert a.covers(0, 1)
+        assert not a.covers(0, 2)
+        assert a.covers(7, 0)  # zero entries are trivially covered
+
+    def test_copy_is_independent(self):
+        a = VectorClock()
+        a.tick(0)
+        b = a.copy()
+        b.tick(0)
+        assert a.get(0) == 1
+        assert b.get(0) == 2
+
+
+# -- the FastTrack-style detector in isolation ----------------------------
+
+
+def _access(tid: int, clock: VectorClock, kind: str) -> Access:
+    return Access(
+        thread=f"t{tid}",
+        tid=tid,
+        clock=clock.get(tid),
+        kind=kind,
+        site=f"site{tid}",
+        last_sync="(unit)",
+    )
+
+
+class TestMemoryState:
+    def test_ordered_write_then_read_is_clean(self):
+        mem = MemoryState()
+        writer, reader = VectorClock(), VectorClock()
+        writer.tick(0)
+        mem.on_access("buf", 0, _access(0, writer, "write"), writer)
+        reader.tick(1)
+        reader.join(writer)  # the sync edge
+        mem.on_access("buf", 0, _access(1, reader, "read"), reader)
+        assert mem.races == []
+
+    def test_unordered_write_then_read_races(self):
+        mem = MemoryState()
+        writer, reader = VectorClock(), VectorClock()
+        writer.tick(0)
+        reader.tick(1)
+        mem.on_access("buf", 3, _access(0, writer, "write"), writer)
+        mem.on_access("buf", 3, _access(1, reader, "read"), reader)
+        assert len(mem.races) == 1
+        race = mem.races[0]
+        assert race.buffer == "buf"
+        assert race.chunk == 3
+        assert {race.first.kind, race.second.kind} == {"write", "read"}
+
+    def test_concurrent_reads_do_not_race(self):
+        mem = MemoryState()
+        a, b = VectorClock(), VectorClock()
+        a.tick(0)
+        b.tick(1)
+        mem.on_access("buf", 0, _access(0, a, "read"), a)
+        mem.on_access("buf", 0, _access(1, b, "read"), b)
+        assert mem.races == []
+
+    def test_reduce_counts_as_write(self):
+        # numpy in-place accumulate is a read-modify-write: two unordered
+        # reduces of the same chunk can lose an addend.
+        mem = MemoryState()
+        a, b = VectorClock(), VectorClock()
+        a.tick(0)
+        b.tick(1)
+        mem.on_access("buf", 1, _access(0, a, "reduce"), a)
+        mem.on_access("buf", 1, _access(1, b, "reduce"), b)
+        assert len(mem.races) == 1
+
+    def test_write_after_unordered_read_races(self):
+        mem = MemoryState()
+        reader, writer = VectorClock(), VectorClock()
+        reader.tick(0)
+        writer.tick(1)
+        mem.on_access("buf", 0, _access(0, reader, "read"), reader)
+        mem.on_access("buf", 0, _access(1, writer, "write"), writer)
+        assert len(mem.races) == 1
+
+    def test_distinct_chunks_never_interact(self):
+        mem = MemoryState()
+        a, b = VectorClock(), VectorClock()
+        a.tick(0)
+        b.tick(1)
+        mem.on_access("buf", 0, _access(0, a, "write"), a)
+        mem.on_access("buf", 1, _access(1, b, "write"), b)
+        assert mem.races == []
+
+    def test_duplicate_race_reported_once(self):
+        mem = MemoryState()
+        a, b = VectorClock(), VectorClock()
+        a.tick(0)
+        b.tick(1)
+        mem.on_access("buf", 0, _access(0, a, "write"), a)
+        mem.on_access("buf", 0, _access(1, b, "write"), b)
+        mem.on_access("buf", 0, _access(1, b, "write"), b)
+        assert len(mem.races) == 1
+
+
+# -- graph analyses in isolation ------------------------------------------
+
+
+def _edge(outer: str, inner: str) -> tuple[tuple[str, str], LockEdge]:
+    return (outer, inner), LockEdge(
+        outer=outer, inner=inner, thread="t", outer_site="o", inner_site="i"
+    )
+
+
+class TestLockGraph:
+    def test_consistent_order_is_clean(self):
+        edges = dict([_edge("A", "B"), _edge("B", "C"), _edge("A", "C")])
+        assert find_lock_cycles(edges) == []
+
+    def test_two_lock_inversion(self):
+        edges = dict([_edge("A", "B"), _edge("B", "A")])
+        cycles = find_lock_cycles(edges)
+        assert len(cycles) == 1
+        assert set(cycles[0].cycle) >= {"A", "B"}
+
+    def test_three_lock_rotation(self):
+        edges = dict([_edge("A", "B"), _edge("B", "C"), _edge("C", "A")])
+        assert len(find_lock_cycles(edges)) == 1
+
+
+def _blocked(thread: str, sem: str) -> BlockedWait:
+    return BlockedWait(thread=thread, sem=sem, what="wait", site="s")
+
+
+class TestWaitCycles:
+    def test_two_thread_cycle(self):
+        blocked = [_blocked("a", "S1"), _blocked("b", "S2")]
+        posters = {"S1": {"b"}, "S2": {"a"}}
+        cycles = find_wait_cycles(blocked, posters)
+        assert len(cycles) == 1
+
+    def test_blocked_on_live_poster_is_not_a_cycle(self):
+        # "c" (not blocked) can still post S1: no deadlock.
+        blocked = [_blocked("a", "S1")]
+        posters = {"S1": {"c"}}
+        assert find_wait_cycles(blocked, posters) == []
+
+    def test_post_order_cycle_flagged(self):
+        # Both threads only post after consuming from the other sem, and
+        # neither sem has an unconditional (credit-granting) post.
+        programs = {
+            "a": [("consume", "S1"), ("post", "S2")],
+            "b": [("consume", "S2"), ("post", "S1")],
+        }
+        assert len(find_post_order_cycles(programs)) == 1
+
+    def test_unconditional_post_breaks_the_cycle(self):
+        # The ring pattern: someone posts before any consume.
+        programs = {
+            "a": [("post", "S2"), ("consume", "S1"), ("post", "S2")],
+            "b": [("consume", "S2"), ("post", "S1")],
+        }
+        assert find_post_order_cycles(programs) == []
+
+
+# -- every scenario, through the registry ---------------------------------
+
+
+@pytest.mark.parametrize("name", scenario_names(seeded=False))
+def test_healthy_scenario_is_clean(name):
+    result = run_scenario(name, elems=64)
+    assert result.passed, result.detail
+    assert result.report.ok
+
+
+def test_scenario_registry_covers_all_runtimes():
+    names = set(scenario_names())
+    for expected in (
+        "tree", "double_tree", "double_tree_baseline", "ring",
+        "halving_doubling", "queue_chained", "plan_interpreter",
+        "fault_injected", "recovery_reembed",
+    ):
+        assert expected in names
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        run_scenario("nope")
+
+
+# -- satellite 1: ring/HD runtimes join the abort protocol ----------------
+
+
+class TestRingHdAbort:
+    """A crashing extra kernel must abort ring/HD runs fast (abort flag),
+    not strand peers spinning until the full timeout."""
+
+    @pytest.mark.parametrize("cls", [RingAllReduceRuntime,
+                                     HalvingDoublingRuntime])
+    def test_crashing_kernel_aborts_fast(self, cls):
+        runtime = cls(4, total_elems=64,
+                      spin=SpinConfig(timeout=30.0, pause=0.0))
+
+        def crasher():
+            raise RuntimeError("injected kernel crash")
+
+        inputs = [np.full(64, float(g)) for g in range(4)]
+        started = time.monotonic()
+        with pytest.raises(AbortedError) as excinfo:
+            runtime.run(inputs, extra_kernels=[("crasher", crasher)])
+        elapsed = time.monotonic() - started
+        # Fail-fast: well under the 30s spin timeout the peers would
+        # otherwise burn.
+        assert elapsed < 10.0
+        assert "injected kernel crash" in str(excinfo.value)
+        assert runtime.abort_cell is not None
+        assert runtime.abort_cell.is_set()
+
+    @pytest.mark.parametrize("cls", [RingAllReduceRuntime,
+                                     HalvingDoublingRuntime])
+    def test_healthy_run_still_exact(self, cls):
+        runtime = cls(4, total_elems=64, spin=FAST)
+        inputs = [np.full(64, float(g + 1)) for g in range(4)]
+        report = runtime.run(inputs)
+        for out in report.outputs:
+            np.testing.assert_allclose(out, np.full(64, 10.0))
+        assert runtime.abort_cell is not None
+        assert not runtime.abort_cell.is_set()
+
+
+# -- satellite 6: abort diagnostics carry sanitizer sync tails ------------
+
+
+def test_abort_dump_includes_sync_trace_tails():
+    from repro.runtime.allreduce import TreeAllReduceRuntime
+    from repro.runtime.faults import CRASH, FaultPlan, GpuFault
+    from repro.topology.logical import two_trees
+
+    runtime = TreeAllReduceRuntime(
+        two_trees(8),
+        total_elems=64,
+        chunks_per_tree=4,
+        spin=SpinConfig(timeout=2.0, pause=0.0),
+        fault_plan=FaultPlan(
+            gpu_faults=(GpuFault(2, CRASH, after_chunk=1),)
+        ),
+    )
+    inputs = [np.full(64, float(g)) for g in range(8)]
+    with tracing():
+        with pytest.raises(AbortedError) as excinfo:
+            runtime.run(inputs)
+    diag = excinfo.value.diagnostics
+    assert "-- sanitizer: last sync ops per thread --" in diag
+    # The tails show actual semantic sync ops, not raw spin iterations.
+    assert "sem_post" in diag or "sem_wait" in diag
+
+
+@pytest.mark.no_sanitize  # the point is the *absence* of a tracer
+def test_abort_dump_without_tracer_has_no_sanitizer_section():
+    from repro.runtime.allreduce import TreeAllReduceRuntime
+    from repro.runtime.faults import CRASH, FaultPlan, GpuFault
+    from repro.topology.logical import two_trees
+
+    runtime = TreeAllReduceRuntime(
+        two_trees(8),
+        total_elems=64,
+        chunks_per_tree=4,
+        spin=SpinConfig(timeout=2.0, pause=0.0),
+        fault_plan=FaultPlan(
+            gpu_faults=(GpuFault(2, CRASH, after_chunk=1),)
+        ),
+    )
+    inputs = [np.full(64, float(g)) for g in range(8)]
+    with pytest.raises(AbortedError) as excinfo:
+        runtime.run(inputs)
+    assert "sanitizer" not in excinfo.value.diagnostics
+
+
+# -- tracer plumbing ------------------------------------------------------
+
+
+def test_tracing_context_sets_report():
+    with tracing() as traced:
+        pass
+    assert traced.report is not None
+    assert traced.report.ok
+    assert traced.report.nevents == 0
+
+
+def test_untraced_runs_emit_nothing():
+    tracer = Tracer()
+    runtime = RingAllReduceRuntime(4, total_elems=64, spin=FAST)
+    runtime.run([np.full(64, float(g)) for g in range(4)])
+    assert tracer.nevents == 0  # never pushed
+
+
+def test_report_json_round_trip_renders():
+    from repro.sanitizer.report import render_report_dict
+
+    result = run_scenario("ring", elems=64)
+    data = result.report.to_json_dict()
+    text = render_report_dict(data)
+    assert "clean" in text
+    assert str(data["nevents"]) in text

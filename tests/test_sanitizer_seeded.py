@@ -1,0 +1,112 @@
+"""True-positive power: every seeded-broken kernel must be flagged with
+the *exact* diagnostic — the racing chunk id and the offending sync
+object — not merely "something looked off".
+
+These tests are the acceptance gate for the sanitizer's usefulness: a
+detector that can't name the chunk and the missing/ordering-violating
+sync op can't guide a fix on the real CUDA runtime either.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sanitizer.scenarios import SCENARIOS, run_scenario, scenario_names
+
+pytestmark = pytest.mark.no_sanitize  # these runs seed bugs on purpose
+
+
+@pytest.mark.parametrize("name", scenario_names(seeded=True))
+def test_seeded_scenario_is_flagged(name):
+    result = run_scenario(name, elems=64)
+    assert result.passed, result.detail
+    assert not result.report.ok
+
+
+def test_dropped_post_names_the_unpublished_chunk():
+    result = run_scenario("seeded_dropped_post", elems=64)
+    races = result.report.races
+    assert len(races) == 1
+    race = races[0]
+    # Chunk 0 was published by the post; only chunk 1 races.
+    assert race.chunk == 1
+    assert race.buffer == "gpu0"
+    assert {race.first.kind, race.second.kind} == {"write", "read"}
+    assert {race.first.thread, race.second.thread} == {
+        "producer", "consumer"
+    }
+    text = race.describe()
+    # The consumer's side shows the handoff semaphore it *did* sync on —
+    # pointing straight at the missing second post.
+    assert "handoff" in text
+    assert "chunk 1" in text
+    # Both racing sites are real code locations in the scenario body.
+    assert "scenarios.py" in text
+
+
+def test_unlock_before_write_is_a_reduce_reduce_race():
+    result = run_scenario("seeded_unlock_before_write", elems=64)
+    races = result.report.races
+    assert len(races) == 1
+    race = races[0]
+    assert race.chunk == 0
+    assert race.first.kind == "reduce"
+    assert race.second.kind == "reduce"
+    # The offending lock appears in the last-sync context: the threads
+    # DID use grad-lock, just released it before the write it guards.
+    assert "grad-lock" in race.describe()
+
+
+def test_overlapping_writes_name_chunk_and_both_kernels():
+    result = run_scenario("seeded_overlapping_writes", elems=64)
+    races = result.report.races
+    assert len(races) == 1
+    race = races[0]
+    assert race.chunk == 2
+    assert race.first.kind == "write"
+    assert race.second.kind == "write"
+    assert {race.first.thread, race.second.thread} == {
+        "bcast-a", "bcast-b"
+    }
+
+
+def test_lock_inversion_names_both_locks_in_cycle_order():
+    result = run_scenario("seeded_lock_inversion", elems=64)
+    assert result.report.races == []  # the gate makes the run race-free
+    inversions = result.report.inversions
+    assert len(inversions) == 1
+    finding = inversions[0]
+    assert set(finding.cycle) >= {"L1", "L2"}
+    text = finding.describe()
+    # Both acquisition orders are shown, each with its holding kernel.
+    assert "L1 -> L2" in text or "L2 -> L1" in text
+    assert "order-forward" in text
+    assert "order-backward" in text
+    # The serializing gate is not part of the cycle.
+    assert "gate" not in finding.cycle
+
+
+def test_sem_cycle_names_both_semaphores_and_waiters():
+    result = run_scenario("seeded_sem_cycle", elems=64)
+    cycles = result.report.wait_cycles
+    assert len(cycles) == 1
+    text = cycles[0].describe()
+    assert "S1" in text
+    assert "S2" in text
+    assert "cycle-a" in text
+    assert "cycle-b" in text
+    # The blocked set is surfaced too (informational).
+    assert len(result.report.blocked) == 2
+
+
+def test_seeded_registry_is_complete():
+    assert set(scenario_names(seeded=True)) == {
+        "seeded_dropped_post",
+        "seeded_unlock_before_write",
+        "seeded_overlapping_writes",
+        "seeded_lock_inversion",
+        "seeded_sem_cycle",
+    }
+    # Every seeded scenario documents what it expects to be caught.
+    for name in scenario_names(seeded=True):
+        assert SCENARIOS[name].expect.kind != "clean"

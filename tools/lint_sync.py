@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Static lint for the virtual-GPU synchronization discipline.
+
+The runtime's whole correctness story rests on three conventions the
+type system cannot enforce; this AST pass does:
+
+- **SYNC001 raw-threading** — kernel/runtime code must build on the
+  device primitives in :mod:`repro.runtime.sync` (AtomicCell,
+  DeviceLock, DeviceSemaphore, DeviceEvent), never on raw
+  ``threading.Lock``/``Semaphore``/``Event``/&c.  Raw primitives are
+  invisible to the sanitizer's happens-before tracer and to the
+  fail-fast abort, so a deadlock through one hangs until the join
+  timeout with no diagnostics.  ``threading.Thread`` and thread-identity
+  helpers stay allowed (the pool IS threads).
+- **SYNC002 spin-abort** — every spin loop (a ``while`` whose body
+  sleeps) must consult the cluster abort flag (``abort`` /
+  ``raise_if_set``) so one kernel's failure releases every spinning
+  peer; a spin that ignores the flag turns fail-fast into a 30-second
+  hang per waiter.
+- **SYNC003 unfenced-store** — kernel code must not call a bare
+  ``.store(...)`` on an atomic: the release-fenced publication patterns
+  live inside ``runtime/sync.py`` (lock/unlock, post, event set), and a
+  raw store outside them is how the seeded ``dropped_post`` bug looks
+  in real code.
+
+Suppress a finding with an end-of-line pragma stating why::
+
+    self._lock = threading.Lock()  # sync-lint: allow(raw-threading)
+
+Usage::
+
+    python tools/lint_sync.py [paths ...]     # default: src/
+
+Exit status 0 when clean, 1 when any finding survives, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+# Primitives that must come from repro.runtime.sync instead.
+_BANNED_FACTORIES = frozenset({
+    "Lock",
+    "RLock",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Event",
+    "Condition",
+    "Barrier",
+})
+
+# The one module allowed to touch raw primitives and bare stores: it
+# *implements* the fenced device primitives.
+_SYNC_IMPL = "runtime/sync.py"
+
+_PRAGMA = re.compile(r"#\s*sync-lint:\s*allow\(([a-z0-9_,\s-]+)\)")
+
+_RULES = {
+    "SYNC001": "raw-threading",
+    "SYNC002": "spin-abort",
+    "SYNC003": "unfenced-store",
+}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        slug = _RULES[self.rule]
+        return f"{self.path}:{self.line}: {self.rule} ({slug}): {self.message}"
+
+
+def _allowed(source_lines: list[str], line: int, rule: str) -> bool:
+    """True when the finding's source line carries a matching pragma."""
+    if not 1 <= line <= len(source_lines):
+        return False
+    match = _PRAGMA.search(source_lines[line - 1])
+    if not match:
+        return False
+    slugs = {part.strip() for part in match.group(1).split(",")}
+    return _RULES[rule] in slugs
+
+
+def _call_name(node: ast.Call) -> tuple[str | None, str | None]:
+    """(qualifier, attr) for a call: ``threading.Lock()`` -> ("threading",
+    "Lock"); ``Lock()`` -> (None, "Lock")."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    if isinstance(func, ast.Name):
+        return None, func.id
+    return None, None
+
+
+def _names_sleep(node: ast.Call, sleep_aliases: set[str]) -> bool:
+    qual, attr = _call_name(node)
+    if qual == "time" and attr == "sleep":
+        return True
+    return qual is None and attr in sleep_aliases
+
+
+def _subtree_mentions_abort(node: ast.AST) -> bool:
+    """Does the loop consult the abort flag?  Accepts any reference to a
+    name/attribute containing ``abort`` or a ``raise_if_set`` call —
+    deliberately loose: the rule is "the loop looks at the flag", not a
+    specific spelling."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "abort" in sub.id:
+            return True
+        if isinstance(sub, ast.Attribute) and (
+            "abort" in sub.attr or sub.attr == "raise_if_set"
+        ):
+            return True
+    return False
+
+
+def _collect_imports(tree: ast.Module) -> tuple[set[str], bool]:
+    """(names imported from threading, module imports AtomicCell)."""
+    from_threading: set[str] = set()
+    has_atomic = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "threading":
+                from_threading.update(alias.name for alias in node.names)
+            if node.module and (
+                node.module.endswith("runtime.sync") or node.module == "sync"
+            ):
+                has_atomic |= any(
+                    alias.name == "AtomicCell" for alias in node.names
+                )
+    return from_threading, has_atomic
+
+
+def lint_file(path: Path) -> list[Finding]:
+    text = path.read_text()
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, "SYNC001",
+                        f"file does not parse: {exc.msg}")]
+    lines = text.splitlines()
+    findings: list[Finding] = []
+    is_sync_impl = path.as_posix().endswith(_SYNC_IMPL)
+    from_threading, has_atomic = _collect_imports(tree)
+    sleep_aliases = {"sleep"} if any(
+        isinstance(n, ast.ImportFrom) and n.module == "time"
+        and any(a.name == "sleep" for a in n.names)
+        for n in ast.walk(tree)
+    ) else set()
+
+    for node in ast.walk(tree):
+        # SYNC001: raw threading primitives.
+        if isinstance(node, ast.Call) and not is_sync_impl:
+            qual, attr = _call_name(node)
+            banned = (
+                (qual == "threading" and attr in _BANNED_FACTORIES)
+                or (qual is None and attr in _BANNED_FACTORIES
+                    and attr in from_threading)
+            )
+            if banned and not _allowed(lines, node.lineno, "SYNC001"):
+                findings.append(Finding(
+                    path, node.lineno, "SYNC001",
+                    f"raw threading.{attr}() — use the device primitives "
+                    "in repro.runtime.sync (traced + abort-aware)",
+                ))
+
+        # SYNC002: spin loops must consult the abort flag.
+        if isinstance(node, ast.While):
+            sleeps = [
+                sub for sub in ast.walk(node)
+                if isinstance(sub, ast.Call)
+                and _names_sleep(sub, sleep_aliases)
+            ]
+            if sleeps and not _subtree_mentions_abort(node):
+                line = node.lineno
+                if not _allowed(lines, line, "SYNC002"):
+                    findings.append(Finding(
+                        path, line, "SYNC002",
+                        "spin loop sleeps without consulting the cluster "
+                        "abort flag (raise_if_set) — fail-fast becomes a "
+                        "timeout hang",
+                    ))
+
+        # SYNC003: bare atomic stores outside the sync implementation.
+        if (
+            isinstance(node, ast.Call)
+            and not is_sync_impl
+            and has_atomic
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "store"
+        ):
+            if not _allowed(lines, node.lineno, "SYNC003"):
+                findings.append(Finding(
+                    path, node.lineno, "SYNC003",
+                    "bare .store() on an atomic outside runtime/sync.py — "
+                    "publish through a fenced primitive (lock/post/event)",
+                ))
+
+    return findings
+
+
+def lint_paths(paths: list[Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for root in paths:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for file in files:
+            findings.extend(lint_file(file))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="lint the repro sync discipline (SYNC001-003)"
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    args = parser.parse_args(argv)
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"lint_sync: no such path: {missing}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    nfiles = sum(
+        1 if p.is_file() else len(list(p.rglob("*.py"))) for p in paths
+    )
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"lint_sync: {nfiles} file(s) checked — {status}")
+    return 0 if not findings else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
