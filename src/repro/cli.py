@@ -17,6 +17,10 @@ Usage::
     python -m repro sanitize run --all --elems 256
     python -m repro sanitize run --scenario seeded_dropped_post --json
     python -m repro sanitize report findings.json
+    python -m repro fuzz run --schedules 25 --all
+    python -m repro fuzz run --scenario tree --schedules 200 --policy pct
+    python -m repro fuzz replay failure.json
+    python -m repro fuzz report failure.json
     python -m repro info
 """
 
@@ -183,6 +187,52 @@ def _build_parser() -> argparse.ArgumentParser:
     san_report.add_argument("file", help="findings JSON path")
 
     sanitize_sub.add_parser("list", help="list registered scenarios")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="schedule-space fuzzer: run scenarios under seeded "
+             "adversarial interleavings with replayable failures",
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="fuzz scenarios across many seeded schedules"
+    )
+    fuzz_run.add_argument("--all", action="store_true", dest="run_all",
+                          help="every registered scenario (the default "
+                               "when no --scenario is given): healthy "
+                               "runtimes must survive every schedule "
+                               "clean, seeded kernels must be detected "
+                               "within the budget")
+    fuzz_run.add_argument("--scenario", action="append", default=None,
+                          help="fuzz one named scenario (repeatable; "
+                               "see `sanitize list`)")
+    fuzz_run.add_argument("--schedules", type=int, default=50,
+                          help="schedule budget per scenario")
+    fuzz_run.add_argument("--seed", type=int, default=0,
+                          help="base seed; schedule i runs seed+i")
+    fuzz_run.add_argument("--policy", choices=("random", "pct"),
+                          default="random")
+    fuzz_run.add_argument("--elems", type=int, default=64,
+                          help="gradient element count per scenario")
+    fuzz_run.add_argument("--quantum", type=float, default=2e-4,
+                          help="scheduler sleep quantum in seconds")
+    fuzz_run.add_argument("--save-dir", default=None,
+                          help="write minimized failing seed files here "
+                               "(replay with `fuzz replay`)")
+    fuzz_run.add_argument("--no-shrink", action="store_true",
+                          help="keep failing traces unminimized")
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-run a stored failing schedule from its "
+                       "minimized decision trace"
+    )
+    fuzz_replay.add_argument("file", help="fuzz seed-file path (JSON)")
+
+    fuzz_report = fuzz_sub.add_parser(
+        "report", help="render a stored fuzz seed file"
+    )
+    fuzz_report.add_argument("file", help="fuzz seed-file path (JSON)")
 
     sub.add_parser("info", help="print library and model summary")
     return parser
@@ -758,6 +808,131 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import render_table
+    from repro.fuzz import fuzz_scenario, save_failure
+    from repro.sanitizer import SCENARIOS
+
+    if args.scenario:
+        unknown = [n for n in args.scenario if n not in SCENARIOS]
+        if unknown:
+            print(
+                f"repro fuzz: unknown scenario(s) {unknown}; "
+                f"see `repro sanitize list`",
+                file=sys.stderr,
+            )
+            return 2
+        names = args.scenario
+    else:
+        names = list(SCENARIOS)
+
+    rows = []
+    failures = 0
+    for name in names:
+        outcome = fuzz_scenario(
+            name,
+            schedules=args.schedules,
+            base_seed=args.seed,
+            policy=args.policy,
+            elems=args.elems,
+            quantum=args.quantum,
+            shrink=not args.no_shrink,
+        )
+        failures += 0 if outcome.ok else 1
+        if outcome.seeded:
+            verdict = (
+                f"detected@{outcome.detected_at}"
+                if outcome.detected_at is not None
+                else "MISSED"
+            )
+        else:
+            verdict = "clean" if outcome.failure is None else "FAIL"
+        rows.append((
+            name,
+            "seeded-bug" if outcome.seeded else "healthy",
+            f"{outcome.schedules}/{outcome.requested}",
+            outcome.points,
+            outcome.decisions,
+            verdict,
+        ))
+        if outcome.failure is not None:
+            failure = outcome.failure
+            print(f"\n{name}: failing schedule found")
+            print(f"  detail: {failure.detail}")
+            print(
+                f"  trace: {len(failure.trace)} decisions "
+                f"(shrunk from {failure.original_decisions})"
+            )
+            if args.save_dir is not None:
+                path = save_failure(
+                    failure, Path(args.save_dir) / f"{name}.json"
+                )
+                print(f"  seed file: {path} (replay with `fuzz replay`)")
+    print(render_table(
+        ["scenario", "family", "schedules", "points", "perturbations",
+         "verdict"],
+        rows,
+        title=(
+            f"schedule fuzz (policy={args.policy}, seed={args.seed}, "
+            f"elems={args.elems})"
+        ),
+    ))
+    return 0 if failures == 0 else 1
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz import load_failure, replay_failure
+
+    failure = load_failure(args.file)
+    outcome = replay_failure(failure)
+    print(
+        f"replaying {failure.scenario} "
+        f"({len(failure.trace)} stored decisions, "
+        f"elems={failure.elems}, quantum={failure.quantum})"
+    )
+    print(f"detail: {outcome.detail}")
+    print("failure reproduced: " + ("yes" if outcome.reproduced else "NO"))
+    print(
+        "applied trace identical to stored trace: "
+        + ("yes" if outcome.trace_identical else "NO")
+    )
+    return 0 if outcome.reproduced and outcome.trace_identical else 1
+
+
+def _cmd_fuzz_report(args: argparse.Namespace) -> int:
+    from repro.fuzz import load_failure
+
+    failure = load_failure(args.file)
+    print(f"fuzz seed file: {args.file}")
+    print(f"  scenario: {failure.scenario}")
+    print(f"  elems: {failure.elems}  quantum: {failure.quantum}")
+    print(f"  found by policy: {failure.policy_spec}")
+    print(f"  detail: {failure.detail}")
+    print(
+        f"  trace: {len(failure.trace)} decisions "
+        f"(shrunk from {failure.original_decisions})"
+    )
+    for thread, index, kind, action in failure.trace:
+        print(f"    {thread}#{index} {kind} -> {action}")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+
+    try:
+        if args.fuzz_command == "replay":
+            return _cmd_fuzz_replay(args)
+        if args.fuzz_command == "report":
+            return _cmd_fuzz_report(args)
+        return _cmd_fuzz_run(args)
+    except (ConfigError, OSError) as exc:
+        print(f"repro fuzz: error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {__version__} — C-Cube (HPCA 2023) reproduction")
     print("\nnetworks:")
@@ -781,6 +956,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "plan": _cmd_plan,
     "sanitize": _cmd_sanitize,
+    "fuzz": _cmd_fuzz,
     "info": _cmd_info,
 }
 

@@ -24,6 +24,7 @@ from repro.collectives.ring import DGX1_RING_ORDER, ring_allreduce
 from repro.collectives.tree import tree_allreduce
 from repro.experiments.report import render_table
 from repro.plan import build_plan, simulate_plan, verify_plan
+from repro.sim.oracle import check_plan_ordering
 from repro.topology.dgx1 import (
     DETOUR_NODES,
     NVLINK_ALPHA,
@@ -49,6 +50,10 @@ class PlanRow:
             (physical model with detours).
         ops: op count of the (compiled) plan.
         verified: the static verifier accepted the plan.
+        ordered: the sim-side ordering oracle
+            (:func:`repro.sim.oracle.check_plan_ordering`) found the
+            simulated trace consistent with the runtime's
+            happens-before model.
         planned_us: simulated makespan of the lowered plan.
         handwritten_us: simulated makespan of the hand-written schedule.
         gap_pct: ``planned / handwritten - 1`` in percent.
@@ -58,17 +63,19 @@ class PlanRow:
     target: str
     ops: int
     verified: bool
+    ordered: bool
     planned_us: float
     handwritten_us: float
     gap_pct: float
 
 
-def _row(algorithm, target, plan, planned, handwritten, verified):
+def _row(algorithm, target, plan, planned, handwritten, verified, ordered):
     return PlanRow(
         algorithm=algorithm,
         target=target,
         ops=len(plan.ops),
         verified=verified,
+        ordered=ordered,
         planned_us=planned * 1e6,
         handwritten_us=handwritten * 1e6,
         gap_pct=100.0 * (planned / handwritten - 1.0),
@@ -116,10 +123,13 @@ def run(
     ]
     for name, plan, schedule in cases:
         verified = verify_plan(plan, raise_on_error=False).ok
-        planned = simulate_plan(plan, fabric=fabric).total_time
+        outcome = simulate_plan(plan, fabric=fabric)
+        ordered = check_plan_ordering(
+            outcome.plan, outcome.dag, outcome.sim
+        ).ok
         handwritten = simulate_on_fabric(schedule, fabric).total_time
-        rows.append(_row(name, "fabric", plan, planned, handwritten,
-                         verified))
+        rows.append(_row(name, "fabric", plan, outcome.total_time,
+                         handwritten, verified, ordered))
 
     # Physical DGX-1: the C-Cube double tree with its detoured edge —
     # the plan goes through route legalization, the hand-written
@@ -139,6 +149,7 @@ def run(
     verified = verify_plan(
         compiled, topo=topo, raise_on_error=False
     ).ok
+    ordered = check_plan_ordering(compiled, outcome.dag, outcome.sim).ok
     schedule = double_tree_allreduce(
         8, nbytes, nchunks=nchunks, trees=dgx1_trees(), overlapped=True
     )
@@ -153,6 +164,7 @@ def run(
             outcome.total_time,
             handwritten,
             verified,
+            ordered,
         )
     )
     return rows
@@ -160,14 +172,15 @@ def run(
 
 def format_table(rows: list[PlanRow]) -> str:
     return render_table(
-        ["algorithm", "target", "plan ops", "verified", "planned (us)",
-         "hand-written (us)", "gap"],
+        ["algorithm", "target", "plan ops", "verified", "ordered",
+         "planned (us)", "hand-written (us)", "gap"],
         [
             (
                 r.algorithm,
                 r.target,
                 r.ops,
                 "yes" if r.verified else "NO",
+                "yes" if r.ordered else "NO",
                 f"{r.planned_us:.1f}",
                 f"{r.handwritten_us:.1f}",
                 f"{r.gap_pct:+.2f}%",

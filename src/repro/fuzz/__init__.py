@@ -1,0 +1,67 @@
+"""Schedule-space fuzzer for the virtual GPU runtime.
+
+The sanitizer (:mod:`repro.sanitizer`) judges the interleavings that
+happened to run; this package makes *adversarial* interleavings happen
+— deterministically.  A seeded :class:`~repro.fuzz.policy.SchedulePolicy`
+decides, at every traced sync point and chunk access, whether the
+calling thread proceeds, yields, or pauses; the same kernels thus run
+under thousands of distinct but reproducible schedules, each checked by
+the dual oracle (bit-exactness against the serial reference + a clean
+sanitizer report).  Failing schedules are shrunk to a minimal decision
+trace and stored as replayable seed files.
+
+Entry points:
+
+- ``with fuzzing(RandomWalkPolicy(seed)) as s: ...`` — fuzz a scope;
+- ``repro fuzz run|replay|report`` — CLI over the scenario registry;
+- ``pytest --fuzz-schedules=N`` — run the suite N times, each test
+  under a distinct seeded schedule (conftest).
+"""
+
+from .harness import (
+    POLICIES,
+    FuzzFailure,
+    ReplayOutcome,
+    ScenarioFuzzOutcome,
+    ScheduleRun,
+    fuzz_scenario,
+    load_failure,
+    make_policy,
+    replay_failure,
+    run_schedule,
+    save_failure,
+)
+from .policy import (
+    Decision,
+    PCTPolicy,
+    RandomWalkPolicy,
+    ReplayPolicy,
+    SchedulePolicy,
+    policy_from_spec,
+)
+from .scheduler import ChaosScheduler, ScheduleDecision, fuzzing
+from .shrink import ddmin
+
+__all__ = [
+    "ChaosScheduler",
+    "Decision",
+    "FuzzFailure",
+    "PCTPolicy",
+    "POLICIES",
+    "RandomWalkPolicy",
+    "ReplayOutcome",
+    "ReplayPolicy",
+    "ScenarioFuzzOutcome",
+    "ScheduleDecision",
+    "SchedulePolicy",
+    "ScheduleRun",
+    "ddmin",
+    "fuzz_scenario",
+    "fuzzing",
+    "load_failure",
+    "make_policy",
+    "policy_from_spec",
+    "replay_failure",
+    "run_schedule",
+    "save_failure",
+]

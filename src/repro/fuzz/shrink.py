@@ -1,0 +1,93 @@
+"""Delta-debugging of schedule decision traces (ddmin).
+
+A failing schedule is a list of perturbations (the sparse decision
+trace).  The shrinker looks for a *minimal* sublist that still fails
+the oracle: classic ddmin (Zeller/Hildebrandt) over the trace, with the
+candidate evaluated by replaying it through a
+:class:`~repro.fuzz.policy.ReplayPolicy`.
+
+Two properties of this domain keep shrinking cheap:
+
+- schedule-independent failures (every seeded-broken sanitizer kernel:
+  the vector-clock oracle flags them under *any* interleaving) shrink
+  to the empty trace in one probe;
+- the probe re-runs one scenario (tens of milliseconds), so even the
+  quadratic ddmin worst case stays interactive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["ddmin"]
+
+T = TypeVar("T")
+
+
+def ddmin(
+    items: Sequence[T],
+    fails: Callable[[list[T]], bool],
+    *,
+    max_probes: int = 256,
+) -> list[T]:
+    """Minimal sublist of ``items`` for which ``fails`` still holds.
+
+    Args:
+        items: the failing input (``fails(list(items))`` is assumed
+            True; callers should verify before shrinking).
+        fails: oracle — True when the candidate still reproduces the
+            failure.  Must be safe to call repeatedly.
+        max_probes: hard budget on oracle invocations; on exhaustion
+            the best (smallest still-failing) candidate so far is
+            returned — minimization is best-effort, never unsound.
+
+    Returns:
+        A sublist (order preserved) that still fails; possibly empty
+        when the failure does not depend on the schedule at all.
+    """
+    current = list(items)
+    probes = 0
+
+    def probe(candidate: list[T]) -> bool:
+        nonlocal probes
+        probes += 1
+        return fails(candidate)
+
+    # Fast path: schedule-independent failure.
+    if not current or probe([]):
+        return []
+
+    granularity = 2
+    while len(current) >= 2 and probes < max_probes:
+        size = len(current)
+        chunk = max(1, size // granularity)
+        subsets = [
+            current[i:i + chunk] for i in range(0, size, chunk)
+        ]
+        reduced = False
+        # Try each subset alone, then each complement.
+        for i, subset in enumerate(subsets):
+            if probes >= max_probes:
+                break
+            if len(subset) < size and probe(subset):
+                current = subset
+                granularity = 2
+                reduced = True
+                break
+        else:
+            for i in range(len(subsets)):
+                if probes >= max_probes:
+                    break
+                complement = [
+                    x for j, s in enumerate(subsets) if j != i for x in s
+                ]
+                if len(complement) < size and probe(complement):
+                    current = complement
+                    granularity = max(2, granularity - 1)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current

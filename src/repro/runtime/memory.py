@@ -23,6 +23,12 @@ _ANON_LABELS = itertools.count()
 
 
 def _emit(kind: str, label: str, chunk: int) -> None:
+    # The schedule fuzzer perturbs *before* the access happens (and
+    # before the tracer records it), widening any race window between
+    # this access and an unordered peer.
+    scheduler = _hooks.active_scheduler()
+    if scheduler is not None:
+        scheduler.on_point("access", kind, f"{label}/c{chunk}")
     tracer = _hooks.active()
     if tracer is not None:
         tracer.on_access(kind, label, chunk)

@@ -30,7 +30,17 @@ def _emit(kind: str, obj: object, detail: object = None) -> None:
     before the acquire it enables (release events fire *before* the
     underlying store, acquire events *after* the observing operation),
     keeping the recorded order consistent with the real memory order.
+
+    An active schedule fuzzer (:mod:`repro.fuzz`) is consulted first: it
+    may pause or yield the calling thread here, stretching exactly the
+    windows the happens-before model says another thread could slip
+    into.  ``sem_block`` is a timing-dependent retry, not a semantic
+    operation, so schedulers ignore it to keep decision traces
+    replay-deterministic.
     """
+    scheduler = _hooks.active_scheduler()
+    if scheduler is not None:
+        scheduler.on_point("sync", kind, getattr(obj, "name", "") or None)
     tracer = _hooks.active()
     if tracer is not None:
         tracer.on_sync(kind, obj, detail)
@@ -190,6 +200,13 @@ class AbortCell:
         if tracer is not None and hasattr(tracer, "dump_tails"):
             lines.append("-- sanitizer: last sync ops per thread --")
             lines.append(tracer.dump_tails())
+        scheduler = _hooks.active_scheduler()
+        if scheduler is not None and hasattr(scheduler, "dump_tail"):
+            # A hung *fuzzed* run is only diagnosable post-mortem if the
+            # dump names the schedule that produced it: active seed,
+            # policy, and the last few injected decisions.
+            lines.append("-- fuzz: active schedule --")
+            lines.append(scheduler.dump_tail())
         return "\n".join(lines)
 
     def to_error(self) -> AbortedError:

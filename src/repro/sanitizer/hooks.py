@@ -10,6 +10,14 @@ Tracers are kept on a stack: events go to the **top** tracer only.  That
 lets the ``--sanitize`` pytest fixture keep a suite-wide tracer active
 while a seeded-broken-kernel test pushes its own private tracer for the
 duration of the deliberately racy run.
+
+Schedule *fuzzers* (:mod:`repro.fuzz`) register on a second, independent
+stack: every emitted event is offered to the active scheduler **before**
+tracer dispatch, so the scheduler can perturb the interleaving (pause or
+yield the calling thread) at exactly the points the happens-before model
+considers meaningful.  The stacks are independent on purpose — a test
+that pushes a private tracer must still run under the suite's fuzzed
+schedule.
 """
 
 from __future__ import annotations
@@ -18,9 +26,18 @@ import os
 import sys
 import threading
 
-__all__ = ["active", "push", "pop", "call_site"]
+__all__ = [
+    "active",
+    "push",
+    "pop",
+    "active_scheduler",
+    "push_scheduler",
+    "pop_scheduler",
+    "call_site",
+]
 
 _STACK: list = []
+_SCHED_STACK: list = []
 _STACK_LOCK = threading.Lock()  # sync-lint: allow(raw-threading)
 
 
@@ -40,6 +57,24 @@ def pop():
     """Deactivate and return the most recently pushed tracer."""
     with _STACK_LOCK:
         return _STACK.pop()
+
+
+def active_scheduler():
+    """The schedule fuzzer perturbing sync points (``None`` when off)."""
+    stack = _SCHED_STACK
+    return stack[-1] if stack else None
+
+
+def push_scheduler(scheduler) -> None:
+    """Activate a schedule fuzzer (shadows any active one)."""
+    with _STACK_LOCK:
+        _SCHED_STACK.append(scheduler)
+
+
+def pop_scheduler():
+    """Deactivate and return the most recently pushed schedule fuzzer."""
+    with _STACK_LOCK:
+        return _SCHED_STACK.pop()
 
 
 # Frames from these locations are instrumentation plumbing, not the code

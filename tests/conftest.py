@@ -73,6 +73,16 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="run every test under the device-memory sanitizer and fail "
              "on any race / lock-order inversion / wait cycle",
     )
+    parser.addoption(
+        "--fuzz-schedules",
+        action="store",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run every test N times, each under a distinct seeded "
+             "adversarial schedule (repro.fuzz chaos scheduler); tests "
+             "marked no_fuzz run once, unperturbed",
+    )
 
 
 def pytest_configure(config: pytest.Config) -> None:
@@ -80,6 +90,57 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "no_sanitize: test deliberately breaks sync; skip tracer checks",
     )
+    config.addinivalue_line(
+        "markers",
+        "no_fuzz: test is timing-sensitive or manages its own "
+        "scheduler; skip --fuzz-schedules perturbation",
+    )
+
+
+# -- opt-in schedule fuzzing (`pytest --fuzz-schedules=N`) ----------------
+#
+# Parametrizes every test N ways; each instance runs under a chaos
+# scheduler whose seed derives from the test's nodeid and the instance
+# index, so any sync traffic the test triggers is stretched through a
+# distinct, reproducible adversarial interleaving.  Tests that are
+# timing-sensitive (or push their own scheduler) opt out with
+# ``@pytest.mark.no_fuzz``.
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    schedules = metafunc.config.getoption("--fuzz-schedules")
+    if schedules <= 0:
+        return
+    if metafunc.definition.get_closest_marker("no_fuzz"):
+        return
+    if hasattr(metafunc.function, "hypothesis"):
+        # Hypothesis's differing_executors health check forbids calling
+        # one @given test from several class instances, which N-way
+        # parametrization would do — property tests get one fuzzed
+        # schedule instead (they already explore many examples inside).
+        schedules = 1
+    if "_fuzz_schedule" in metafunc.fixturenames:
+        metafunc.parametrize(
+            "_fuzz_schedule",
+            range(schedules),
+            indirect=True,
+            ids=[f"sched{i}" for i in range(schedules)],
+        )
+
+
+@pytest.fixture(autouse=True)
+def _fuzz_schedule(request: pytest.FixtureRequest):
+    index = getattr(request, "param", None)
+    if index is None:
+        yield
+        return
+    import zlib
+
+    from repro.fuzz import RandomWalkPolicy, fuzzing
+
+    seed = zlib.crc32(request.node.nodeid.encode()) + index
+    with fuzzing(RandomWalkPolicy(seed)):
+        yield
 
 
 @pytest.fixture(autouse=True)
