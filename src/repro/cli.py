@@ -21,6 +21,11 @@ Usage::
     python -m repro fuzz run --scenario tree --schedules 200 --policy pct
     python -m repro fuzz replay failure.json
     python -m repro fuzz report failure.json
+    python -m repro fuzz mutate --algorithm ring --mutants 50
+    python -m repro chaos elastic --events crash:3,join:3 --seed 7
+    python -m repro chaos elastic --soak 10 --save-dir failing/
+    python -m repro ckpt drill --faults torn,bitflip --seed 7
+    python -m repro ckpt inspect ckpt_dir/
     python -m repro info
 """
 
@@ -67,12 +72,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "scenario",
-        choices=("drops", "crash", "stuck", "link-failure"),
+        choices=("drops", "crash", "stuck", "link-failure", "elastic"),
         help=(
             "drops: lossy/corrupting links with retransmission, verified "
             "bit-exact; crash: injected kernel crash -> fail-fast abort "
             "with diagnostics; stuck: hung semaphore -> single-timeout "
-            "abort; link-failure: simulator NVLink-failure degradation"
+            "abort; link-failure: simulator NVLink-failure degradation; "
+            "elastic: membership event stream (crash/leave/join) with "
+            "durable checkpoints, verified re-embedding, and a bit-exact "
+            "multi-segment reference"
         ),
     )
     chaos.add_argument("--drop", type=float, default=0.05,
@@ -99,7 +107,25 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(crash --recover); -1 draws one from --seed")
     chaos.add_argument("--policy", choices=("cost", "reembed", "restart"),
                        default="reembed",
-                       help="recovery policy (crash --recover)")
+                       help="recovery policy (crash --recover / elastic)")
+    chaos.add_argument("--events", default="crash:3,join:3",
+                       help="membership event spec kind:gpu[@iter],... "
+                            "(elastic); iterations omitted are drawn "
+                            "from --seed")
+    chaos.add_argument("--ckpt-every", type=int, default=2,
+                       help="commit a checkpoint generation every N "
+                            "iterations (elastic); 0 disables")
+    chaos.add_argument("--ckpt-faults", default=None,
+                       help="storage fault spec kind:prob,... with kinds "
+                            "fail/torn/bitflip (elastic), e.g. "
+                            "'torn:0.1,bitflip:0.05'")
+    chaos.add_argument("--soak", type=int, default=0,
+                       help="elastic: run N trials at seeds "
+                            "seed..seed+N-1 and require every one "
+                            "bit-exact")
+    chaos.add_argument("--save-dir", default=None,
+                       help="elastic --soak: write failing-trial "
+                            "reports here as JSON")
 
     plan = sub.add_parser(
         "plan",
@@ -233,6 +259,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="render a stored fuzz seed file"
     )
     fuzz_report.add_argument("file", help="fuzz seed-file path (JSON)")
+
+    fuzz_mutate = fuzz_sub.add_parser(
+        "mutate",
+        help="plan-mutation fuzz: drop/duplicate/swap plan ops and "
+             "check the static verifier's verdict against actual "
+             "runtime behaviour",
+    )
+    fuzz_mutate.add_argument("--algorithm", action="append", default=None,
+                             choices=algorithms,
+                             help="plan builder to mutate (repeatable; "
+                                  "default: ring + double_tree)")
+    fuzz_mutate.add_argument("--mutants", type=int, default=40,
+                             help="mutants per algorithm")
+    fuzz_mutate.add_argument("--nnodes", type=int, default=4)
+    fuzz_mutate.add_argument("--nchunks", type=int, default=2,
+                             help="pipeline chunks per tree (tree "
+                                  "builders)")
+    fuzz_mutate.add_argument("--elems", type=int, default=64,
+                             help="gradient element count")
+    fuzz_mutate.add_argument("--seed", type=int, default=0)
+
+    ckpt = sub.add_parser(
+        "ckpt",
+        help="durable checkpointer: fault drills and generation "
+             "inspection",
+    )
+    ckpt_sub = ckpt.add_subparsers(dest="ckpt_command", required=True)
+
+    ckpt_drill = ckpt_sub.add_parser(
+        "drill",
+        help="hammer the two-phase commit protocol with injected "
+             "storage faults; exit 0 iff no corrupt generation is ever "
+             "loaded and every load falls back to a committed one",
+    )
+    ckpt_drill.add_argument("--faults", default="torn,bitflip,fail",
+                            help="comma-separated fault kinds to inject "
+                                 "(fail/torn/bitflip), optionally "
+                                 "kind:prob")
+    ckpt_drill.add_argument("--generations", type=int, default=12,
+                            help="save attempts in the drill")
+    ckpt_drill.add_argument("--elems", type=int, default=256)
+    ckpt_drill.add_argument("--seed", type=int, default=0)
+    ckpt_drill.add_argument("--dir", default=None,
+                            help="run against a real directory backend "
+                                 "here instead of in-memory storage")
+
+    ckpt_inspect = ckpt_sub.add_parser(
+        "inspect",
+        help="validate every committed generation in a checkpoint "
+             "directory (CRC, sizes, coverage)",
+    )
+    ckpt_inspect.add_argument("dir", help="checkpoint root directory")
 
     sub.add_parser("info", help="print library and model summary")
     return parser
@@ -466,6 +544,178 @@ def _chaos_recover(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _parse_storage_faults(spec: str, *, seed: int):
+    """Build a storage-fault :class:`FaultPlan` from ``kind[:prob],...``."""
+    from repro.errors import ConfigError
+    from repro.runtime import FaultPlan, StorageFault
+
+    defaults = {"fail": 0.15, "torn": 0.1, "bitflip": 0.1}
+    probs = {"fail": 0.0, "torn": 0.0, "bitflip": 0.0}
+    for token in (t.strip() for t in spec.split(",") if t.strip()):
+        kind, _, prob_s = token.partition(":")
+        if kind not in probs:
+            raise ConfigError(
+                f"unknown storage fault {kind!r}; "
+                "expected fail, torn, or bitflip"
+            )
+        probs[kind] = float(prob_s) if prob_s else defaults[kind]
+    fault = StorageFault(
+        fail_prob=probs["fail"],
+        torn_prob=probs["torn"],
+        bitflip_prob=probs["bitflip"],
+    )
+    return FaultPlan(storage_faults=(fault,), seed=seed)
+
+
+def _elastic_trial(args: argparse.Namespace, seed: int):
+    """One elastic drill; returns (ok, summary_lines, detail_dict)."""
+    import numpy as np
+
+    from repro.dnn.layers import LayerSpec, NetworkModel
+    from repro.runtime import (
+        Checkpointer,
+        ElasticTrainer,
+        FaultyBackend,
+        MemoryBackend,
+        RecoveryPolicy,
+        elastic_serial_reference,
+        parse_events,
+        quadratic_gradient,
+    )
+    from repro.runtime.sync import SpinConfig
+    from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+    from repro.topology.dgx1_trees import DETOURED_EDGES, dgx1_trees
+
+    iterations = max(4, args.iterations)
+    events = parse_events(args.events, iterations=iterations, seed=seed)
+    rng = np.random.default_rng(seed)
+    net = NetworkModel(
+        name="elastic",
+        layers=(LayerSpec(name="L0", params=args.elems, fwd_flops=1e6),),
+    )
+    targets = [rng.normal(size=args.elems) for _ in range(8)]
+    gradient_fn = quadratic_gradient(targets)
+    w0 = rng.normal(size=args.elems)
+
+    backend = MemoryBackend()
+    if args.ckpt_faults:
+        backend = FaultyBackend(
+            backend, _parse_storage_faults(args.ckpt_faults, seed=seed)
+        )
+    checkpointer = Checkpointer(backend)
+    trainer = ElasticTrainer(
+        dgx1_topology(),
+        net,
+        gradient_fn,
+        trees=dgx1_trees(),
+        detour_map=DETOURED_EDGES,
+        learning_rate=0.02,
+        policy=RecoveryPolicy(mode=args.policy),
+        spin=SpinConfig(timeout=30.0, pause=0.0),
+        detour_preference=DETOUR_NODES,
+        search_seed=seed,
+        checkpointer=checkpointer,
+        checkpoint_every=args.ckpt_every,
+    )
+    report = trainer.train(w0.copy(), iterations=iterations, events=events)
+    reference = elastic_serial_reference(
+        net, gradient_fn, w0.copy(),
+        segments=report.segments,
+        layout=trainer.layout,
+        iterations=iterations,
+        learning_rate=0.02,
+    )
+    identical = bool(np.array_equal(report.weights, reference))
+    all_verified = all(r.plan_check.verified for r in report.records)
+
+    lines = [f"events: " + ", ".join(
+        f"{e.kind}:{e.gpu}@{e.at_iteration}" for e in events
+    )]
+    lines += [f"  {line}" for line in report.timeline]
+    for rec in report.records:
+        restored = (
+            f", restored gen {rec.restored_generation}"
+            if rec.restored_generation >= 0
+            else ""
+        )
+        lines.append(
+            f"{rec.event.kind} gpu {rec.event.gpu} -> "
+            f"{len(rec.members)} member(s), plan {rec.plan_check.nops} "
+            f"ops {'verified' if rec.plan_check.verified else 'REFUSED'}"
+            f"{restored}, resumed at iteration {rec.resumed_from}"
+        )
+    if report.checkpoint_counters:
+        counters = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.checkpoint_counters.items())
+            if v
+        )
+        lines.append(f"checkpointer: {counters}")
+    lines.append(
+        "final weights bit-identical to multi-segment serial reference: "
+        + ("yes" if identical else "NO")
+    )
+    detail = {
+        "seed": seed,
+        "events": [
+            f"{e.kind}:{e.gpu}@{e.at_iteration}" for e in events
+        ],
+        "bit_exact": identical,
+        "plans_verified": all_verified,
+        "segments": [
+            {"start": start, "members": list(emb.survivors)}
+            for start, emb, _ in report.segments
+        ],
+        "checkpoint_counters": dict(report.checkpoint_counters),
+        "timeline": list(report.timeline),
+    }
+    return identical and all_verified, lines, detail
+
+
+def _chaos_elastic(args: argparse.Namespace) -> int:
+    """Elastic membership drill: crash/leave/join under checkpoints.
+
+    Every membership boundary re-embeds the double tree over the new
+    member set and gates it through compile + static verification;
+    exit code 0 requires every trial's final weights to be bit-identical
+    to the multi-segment serial reference.
+    """
+    import json
+    from pathlib import Path
+
+    trials = (
+        [args.seed]
+        if args.soak <= 0
+        else list(range(args.seed, args.seed + args.soak))
+    )
+    failures = 0
+    for seed in trials:
+        ok, lines, detail = _elastic_trial(args, seed)
+        if args.soak <= 0:
+            for line in lines:
+                print(line)
+        else:
+            segs = "->".join(
+                str(len(s["members"])) for s in detail["segments"]
+            )
+            print(
+                f"seed {seed}: members {segs} "
+                + ("bit-exact" if ok else "FAILED")
+            )
+        if not ok:
+            failures += 1
+            if args.save_dir is not None:
+                out = Path(args.save_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                path = out / f"elastic-seed-{seed}.json"
+                path.write_text(json.dumps(detail, indent=2))
+                print(f"  failing trial written to {path}")
+    if args.soak > 0:
+        print(
+            f"soak: {len(trials) - failures}/{len(trials)} trials bit-exact"
+        )
+    return 0 if failures == 0 else 1
+
+
 def _chaos_kill(args: argparse.Namespace, kind: str, timeout: float) -> int:
     import time
 
@@ -507,6 +757,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             from repro.runtime.faults import STUCK
 
             return _chaos_kill(args, STUCK, timeout=2.0)
+        if args.scenario == "elastic":
+            return _chaos_elastic(args)
         from repro.experiments import ext_faults
 
         print(ext_faults.format_table(ext_faults.run()))
@@ -927,9 +1179,159 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             return _cmd_fuzz_replay(args)
         if args.fuzz_command == "report":
             return _cmd_fuzz_report(args)
+        if args.fuzz_command == "mutate":
+            return _cmd_fuzz_mutate(args)
         return _cmd_fuzz_run(args)
     except (ConfigError, OSError) as exc:
         print(f"repro fuzz: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_fuzz_mutate(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+    from repro.fuzz import fuzz_builder_mutations
+
+    names = args.algorithm or ["ring", "double_tree"]
+    rows = []
+    inconsistent = 0
+    for name in names:
+        outcome = fuzz_builder_mutations(
+            name,
+            nnodes=args.nnodes,
+            nchunks=args.nchunks,
+            total_elems=args.elems,
+            mutants=args.mutants,
+            seed=args.seed,
+        )
+        inconsistent += len(outcome.inconsistent)
+        rows.append((
+            name,
+            len(outcome.outcomes),
+            outcome.killed,
+            outcome.equivalent,
+            len(outcome.unsound),
+            len(outcome.inconsistent) - len(outcome.unsound),
+        ))
+        for bad in outcome.inconsistent:
+            print(f"{name}: [{bad.classification}] {bad.description}")
+            print(f"  verifier: "
+                  f"{'ok' if bad.verdict_ok else bad.verifier_error}")
+            print(f"  runtime:  "
+                  f"{'clean' if bad.ran_clean else bad.runtime_failure}")
+    print(render_table(
+        ["algorithm", "mutants", "killed", "equivalent", "unsound",
+         "incomplete"],
+        rows,
+        title=(
+            f"plan-mutation fuzz (nnodes={args.nnodes}, "
+            f"elems={args.elems}, seed={args.seed}) — a mutant must "
+            "verify iff it runs clean"
+        ),
+    ))
+    return 0 if inconsistent == 0 else 1
+
+
+def _cmd_ckpt_drill(args: argparse.Namespace) -> int:
+    """Hammer the checkpointer's commit protocol with storage faults.
+
+    Saves ``--generations`` states under injected faults; after every
+    attempt, ``load_latest`` must come back with a bit-exact copy of
+    some previously *committed* state — never a corrupt or staged one.
+    """
+    import numpy as np
+
+    from repro.errors import CheckpointError
+    from repro.runtime import (
+        Checkpointer,
+        CheckpointState,
+        DirectoryBackend,
+        FaultyBackend,
+        MemoryBackend,
+    )
+
+    inner = (
+        DirectoryBackend(args.dir)
+        if args.dir is not None
+        else MemoryBackend()
+    )
+    plan = _parse_storage_faults(args.faults, seed=args.seed)
+    ckpt = Checkpointer(FaultyBackend(inner, plan), backoff=0.0)
+    rng = np.random.default_rng(args.seed)
+    committed: dict[int, np.ndarray] = {}
+    corrupt_loads = 0
+    save_failures = 0
+    for i in range(args.generations):
+        state = CheckpointState(
+            weights=rng.normal(size=args.elems),
+            iteration=i,
+            members=tuple(range(8)),
+        )
+        try:
+            generation = ckpt.save(state)
+            committed[generation] = state.weights.copy()
+        except CheckpointError:
+            save_failures += 1
+        try:
+            state, generation = ckpt.load_latest()
+        except CheckpointError:
+            continue  # nothing loadable yet — acceptable early on
+        if generation not in committed or not np.array_equal(
+            state.weights, committed[generation]
+        ):
+            corrupt_loads += 1
+            print(f"ERROR: load after save {i} returned generation "
+                  f"{generation} with unexpected contents")
+    counters = ", ".join(
+        f"{k}={v}" for k, v in sorted(ckpt.counters.items()) if v
+    )
+    stats = ", ".join(
+        f"{k}={v}" for k, v in sorted(plan.stats.snapshot().items()) if v
+    )
+    print(f"drill: {args.generations} save attempts, "
+          f"{save_failures} exhausted the retry budget")
+    print(f"checkpointer: {counters}")
+    print(f"injected: {stats or 'nothing'}")
+    print("corrupt or uncommitted generation loaded: "
+          + (f"{corrupt_loads} time(s)" if corrupt_loads else "never"))
+    return 0 if corrupt_loads == 0 else 1
+
+
+def _cmd_ckpt_inspect(args: argparse.Namespace) -> int:
+    from repro.runtime import Checkpointer, DirectoryBackend
+
+    ckpt = Checkpointer(DirectoryBackend(args.dir))
+    generations = ckpt.generations()
+    if not generations:
+        print(f"{args.dir}: no committed generations")
+        return 1
+    bad = 0
+    for generation in generations:
+        problems = ckpt.validate(generation)
+        if problems:
+            bad += 1
+            print(f"gen {generation}: CORRUPT")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            state = ckpt.load(generation)
+            print(
+                f"gen {generation}: ok — iteration "
+                f"{state.iteration}, {len(state.members)} member(s), "
+                f"{state.weights.size} elems"
+            )
+    print(f"{len(generations) - bad}/{len(generations)} generation(s) valid")
+    return 0 if bad == 0 else 1
+
+
+def _cmd_ckpt(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+
+    try:
+        if args.ckpt_command == "inspect":
+            return _cmd_ckpt_inspect(args)
+        return _cmd_ckpt_drill(args)
+    except (ConfigError, OSError) as exc:
+        print(f"repro ckpt: error: {exc}", file=sys.stderr)
         return 2
 
 
@@ -957,6 +1359,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "sanitize": _cmd_sanitize,
     "fuzz": _cmd_fuzz,
+    "ckpt": _cmd_ckpt,
     "info": _cmd_info,
 }
 

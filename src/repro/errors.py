@@ -65,6 +65,12 @@ class ConfigError(ReproError):
     """Invalid user-supplied configuration value."""
 
 
+class CheckpointError(ReproError):
+    """Durable checkpointing failed: no committable generation could be
+    written (persistent storage faults) or no committed generation
+    survives validation on load."""
+
+
 class PlanError(ReproError):
     """A collective plan is malformed or cannot be processed."""
 

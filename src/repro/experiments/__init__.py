@@ -28,6 +28,7 @@ from repro.experiments import (
     export,
     ext_algorithms,
     ext_dgx2,
+    ext_elastic,
     ext_hierarchical,
     ext_plans,
     ext_sensitivity,
@@ -53,6 +54,7 @@ __all__ = [
     "export",
     "ext_algorithms",
     "ext_dgx2",
+    "ext_elastic",
     "ext_hierarchical",
     "ext_plans",
     "ext_sensitivity",

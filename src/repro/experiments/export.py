@@ -57,6 +57,7 @@ def export_all(out_dir: str | Path) -> list[Path]:
     from repro.experiments import (
         ext_algorithms,
         ext_dgx2,
+        ext_elastic,
         ext_faults,
         ext_hierarchical,
         ext_plans,
@@ -93,6 +94,7 @@ def export_all(out_dir: str | Path) -> list[Path]:
         "fig17.csv": fig17_resnet_layers.run,
         "ext_algorithms.csv": ext_algorithms.run,
         "ext_dgx2.csv": ext_dgx2.run,
+        "ext_elastic.csv": ext_elastic.run,
         "ext_faults.csv": ext_faults.run,
         "ext_hierarchical.csv": ext_hierarchical.run,
         "ext_plans.csv": ext_plans.run,

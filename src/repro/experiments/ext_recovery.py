@@ -63,8 +63,16 @@ class RecoveryRow:
         crossover_iterations: remaining iterations above which restart
             beats degraded continuation (``inf`` when the degraded rate
             matches or beats healthy — restart then never wins).
+        crossover_stale: the same crossover when the last checkpoint is
+            ``lost_iterations`` stale — restart must also redo the lost
+            work at the healthy rate, so this is always >= the fresh
+            crossover.
+        lost_iterations: checkpoint staleness charged in the stale
+            columns (iterations since the last committed generation).
         decision_at_100: the cost-based policy's pick with 100
-            iterations remaining.
+            iterations remaining and a fresh checkpoint.
+        decision_at_100_stale: the pick with the stale checkpoint —
+            staleness shifts it toward ``reembed``.
     """
 
     nbytes: float
@@ -75,7 +83,10 @@ class RecoveryRow:
     degraded_us: float
     slowdown_pct: float
     crossover_iterations: float
+    crossover_stale: float
+    lost_iterations: int
     decision_at_100: str
+    decision_at_100_stale: str
 
 
 def crossover_point(
@@ -103,9 +114,16 @@ def run(
     sizes: tuple[float, ...] = DEFAULT_SIZES,
     dead_gpu: int = 3,
     restart_overhead: float = DEFAULT_RESTART_OVERHEAD,
+    lost_iterations: int = 50,
     seed: int = 0,
 ) -> list[RecoveryRow]:
-    """Sweep gradient sizes; locate the degraded-vs-restart crossover."""
+    """Sweep gradient sizes; locate the degraded-vs-restart crossover.
+
+    Each size is evaluated twice: with a fresh checkpoint (nothing to
+    redo) and with one ``lost_iterations`` stale, charging the redo work
+    to the restart path the way
+    :meth:`~repro.runtime.recovery.RecoveryPolicy.decide` now does.
+    """
     params = CostParams(alpha=NVLINK_ALPHA, beta=1.0 / NVLINK_BANDWIDTH)
     embedding = search_degraded_pair(
         dgx1_topology(),
@@ -126,13 +144,19 @@ def run(
             detours=embedding.cost.detours,
             conflicts=embedding.cost.conflicts,
         )
-        decision = policy.decide(
+        common = dict(
             nnodes_healthy=8,
             nnodes_degraded=embedding.topology.nnodes,
             nbytes=nbytes,
             detours=embedding.cost.detours,
             conflicts=embedding.cost.conflicts,
             remaining_iterations=100,
+        )
+        decision = policy.decide(**common)
+        stale = policy.decide(
+            **common,
+            checkpoint_iteration=0,
+            current_iteration=lost_iterations,
         )
         rows.append(
             RecoveryRow(
@@ -146,7 +170,15 @@ def run(
                 crossover_iterations=crossover_point(
                     healthy, degraded, restart_overhead=restart_overhead
                 ),
+                crossover_stale=crossover_point(
+                    healthy,
+                    degraded,
+                    restart_overhead=restart_overhead,
+                    lost_iterations=lost_iterations,
+                ),
+                lost_iterations=lost_iterations,
                 decision_at_100=decision.action,
+                decision_at_100_stale=stale.action,
             )
         )
     return rows
@@ -156,9 +188,11 @@ def format_table(rows: list[RecoveryRow]) -> str:
     def fmt_crossover(value: float) -> str:
         return "never" if math.isinf(value) else f"{value:.0f} iters"
 
+    stale = rows[0].lost_iterations if rows else 0
     return render_table(
         ["gradient", "healthy (us)", "degraded 7-GPU (us)", "slowdown",
-         "restart wins above", "policy @100 iters"],
+         "restart wins above", f"... ckpt {stale} iters stale",
+         "policy @100 iters", "... stale ckpt"],
         [
             (
                 f"{r.nbytes / 2**20:.0f} MiB",
@@ -166,7 +200,9 @@ def format_table(rows: list[RecoveryRow]) -> str:
                 f"{r.degraded_us:.1f}",
                 f"{r.slowdown_pct:+.1f}%",
                 fmt_crossover(r.crossover_iterations),
+                fmt_crossover(r.crossover_stale),
                 r.decision_at_100,
+                r.decision_at_100_stale,
             )
             for r in rows
         ],

@@ -15,6 +15,7 @@ from repro.experiments import (
     ablations,
     ext_algorithms,
     ext_dgx2,
+    ext_elastic,
     ext_faults,
     ext_hierarchical,
     ext_plans,
@@ -69,6 +70,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
         ext_algorithms.run()
     ),
     "ext_dgx2": lambda: ext_dgx2.format_table(ext_dgx2.run()),
+    "ext_elastic": lambda: ext_elastic.format_table(ext_elastic.run()),
     "ext_faults": lambda: ext_faults.format_table(ext_faults.run()),
     "ext_hierarchical": lambda: ext_hierarchical.format_table(
         ext_hierarchical.run()

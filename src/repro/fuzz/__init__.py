@@ -18,6 +18,20 @@ Entry points:
   under a distinct seeded schedule (conftest).
 """
 
+from .mutate import (
+    DROP,
+    DUPLICATE,
+    SWAP,
+    MutantOutcome,
+    MutationFuzzOutcome,
+    PlanMutation,
+    candidate_mutations,
+    fuzz_builder_mutations,
+    fuzz_mutations,
+    mutant_behaviour,
+    mutate_plan,
+    sample_mutations,
+)
 from .harness import (
     POLICIES,
     FuzzFailure,
@@ -55,6 +69,18 @@ __all__ = [
     "ScheduleDecision",
     "SchedulePolicy",
     "ScheduleRun",
+    "DROP",
+    "DUPLICATE",
+    "SWAP",
+    "MutantOutcome",
+    "MutationFuzzOutcome",
+    "PlanMutation",
+    "candidate_mutations",
+    "fuzz_builder_mutations",
+    "fuzz_mutations",
+    "mutant_behaviour",
+    "mutate_plan",
+    "sample_mutations",
     "ddmin",
     "fuzz_scenario",
     "fuzzing",

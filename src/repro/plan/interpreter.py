@@ -71,12 +71,17 @@ class PlanRunReport:
         layout: the element layout used.
         wall_time: wall-clock seconds for the run.
         fault_stats: injected-fault counters (empty without a plan).
+        leftover_frames: frames still sitting in wires after every
+            kernel finished — 0 for any well-formed plan; a positive
+            count means some SEND was never consumed (the runtime
+            symptom of a dropped or duplicated op).
     """
 
     outputs: list[np.ndarray]
     layout: ChunkLayout
     wall_time: float
     fault_stats: dict = field(default_factory=dict)
+    leftover_frames: int = 0
 
 
 class PlanInterpreter:
@@ -304,5 +309,8 @@ class PlanInterpreter:
             wall_time=elapsed,
             fault_stats=(
                 self.fault_plan.stats.snapshot() if self.fault_plan else {}
+            ),
+            leftover_frames=sum(
+                len(wire._frames) for wire in wires.values()
             ),
         )

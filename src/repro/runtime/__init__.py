@@ -39,7 +39,25 @@ from repro.runtime.faults import (
     GpuFault,
     LinkFault,
     PhaseBoard,
+    StorageFault,
     stable_tag_seed,
+)
+from repro.runtime.checkpoint import (
+    Checkpointer,
+    CheckpointState,
+    DirectoryBackend,
+    FaultyBackend,
+    MemoryBackend,
+    StorageBackend,
+)
+from repro.runtime.elastic import (
+    ElasticReport,
+    ElasticTrainer,
+    MembershipEvent,
+    MembershipRecord,
+    PlanCheck,
+    elastic_serial_reference,
+    parse_events,
 )
 from repro.runtime.memory import ChunkLayout, GradientBuffer
 from repro.runtime.allreduce import RunReport, TreeAllReduceRuntime
@@ -75,7 +93,21 @@ __all__ = [
     "GpuFault",
     "LinkFault",
     "PhaseBoard",
+    "StorageFault",
     "stable_tag_seed",
+    "Checkpointer",
+    "CheckpointState",
+    "DirectoryBackend",
+    "FaultyBackend",
+    "MemoryBackend",
+    "StorageBackend",
+    "ElasticReport",
+    "ElasticTrainer",
+    "MembershipEvent",
+    "MembershipRecord",
+    "PlanCheck",
+    "elastic_serial_reference",
+    "parse_events",
     "ChunkLayout",
     "GradientBuffer",
     "RunReport",

@@ -1,0 +1,593 @@
+"""Durable checkpointing with a two-phase commit protocol.
+
+Modeled on torch.distributed.checkpoint's staged, atomically-committed
+writes: a checkpoint *generation* is first materialized under a staging
+prefix (one binary shard per member plus a CRC32-per-shard manifest,
+written last), every byte is fsynced, and only then does a single atomic
+rename publish the generation under the committed prefix.  A reader can
+therefore never observe a half-written generation *by construction* —
+and anything that corrupts a shard after the writer's buffer (torn
+write, bit flip on the medium) is caught at load time by the manifest's
+CRCs, with automatic fallback to the previous committed generation.
+
+Storage is pluggable behind :class:`StorageBackend` so the fault layer
+(:mod:`repro.runtime.faults`) can sit between the checkpointer and the
+medium: :class:`FaultyBackend` wraps any backend and injects write
+failures (retryable ``OSError``), torn writes, bit flips, and latency
+from a :class:`~repro.runtime.faults.FaultPlan`'s ``storage_faults``,
+deterministically per (path, seed).  The checkpointer retries failed
+writes with bounded exponential backoff; torn/flipped writes *succeed*
+from the writer's point of view and are only detectable on load — which
+is exactly what the CRC manifest is for.
+
+Failure matrix (see DESIGN §10):
+
+===================  ===============================================
+failure              outcome
+===================  ===============================================
+write raises         bounded retry w/ exponential backoff; generation
+                     abandoned (staging removed) when exhausted
+crash during stage   orphan staging dir; never scanned by load
+crash during commit  rename is atomic — generation is either fully
+                     committed or still staging (ignored)
+torn shard           manifest CRC/size mismatch on load; generation
+                     skipped, fall back to previous commit
+bit-flipped shard    manifest CRC mismatch on load; same fallback
+torn manifest        JSON parse fails; same fallback
+===================  ===============================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+import zlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError, ConfigError
+from repro.runtime.faults import FaultPlan
+
+#: Prefix for generations being written (never loaded from).
+STAGING = "staging"
+#: Prefix for committed generations (the only ones load considers).
+COMMITS = "commits"
+#: Manifest file name, written last within a staging generation.
+MANIFEST = "manifest.json"
+
+_GEN_RE = re.compile(r"^gen-(\d{8})$")
+_MANIFEST_VERSION = 1
+
+
+def _gen_name(generation: int) -> str:
+    return f"gen-{generation:08d}"
+
+
+@dataclass(frozen=True)
+class CheckpointState:
+    """One consistent training state to persist.
+
+    Attributes:
+        weights: the shared model weights (float64).
+        iteration: number of completed iterations the weights reflect
+            (weights after iteration ``iteration - 1``; 0 = initial).
+        members: physical GPU ids that were members when the state was
+            captured — restore re-shards for whatever membership exists
+            *then*, so this is provenance, not a constraint.
+    """
+
+    weights: np.ndarray
+    iteration: int
+    members: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ConfigError("checkpoint iteration must be non-negative")
+        if not self.members:
+            raise ConfigError("checkpoint needs at least one member")
+
+
+class StorageBackend(ABC):
+    """Minimal storage contract the two-phase protocol needs.
+
+    Paths are forward-slash relative strings (``"staging/gen-00000001/
+    shard-000.bin"``).  ``write`` must be durable (data on the medium
+    when it returns) and ``rename`` must be atomic — those two properties
+    carry the whole commit protocol.
+    """
+
+    @abstractmethod
+    def write(self, path: str, data: bytes) -> None:
+        """Durably write ``data`` at ``path`` (creating parents).
+
+        Raises:
+            OSError: on a (retryable) storage failure.
+        """
+
+    @abstractmethod
+    def read(self, path: str) -> bytes:
+        """Read the bytes at ``path``.
+
+        Raises:
+            OSError: when the path does not exist or cannot be read.
+        """
+
+    @abstractmethod
+    def exists(self, path: str) -> bool:
+        ...
+
+    @abstractmethod
+    def listdir(self, path: str) -> list[str]:
+        """Immediate child names under ``path`` (sorted; [] if absent)."""
+
+    @abstractmethod
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically move the tree at ``src`` to ``dst``.
+
+        Raises:
+            OSError: when the move cannot be performed atomically.
+        """
+
+    @abstractmethod
+    def remove_tree(self, path: str) -> None:
+        """Delete the tree at ``path`` (no-op when absent)."""
+
+
+class DirectoryBackend(StorageBackend):
+    """Filesystem-backed storage rooted at ``root``.
+
+    ``write`` fsyncs the file; ``rename`` uses ``os.rename`` (atomic
+    within one filesystem) and fsyncs the destination's parent directory
+    so the commit itself is durable, not just the shard bytes.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _abs(self, path: str) -> Path:
+        full = (self.root / path).resolve()
+        if self.root.resolve() not in full.parents and full != self.root.resolve():
+            raise ConfigError(f"path {path!r} escapes the backend root")
+        return full
+
+    def write(self, path: str, data: bytes) -> None:
+        full = self._abs(path)
+        full.parent.mkdir(parents=True, exist_ok=True)
+        # Direct write is safe here: the protocol layer only ever writes
+        # under staging/ and publishes via the staging->commits rename.
+        with open(full, "wb") as f:  # sync-lint: allow(ckpt-atomic)
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+
+    def read(self, path: str) -> bytes:
+        return self._abs(path).read_bytes()
+
+    def exists(self, path: str) -> bool:
+        return self._abs(path).exists()
+
+    def listdir(self, path: str) -> list[str]:
+        full = self._abs(path)
+        if not full.is_dir():
+            return []
+        return sorted(p.name for p in full.iterdir())
+
+    def rename(self, src: str, dst: str) -> None:
+        src_full, dst_full = self._abs(src), self._abs(dst)
+        dst_full.parent.mkdir(parents=True, exist_ok=True)
+        os.rename(src_full, dst_full)
+        dirfd = os.open(dst_full.parent, os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
+
+    def remove_tree(self, path: str) -> None:
+        full = self._abs(path)
+        if not full.exists():
+            return
+        import shutil
+
+        shutil.rmtree(full)
+
+
+class MemoryBackend(StorageBackend):
+    """In-memory storage for tests and drills — same contract, no disk.
+
+    A single lock makes every operation atomic, including the prefix
+    rename (the whole point of the commit step).
+    """
+
+    def __init__(self) -> None:
+        # Host-side bookkeeping, not a device primitive.
+        self._lock = threading.Lock()  # sync-lint: allow(raw-threading)
+        self._files: dict[str, bytes] = {}
+
+    def write(self, path: str, data: bytes) -> None:
+        with self._lock:
+            self._files[path] = bytes(data)
+
+    def read(self, path: str) -> bytes:
+        with self._lock:
+            if path not in self._files:
+                raise FileNotFoundError(path)
+            return self._files[path]
+
+    def exists(self, path: str) -> bool:
+        prefix = path.rstrip("/") + "/"
+        with self._lock:
+            return path in self._files or any(
+                p.startswith(prefix) for p in self._files
+            )
+
+    def listdir(self, path: str) -> list[str]:
+        prefix = path.rstrip("/") + "/"
+        with self._lock:
+            children = {
+                p[len(prefix):].split("/", 1)[0]
+                for p in self._files
+                if p.startswith(prefix)
+            }
+        return sorted(children)
+
+    def rename(self, src: str, dst: str) -> None:
+        src_prefix = src.rstrip("/") + "/"
+        dst_prefix = dst.rstrip("/") + "/"
+        with self._lock:
+            moved = {
+                p: data for p, data in self._files.items()
+                if p == src or p.startswith(src_prefix)
+            }
+            if not moved:
+                raise FileNotFoundError(src)
+            for p, data in moved.items():
+                del self._files[p]
+                if p == src:
+                    self._files[dst] = data
+                else:
+                    self._files[dst_prefix + p[len(src_prefix):]] = data
+
+    def remove_tree(self, path: str) -> None:
+        prefix = path.rstrip("/") + "/"
+        with self._lock:
+            for p in [
+                p for p in self._files
+                if p == path or p.startswith(prefix)
+            ]:
+                del self._files[p]
+
+
+class FaultyBackend(StorageBackend):
+    """Fault-injecting decorator over any backend.
+
+    Writes consult the :class:`~repro.runtime.faults.FaultPlan`'s
+    ``storage_faults`` for a deterministic per-path fate: ``fail`` raises
+    ``OSError`` (the retryable case), ``torn`` stores only a prefix of
+    the bytes, ``bitflip`` stores the bytes with one bit flipped, and a
+    configured latency sleeps before the attempt.  Torn and flipped
+    writes are *silent* — the inner write succeeds — so only the CRC
+    manifest can catch them, at load time.  Reads pass through: the
+    model is faulty media under a correct reader.
+
+    One injector lives per path for the backend's lifetime, so repeated
+    writes to the same path advance its fate stream: injected failures
+    are *transient* and the checkpointer's bounded retry can clear them.
+    """
+
+    def __init__(self, inner: StorageBackend, plan: FaultPlan):
+        self.inner = inner
+        self.plan = plan
+        self._injectors: dict[str, object] = {}
+
+    def _injector_for(self, path: str):
+        if path not in self._injectors:
+            self._injectors[path] = self.plan.storage_injector(path)
+        return self._injectors[path]
+
+    def write(self, path: str, data: bytes) -> None:
+        injector = self._injector_for(path)
+        if injector is None:
+            self.inner.write(path, data)
+            return
+        delay = injector.next_delay()
+        if delay > 0:
+            injector.stats.bump("delays_injected")
+            time.sleep(delay)
+        fate = injector.next_fate()
+        if fate == "fail":
+            injector.stats.bump("io_failures")
+            raise OSError(f"injected write failure at {path!r}")
+        if fate == "torn":
+            injector.stats.bump("torn_writes")
+            data = injector.tear(data)
+        elif fate == "bitflip":
+            injector.stats.bump("bit_flips")
+            data = injector.bitflip(data)
+        self.inner.write(path, data)
+
+    def read(self, path: str) -> bytes:
+        return self.inner.read(path)
+
+    def exists(self, path: str) -> bool:
+        return self.inner.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return self.inner.listdir(path)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.inner.rename(src, dst)
+
+    def remove_tree(self, path: str) -> None:
+        self.inner.remove_tree(path)
+
+
+class Checkpointer:
+    """Two-phase durable checkpointer over a pluggable backend.
+
+    Save protocol (per generation ``g``):
+
+    1. write ``staging/gen-g/shard-NNN.bin`` for every member (bounded
+       retry with exponential backoff on ``OSError``),
+    2. write ``staging/gen-g/manifest.json`` **last** (generation,
+       iteration, members, element offsets, CRC32 + byte size per
+       shard),
+    3. commit: atomic rename ``staging/gen-g`` -> ``commits/gen-g``,
+    4. prune committed generations beyond ``keep``.
+
+    Load protocol: scan ``commits/`` newest-first; a generation is
+    accepted only if its manifest parses, every shard exists with the
+    recorded size *and* CRC32, and the offsets tile the weight vector
+    exactly; otherwise it is skipped (counted as a fallback) and the
+    next-older generation is tried.
+
+    Args:
+        backend: storage backend (wrap in :class:`FaultyBackend` to
+            inject faults).
+        keep: committed generations to retain (older ones are pruned
+            after each successful commit).
+        max_retries: extra write attempts per path after the first.
+        backoff: base sleep before retry ``k`` (``backoff * 2**k``).
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        *,
+        keep: int = 2,
+        max_retries: int = 3,
+        backoff: float = 1e-3,
+    ):
+        if keep < 1:
+            raise ConfigError("must keep at least 1 generation")
+        if max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if backoff < 0:
+            raise ConfigError("backoff must be non-negative")
+        self.backend = backend
+        self.keep = keep
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.counters = {
+            "saves": 0,
+            "commits": 0,
+            "write_retries": 0,
+            "write_failures": 0,
+            "corrupt_skipped": 0,
+            "loads": 0,
+        }
+
+    # -- write path ------------------------------------------------------
+
+    def _write_retrying(self, path: str, data: bytes) -> None:
+        """One durable write with bounded retry + exponential backoff.
+
+        Every caller passes a ``staging/`` path — commits happen only
+        through the atomic rename in :meth:`save`.
+
+        Raises:
+            CheckpointError: when every attempt raised ``OSError``.
+        """
+        last: OSError | None = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.counters["write_retries"] += 1
+                if self.backoff:
+                    time.sleep(self.backoff * 2 ** (attempt - 1))
+            try:
+                self.backend.write(path, data)  # sync-lint: allow(ckpt-atomic)
+                return
+            except OSError as exc:
+                last = exc
+        self.counters["write_failures"] += 1
+        raise CheckpointError(
+            f"write of {path!r} failed after {self.max_retries + 1} "
+            f"attempt(s): {last}"
+        )
+
+    def save(self, state: CheckpointState) -> int:
+        """Persist ``state`` as a new committed generation.
+
+        Returns:
+            The committed generation number.
+
+        Raises:
+            CheckpointError: when a shard, manifest, or the commit rename
+                keeps failing past the retry budget — the staging
+                residue is removed and no generation is published.
+        """
+        self.counters["saves"] += 1
+        weights = np.ascontiguousarray(state.weights, dtype=np.float64)
+        generation = self._next_generation()
+        stage = f"{STAGING}/{_gen_name(generation)}"
+        nshards = len(state.members)
+        bounds = np.linspace(0, weights.size, nshards + 1).astype(int)
+        shards = []
+        try:
+            for i in range(nshards):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                blob = weights[lo:hi].tobytes()
+                name = f"shard-{i:03d}.bin"
+                self._write_retrying(f"{stage}/{name}", blob)
+                shards.append({
+                    "name": name,
+                    "offset": lo,
+                    "elems": hi - lo,
+                    "nbytes": len(blob),
+                    "crc32": zlib.crc32(blob),
+                })
+            manifest = {
+                "version": _MANIFEST_VERSION,
+                "generation": generation,
+                "iteration": state.iteration,
+                "members": list(state.members),
+                "total_elems": int(weights.size),
+                "dtype": "<f8",
+                "shards": shards,
+            }
+            self._write_retrying(
+                f"{stage}/{MANIFEST}",
+                json.dumps(manifest, indent=1).encode(),
+            )
+            try:
+                self.backend.rename(
+                    stage, f"{COMMITS}/{_gen_name(generation)}"
+                )
+            except OSError as exc:
+                raise CheckpointError(
+                    f"commit rename of generation {generation} failed: "
+                    f"{exc}"
+                ) from exc
+        except CheckpointError:
+            self.backend.remove_tree(stage)
+            raise
+        self.counters["commits"] += 1
+        self._prune()
+        return generation
+
+    def _next_generation(self) -> int:
+        taken = [-1]
+        for prefix in (COMMITS, STAGING):
+            for name in self.backend.listdir(prefix):
+                match = _GEN_RE.match(name)
+                if match:
+                    taken.append(int(match.group(1)))
+        return max(taken) + 1
+
+    def _prune(self) -> None:
+        committed = self.generations()
+        for generation in committed[: -self.keep]:
+            self.backend.remove_tree(f"{COMMITS}/{_gen_name(generation)}")
+
+    # -- read path -------------------------------------------------------
+
+    def generations(self) -> list[int]:
+        """Committed generation numbers, oldest first."""
+        found = []
+        for name in self.backend.listdir(COMMITS):
+            match = _GEN_RE.match(name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def validate(self, generation: int) -> list[str]:
+        """Problems with a committed generation ([] when loadable)."""
+        base = f"{COMMITS}/{_gen_name(generation)}"
+        try:
+            raw = self.backend.read(f"{base}/{MANIFEST}")
+        except OSError:
+            return ["manifest missing or unreadable"]
+        try:
+            manifest = json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            return ["manifest does not parse (torn or corrupt write)"]
+        problems = []
+        covered = 0
+        # A bit-flip can leave valid JSON with mangled keys or values —
+        # any schema violation below is corruption, never a crash.
+        try:
+            shards = manifest["shards"]
+            for shard in shards:
+                path = f"{base}/{shard['name']}"
+                try:
+                    blob = self.backend.read(path)
+                except OSError:
+                    problems.append(f"{shard['name']}: missing")
+                    continue
+                if len(blob) != shard["nbytes"]:
+                    problems.append(
+                        f"{shard['name']}: size {len(blob)} != recorded "
+                        f"{shard['nbytes']} (torn write)"
+                    )
+                    continue
+                if zlib.crc32(blob) != shard["crc32"]:
+                    problems.append(
+                        f"{shard['name']}: CRC mismatch (corrupt payload)"
+                    )
+                    continue
+                covered += shard["elems"]
+            if not problems and covered != manifest["total_elems"]:
+                problems.append(
+                    f"shards cover {covered} elems, manifest says "
+                    f"{manifest['total_elems']}"
+                )
+        except (KeyError, TypeError):
+            return ["manifest schema is damaged (corrupt write)"]
+        return problems
+
+    def load(self, generation: int) -> CheckpointState:
+        """Load one committed generation, validating every shard.
+
+        Raises:
+            CheckpointError: when the generation is missing or corrupt.
+        """
+        problems = self.validate(generation)
+        if problems:
+            raise CheckpointError(
+                f"generation {generation} is not loadable: "
+                + "; ".join(problems)
+            )
+        base = f"{COMMITS}/{_gen_name(generation)}"
+        manifest = json.loads(self.backend.read(f"{base}/{MANIFEST}"))
+        weights = np.empty(manifest["total_elems"], dtype=np.float64)
+        for shard in manifest["shards"]:
+            blob = self.backend.read(f"{base}/{shard['name']}")
+            lo = shard["offset"]
+            weights[lo:lo + shard["elems"]] = np.frombuffer(
+                blob, dtype=manifest["dtype"]
+            )
+        self.counters["loads"] += 1
+        return CheckpointState(
+            weights=weights,
+            iteration=manifest["iteration"],
+            members=tuple(manifest["members"]),
+        )
+
+    def load_latest(self) -> tuple[CheckpointState, int]:
+        """Newest loadable committed generation, falling back past any
+        corrupt ones.
+
+        Returns:
+            ``(state, generation)``.
+
+        Raises:
+            CheckpointError: when no committed generation validates.
+        """
+        skipped: list[str] = []
+        for generation in reversed(self.generations()):
+            problems = self.validate(generation)
+            if problems:
+                self.counters["corrupt_skipped"] += 1
+                skipped.append(
+                    f"gen {generation}: {'; '.join(problems)}"
+                )
+                continue
+            return self.load(generation), generation
+        detail = ("; ".join(skipped)) or "no committed generations"
+        raise CheckpointError(f"no loadable checkpoint: {detail}")

@@ -64,6 +64,10 @@ class FaultStats:
         "retransmissions",
         "crashes",
         "stalls",
+        "io_failures",
+        "torn_writes",
+        "bit_flips",
+        "io_retries",
     )
 
     def __init__(self) -> None:
@@ -152,6 +156,49 @@ class GpuFault:
 
 
 @dataclass(frozen=True)
+class StorageFault:
+    """Fault behaviour for checkpoint-storage writes whose path contains
+    ``match``.
+
+    Mirrors :class:`LinkFault` for the durability layer: a write either
+    fails outright (the backend raises ``OSError`` — retryable), lands
+    *torn* (only a prefix of the bytes reaches the medium — the classic
+    crash-during-write), or lands with a flipped bit (silent media
+    corruption).  Torn and flipped writes *succeed* from the writer's
+    point of view; only the CRC manifest catches them at load time.
+
+    Attributes:
+        match: substring of the storage path this fault applies to
+            (empty matches every path; paths look like
+            ``"commits/gen-00000003/shard-001.bin"``).
+        fail_prob: probability a write raises ``OSError``.
+        torn_prob: probability a write lands with only a prefix.
+        bitflip_prob: probability a write lands with one bit flipped.
+        delay: max uniform latency (seconds) added per write.
+    """
+
+    match: str = ""
+    fail_prob: float = 0.0
+    torn_prob: float = 0.0
+    bitflip_prob: float = 0.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ConfigError("storage fault delay must be non-negative")
+        for prob in (self.fail_prob, self.torn_prob, self.bitflip_prob):
+            if not 0.0 <= prob < 1.0:
+                raise ConfigError("fault probabilities must be in [0, 1)")
+        if self.fail_prob + self.torn_prob + self.bitflip_prob >= 1.0:
+            raise ConfigError(
+                "fail_prob + torn_prob + bitflip_prob must stay below 1"
+            )
+
+    def applies_to(self, path: str) -> bool:
+        return self.match in path
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A full fault scenario plus the recovery policy.
 
@@ -160,6 +207,8 @@ class FaultPlan:
             needed — matching faults are combined by taking the max of
             each field, so overlapping specs compose).
         gpu_faults: at most one per GPU.
+        storage_faults: checkpoint-storage faults, matched by path
+            substring like link faults are matched by tag.
         seed: plan-level seed mixed into every fault site's stable seed.
         recover: retransmit dropped/corrupted frames at the link layer;
             when False, faults are delivered raw and the receiver's
@@ -172,6 +221,7 @@ class FaultPlan:
 
     link_faults: tuple[LinkFault, ...] = ()
     gpu_faults: tuple[GpuFault, ...] = ()
+    storage_faults: tuple[StorageFault, ...] = ()
     seed: int = 0
     recover: bool = True
     max_retries: int = 8
@@ -215,6 +265,20 @@ class FaultPlan:
             if fault.gpu == gpu:
                 return fault
         return None
+
+    def storage_injector(self, path: str) -> "StorageInjector | None":
+        """Injector for the storage path ``path`` (None when unaffected)."""
+        matching = [f for f in self.storage_faults if f.applies_to(path)]
+        if not matching:
+            return None
+        return StorageInjector(
+            path=path,
+            fail_prob=max(f.fail_prob for f in matching),
+            torn_prob=max(f.torn_prob for f in matching),
+            bitflip_prob=max(f.bitflip_prob for f in matching),
+            delay=max(f.delay for f in matching),
+            plan=self,
+        )
 
 
 class LinkInjector:
@@ -269,6 +333,80 @@ class LinkInjector:
         damaged = values.copy()
         damaged[0] = np.nextafter(damaged[0], np.inf)
         return damaged
+
+
+class StorageInjector:
+    """Deterministic per-path fate source for checkpoint-storage writes.
+
+    One injector exists per storage path; a path is written by exactly
+    one thread at a time in the two-phase protocol, so draws need no
+    locking and the fate sequence is reproducible across processes for a
+    given (path, plan seed) — the same discipline as
+    :class:`LinkInjector`.  Note that because the seed derives from the
+    *path*, a retried write of the same path advances the same RNG, so a
+    persistent fault site stays faulty under retry with exactly the
+    configured probability per attempt.
+    """
+
+    def __init__(
+        self,
+        *,
+        path: str,
+        fail_prob: float,
+        torn_prob: float,
+        bitflip_prob: float,
+        delay: float,
+        plan: FaultPlan,
+    ):
+        self.path = path
+        self.fail_prob = fail_prob
+        self.torn_prob = torn_prob
+        self.bitflip_prob = bitflip_prob
+        self.delay = delay
+        self.stats = plan.stats
+        self._rng = np.random.default_rng(stable_tag_seed(path, plan.seed))
+
+    def next_delay(self) -> float:
+        """Latency for the next write attempt (0.0 when none configured)."""
+        if self.delay <= 0:
+            return 0.0
+        return float(self._rng.uniform(0.0, self.delay))
+
+    def next_fate(self) -> str:
+        """``"ok"``, ``"fail"``, ``"torn"``, or ``"bitflip"``."""
+        if (
+            self.fail_prob <= 0
+            and self.torn_prob <= 0
+            and self.bitflip_prob <= 0
+        ):
+            return "ok"
+        u = float(self._rng.uniform())
+        if u < self.fail_prob:
+            return "fail"
+        if u < self.fail_prob + self.torn_prob:
+            return "torn"
+        if u < self.fail_prob + self.torn_prob + self.bitflip_prob:
+            return "bitflip"
+        return "ok"
+
+    def tear(self, data: bytes) -> bytes:
+        """A torn copy of ``data``: only a strict prefix reached the
+        medium (at least one byte lost, possibly all of them)."""
+        if not data:
+            return data
+        keep = int(self._rng.integers(0, len(data)))
+        return data[:keep]
+
+    def bitflip(self, data: bytes) -> bytes:
+        """A copy of ``data`` with one random bit flipped (silent media
+        corruption — undetectable without the CRC manifest)."""
+        if not data:
+            return data
+        damaged = bytearray(data)
+        pos = int(self._rng.integers(0, len(damaged)))
+        bit = int(self._rng.integers(0, 8))
+        damaged[pos] ^= 1 << bit
+        return bytes(damaged)
 
 
 class PhaseBoard:

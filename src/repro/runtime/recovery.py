@@ -197,16 +197,35 @@ class RecoveryPolicy:
         conflicts: int = 0,
         remaining_iterations: int,
         lost_iterations: int = 0,
+        checkpoint_iteration: int | None = None,
+        current_iteration: int | None = None,
     ) -> RecoveryDecision:
         """Compare time-to-completion from the crash point.
 
         ``remaining_iterations`` includes the crashed iteration (both
         paths redo it); ``lost_iterations`` is *extra* redo work the
         restart path owes because its checkpoint is older than the
-        re-embedding path's resume point.
+        re-embedding path's resume point.  When the caller knows the
+        actual checkpoint generation, pass ``checkpoint_iteration`` (the
+        iteration the last committed generation captured) together with
+        ``current_iteration`` (the iteration the crash interrupted) and
+        the staleness ``current - checkpoint`` is charged on top of
+        ``lost_iterations`` — before this, the policy silently assumed
+        the implied checkpoint was never stale.
         """
         if remaining_iterations < 0 or lost_iterations < 0:
             raise ConfigError("iteration counts must be non-negative")
+        if (checkpoint_iteration is None) != (current_iteration is None):
+            raise ConfigError(
+                "checkpoint_iteration and current_iteration must be "
+                "given together"
+            )
+        if checkpoint_iteration is not None:
+            if checkpoint_iteration < 0 or current_iteration < 0:
+                raise ConfigError("iteration counts must be non-negative")
+            lost_iterations += max(
+                0, current_iteration - checkpoint_iteration
+            )
         per_degraded = (
             degraded_overlapped_tree_time(
                 nnodes_degraded, nbytes, self.params,

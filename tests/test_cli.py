@@ -89,6 +89,79 @@ class TestChaos:
         assert "unknown gpu 9" in capsys.readouterr().err
 
 
+class TestChaosElastic:
+    def test_crash_join_cycle_bit_exact(self, capsys):
+        assert main([
+            "chaos", "elastic", "--events", "crash:3,join:3",
+            "--seed", "7", "--elems", "256",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plan 200 ops verified" in out
+        assert "plan 248 ops verified" in out
+        assert (
+            "bit-identical to multi-segment serial reference: yes" in out
+        )
+
+    def test_soak_reports_per_seed(self, capsys, tmp_path):
+        assert main([
+            "chaos", "elastic", "--soak", "2", "--seed", "11",
+            "--elems", "256", "--save-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "soak: 2/2" in out
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_bad_event_spec_clean_error(self, capsys):
+        assert main([
+            "chaos", "elastic", "--events", "rowhammer:1",
+        ]) == 2
+        assert "rowhammer" in capsys.readouterr().err
+
+
+class TestCkpt:
+    def test_drill_never_loads_corruption(self, capsys):
+        assert main([
+            "ckpt", "drill", "--faults", "torn,bitflip", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt or uncommitted generation loaded: never" in out
+        assert "corrupt_skipped" in out
+
+    def test_drill_and_inspect_on_disk(self, capsys, tmp_path):
+        root = tmp_path / "ckpt"
+        assert main([
+            "ckpt", "drill", "--faults", "torn:0.1", "--seed", "3",
+            "--generations", "4", "--dir", str(root),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["ckpt", "inspect", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "generation(s) valid" in out
+
+    def test_inspect_empty_dir_fails(self, capsys, tmp_path):
+        assert main(["ckpt", "inspect", str(tmp_path)]) == 1
+
+    def test_unknown_fault_kind_clean_error(self, capsys):
+        assert main(["ckpt", "drill", "--faults", "gremlins"]) == 2
+        assert "gremlins" in capsys.readouterr().err
+
+
+class TestFuzzMutate:
+    def test_mutate_gate_reports_table(self, capsys):
+        assert main([
+            "fuzz", "mutate", "--algorithm", "ring", "--mutants", "6",
+            "--elems", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verify iff it runs clean" in out
+        assert "killed" in out
+        assert "unsound" in out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "mutate", "--algorithm", "teleport"])
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,382 @@
+"""Elastic membership: N→N±k re-embedding with durable checkpoints.
+
+The headline property extends the recovery suite's bitwise claim across
+arbitrary membership sequences: whatever mixture of crashes, leaves,
+joins, and checkpoint restores a run goes through, its final weights are
+**bit-identical** to the multi-segment serial reference replaying the
+same per-segment reduction orders and shard adoptions.  Every membership
+boundary must also pass the plan-IR gate (compile + static verify)
+before any iteration runs on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dnn.layers import LayerSpec, NetworkModel
+from repro.errors import ConfigError
+from repro.runtime import (
+    Checkpointer,
+    ElasticTrainer,
+    FaultPlan,
+    FaultyBackend,
+    MemoryBackend,
+    MembershipEvent,
+    RecoveryPolicy,
+    StorageFault,
+    elastic_serial_reference,
+    parse_events,
+)
+from repro.runtime.recovery import REEMBED, RESTART
+from repro.runtime.sync import SpinConfig
+from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+from repro.topology.dgx1_trees import DETOURED_EDGES, dgx1_trees
+
+FAST = SpinConfig(timeout=10.0, pause=0.0)
+ELEMS = 256
+
+
+def make_network(elems: int = ELEMS) -> NetworkModel:
+    return NetworkModel(
+        name="elastic",
+        layers=(LayerSpec(name="L0", params=elems, fwd_flops=1e6),),
+    )
+
+
+def make_gradient_fn(elems: int = ELEMS, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    targets = [rng.normal(size=elems) for _ in range(8)]
+
+    def fn(weights, gpu, iteration):
+        del iteration
+        return weights - targets[gpu]
+
+    return fn
+
+
+def make_trainer(gradient_fn, *, policy=None, checkpointer=None,
+                 checkpoint_every=0, initial_members=None,
+                 elems: int = ELEMS):
+    return ElasticTrainer(
+        dgx1_topology(),
+        make_network(elems),
+        gradient_fn,
+        trees=dgx1_trees(),
+        detour_map=DETOURED_EDGES,
+        learning_rate=0.02,
+        policy=policy or RecoveryPolicy(mode=REEMBED),
+        spin=FAST,
+        detour_preference=DETOUR_NODES,
+        checkpointer=checkpointer,
+        checkpoint_every=checkpoint_every,
+        initial_members=initial_members,
+    )
+
+
+def assert_bit_exact(trainer, report, gradient_fn, w0, iterations,
+                     elems: int = ELEMS):
+    expected = elastic_serial_reference(
+        make_network(elems), gradient_fn, w0.copy(),
+        segments=report.segments,
+        layout=trainer.layout,
+        iterations=iterations,
+        learning_rate=0.02,
+    )
+    np.testing.assert_array_equal(report.weights, expected)
+
+
+class TestParseEvents:
+    def test_explicit_iterations(self):
+        events = parse_events("crash:3@2,join:3@5", iterations=6)
+        assert [(e.kind, e.gpu, e.at_iteration) for e in events] == [
+            ("crash", 3, 2), ("join", 3, 5),
+        ]
+
+    def test_implicit_iterations_deterministic(self):
+        a = parse_events("crash:1,join:1", iterations=8, seed=4)
+        b = parse_events("crash:1,join:1", iterations=8, seed=4)
+        assert a == b
+        assert all(1 <= e.at_iteration < 8 for e in a)
+        assert len({e.at_iteration for e in a}) == 2
+
+    def test_sorted_by_iteration(self):
+        events = parse_events("join:3@5,leave:2@1", iterations=6)
+        assert [e.at_iteration for e in events] == [1, 5]
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(ConfigError, match="kind:gpu"):
+            parse_events("crash3", iterations=4)
+        with pytest.raises(ConfigError, match="crash3"):
+            parse_events("crash3:1", iterations=4)
+
+    def test_too_many_implicit_events(self):
+        with pytest.raises(ConfigError):
+            parse_events("crash:1,crash:2,crash:4", iterations=3)
+
+
+class TestEventValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            MembershipEvent(kind="explode", gpu=1, at_iteration=1)
+
+    def test_crash_target_must_be_member(self):
+        trainer = make_trainer(
+            make_gradient_fn(), initial_members=(0, 1, 2, 3, 4, 5, 6)
+        )
+        with pytest.raises(ConfigError, match="member"):
+            trainer.train(
+                np.zeros(ELEMS), iterations=2,
+                events=(MembershipEvent("crash", 7, 1),),
+            )
+
+    def test_out_of_range_gpu_rejected(self):
+        trainer = make_trainer(make_gradient_fn())
+        with pytest.raises(ConfigError, match="not in"):
+            trainer.train(
+                np.zeros(ELEMS), iterations=2,
+                events=(MembershipEvent("crash", 11, 1),),
+            )
+
+    def test_join_target_must_not_be_member(self):
+        trainer = make_trainer(make_gradient_fn())
+        with pytest.raises(ConfigError, match="already"):
+            trainer.train(
+                np.zeros(ELEMS), iterations=2,
+                events=(MembershipEvent("join", 2, 1),),
+            )
+
+    def test_duplicate_iterations_rejected(self):
+        trainer = make_trainer(make_gradient_fn())
+        with pytest.raises(ConfigError):
+            trainer.train(
+                np.zeros(ELEMS), iterations=3,
+                events=(
+                    MembershipEvent("leave", 2, 1),
+                    MembershipEvent("join", 2, 1),
+                ),
+            )
+
+
+class TestQuietRun:
+    def test_no_events_matches_reference(self):
+        gradient_fn = make_gradient_fn()
+        trainer = make_trainer(gradient_fn)
+        w0 = np.random.default_rng(1).normal(size=ELEMS)
+        report = trainer.train(w0.copy(), iterations=2)
+        assert report.members == tuple(range(8))
+        assert len(report.segments) == 1
+        assert_bit_exact(trainer, report, gradient_fn, w0, 2)
+
+
+class TestLeaveJoin:
+    def test_leave_reembeds_and_stays_bit_exact(self):
+        gradient_fn = make_gradient_fn()
+        trainer = make_trainer(gradient_fn)
+        w0 = np.random.default_rng(2).normal(size=ELEMS)
+        report = trainer.train(
+            w0.copy(), iterations=3,
+            events=(MembershipEvent("leave", 5, 1),),
+        )
+        assert report.members == (0, 1, 2, 3, 4, 6, 7)
+        assert [len(s[1].survivors) for s in report.segments] == [8, 7]
+        assert all(r.plan_check.verified for r in report.records)
+        assert_bit_exact(trainer, report, gradient_fn, w0, 3)
+
+    def test_join_from_degraded_start(self):
+        gradient_fn = make_gradient_fn()
+        trainer = make_trainer(
+            gradient_fn, initial_members=(0, 1, 2, 4, 5, 6, 7)
+        )
+        w0 = np.random.default_rng(3).normal(size=ELEMS)
+        report = trainer.train(
+            w0.copy(), iterations=3,
+            events=(MembershipEvent("join", 3, 2),),
+        )
+        assert report.members == tuple(range(8))
+        assert [len(s[1].survivors) for s in report.segments] == [7, 8]
+        assert_bit_exact(trainer, report, gradient_fn, w0, 3)
+
+    def test_membership_floor_enforced(self):
+        trainer = make_trainer(
+            make_gradient_fn(), initial_members=(0, 1)
+        )
+        with pytest.raises(ConfigError, match="2"):
+            trainer.train(
+                np.zeros(ELEMS), iterations=2,
+                events=(MembershipEvent("leave", 1, 1),),
+            )
+
+
+class TestCrashRecovery:
+    def test_crash_reembeds_bit_exact(self):
+        gradient_fn = make_gradient_fn()
+        trainer = make_trainer(gradient_fn)
+        w0 = np.random.default_rng(4).normal(size=ELEMS)
+        report = trainer.train(
+            w0.copy(), iterations=3,
+            events=(MembershipEvent("crash", 3, 1),),
+        )
+        assert report.members == (0, 1, 2, 4, 5, 6, 7)
+        record = report.records[0]
+        assert record.dead_detected == (3,)
+        assert record.decision is not None
+        assert record.restored_generation == -1
+        assert_bit_exact(trainer, report, gradient_fn, w0, 3)
+
+    def test_crash_restore_join_cascade(self):
+        """The acceptance scenario: crash → restore from a committed
+        generation → rejoin to the full 8 — three ownership segments,
+        bit-exact end to end (runs under --fuzz-schedules too)."""
+        gradient_fn = make_gradient_fn(seed=9)
+        checkpointer = Checkpointer(MemoryBackend())
+        trainer = make_trainer(
+            gradient_fn,
+            policy=RecoveryPolicy(mode=RESTART),
+            checkpointer=checkpointer,
+            checkpoint_every=2,
+        )
+        w0 = np.random.default_rng(5).normal(size=ELEMS)
+        iterations = 8
+        report = trainer.train(
+            w0.copy(), iterations=iterations,
+            events=(
+                MembershipEvent("crash", 3, 5),
+                MembershipEvent("join", 3, 6),
+            ),
+        )
+        crash, join = report.records
+        # The crash restored a committed generation and redid the lost
+        # iterations on the 7 survivors.
+        assert crash.restored_generation >= 0
+        assert crash.resumed_from == 4
+        assert join.resumed_from == 6
+        assert [s[0] for s in report.segments] == [0, 4, 6]
+        assert [len(s[1].survivors) for s in report.segments] == [8, 7, 8]
+        assert all(r.plan_check.verified for r in report.records)
+        assert report.checkpoint_counters["loads"] >= 1
+        # weight_history stays consistent through the truncation.
+        assert len(report.weight_history) == iterations
+        assert_bit_exact(trainer, report, gradient_fn, w0, iterations)
+
+    def test_restore_unavailable_falls_back_to_live_weights(self):
+        # RESTART policy but no checkpointer: the run must still finish
+        # bit-exact, continuing from the last consistent weights.
+        gradient_fn = make_gradient_fn()
+        trainer = make_trainer(
+            gradient_fn, policy=RecoveryPolicy(mode=RESTART)
+        )
+        w0 = np.random.default_rng(6).normal(size=ELEMS)
+        report = trainer.train(
+            w0.copy(), iterations=3,
+            events=(MembershipEvent("crash", 2, 1),),
+        )
+        assert report.records[0].restored_generation == -1
+        assert_bit_exact(trainer, report, gradient_fn, w0, 3)
+
+
+class TestCheckpointIntegration:
+    def test_periodic_commits(self):
+        checkpointer = Checkpointer(MemoryBackend())
+        trainer = make_trainer(
+            make_gradient_fn(), checkpointer=checkpointer,
+            checkpoint_every=2,
+        )
+        report = trainer.train(np.zeros(ELEMS), iterations=5)
+        assert report.checkpoint_counters["commits"] == 2
+        state, _ = checkpointer.load_latest()
+        assert state.iteration == 4
+        np.testing.assert_array_equal(
+            state.weights, report.weight_history[3]
+        )
+
+    def test_save_failure_is_best_effort(self):
+        # A checkpointer whose storage always fails must not sink the
+        # run — the failure lands in the timeline instead.
+        plan = FaultPlan(storage_faults=(StorageFault(fail_prob=0.97),))
+        checkpointer = Checkpointer(
+            FaultyBackend(MemoryBackend(), plan), backoff=0.0
+        )
+        gradient_fn = make_gradient_fn()
+        trainer = make_trainer(
+            gradient_fn, checkpointer=checkpointer, checkpoint_every=1,
+        )
+        w0 = np.random.default_rng(7).normal(size=ELEMS)
+        report = trainer.train(w0.copy(), iterations=2)
+        assert any("checkpoint" in line and "abandoned" in line
+                   for line in report.timeline)
+        assert_bit_exact(trainer, report, gradient_fn, w0, 2)
+
+
+class TestStalenessAwarePolicy:
+    def test_staleness_charges_lost_iterations(self):
+        policy = RecoveryPolicy(mode="cost", restart_overhead=1e-3)
+        common = dict(
+            nnodes_healthy=8, nnodes_degraded=7, nbytes=64 * 2**20,
+            detours=1, conflicts=1, remaining_iterations=50,
+        )
+        fresh = policy.decide(**common)
+        stale = policy.decide(
+            **common, checkpoint_iteration=10, current_iteration=500
+        )
+        assert stale.restart_cost > fresh.restart_cost
+
+    def test_staleness_kwargs_must_come_together(self):
+        policy = RecoveryPolicy()
+        with pytest.raises(ConfigError, match="together"):
+            policy.decide(
+                nnodes_healthy=8, nnodes_degraded=7, nbytes=1e6,
+                detours=0, conflicts=0, remaining_iterations=10,
+                checkpoint_iteration=3,
+            )
+
+    def test_stale_checkpoint_can_flip_restart_to_reembed(self):
+        policy = RecoveryPolicy(mode="cost", restart_overhead=0.0)
+        common = dict(
+            nnodes_healthy=8, nnodes_degraded=7, nbytes=256 * 2**20,
+            detours=2, conflicts=2, remaining_iterations=1,
+        )
+        fresh = policy.decide(**common)
+        stale = policy.decide(
+            **common, checkpoint_iteration=0, current_iteration=10_000
+        )
+        assert fresh.action == "restart"
+        assert stale.action == "reembed"
+
+
+class TestSerialReference:
+    def test_segments_must_start_at_zero(self):
+        trainer = make_trainer(make_gradient_fn())
+        report = trainer.train(np.zeros(ELEMS), iterations=1)
+        (start, emb, assign), = report.segments
+        with pytest.raises(ConfigError, match="0"):
+            elastic_serial_reference(
+                make_network(), make_gradient_fn(), np.zeros(ELEMS),
+                segments=[(1, emb, assign)],
+                layout=trainer.layout,
+                iterations=2,
+            )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(20))
+def test_elastic_soak(seed):
+    """≥20 seeded membership traces (crash + join at seed-drawn
+    iterations, seed-drawn victims), every one bit-exact."""
+    rng = np.random.default_rng(seed)
+    victim = int(rng.integers(0, 8))
+    gradient_fn = make_gradient_fn(seed=seed)
+    trainer = make_trainer(
+        gradient_fn,
+        policy=RecoveryPolicy(mode=RESTART if seed % 2 else REEMBED),
+        checkpointer=Checkpointer(MemoryBackend()),
+        checkpoint_every=2,
+    )
+    iterations = 6
+    # Implicit placements draw sorted distinct iterations in token
+    # order, so the crash always precedes the rejoin.
+    events = parse_events(
+        f"crash:{victim},join:{victim}", iterations=iterations, seed=seed
+    )
+    w0 = rng.normal(size=ELEMS)
+    report = trainer.train(w0.copy(), iterations=iterations, events=events)
+    assert all(r.plan_check.verified for r in report.records)
+    assert_bit_exact(trainer, report, gradient_fn, w0, iterations)

@@ -12,6 +12,7 @@ import pytest
 from repro.core.config import Bandwidth, CCubeConfig, Strategy
 from repro.experiments import (
     ablations,
+    ext_elastic,
     ext_faults,
     ext_plans,
     ext_recovery,
@@ -399,6 +400,43 @@ class TestExtRecovery:
         text = ext_recovery.format_table(rows)
         assert "restart wins above" in text
         assert "policy @100 iters" in text
+
+    def test_staleness_raises_the_crossover(self, rows):
+        """A stale checkpoint owes redo work, so restart needs *more*
+        remaining iterations before it wins."""
+        for r in rows:
+            assert r.lost_iterations > 0
+            assert r.crossover_stale > r.crossover_iterations
+            assert r.decision_at_100_stale in ("reembed", "restart")
+
+    def test_stale_columns_rendered(self, rows):
+        text = ext_recovery.format_table(rows)
+        assert "iters stale" in text
+        assert "stale ckpt" in text
+
+
+class TestExtElastic:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_elastic.run()
+
+    def test_three_ownership_segments(self, rows):
+        assert [r.segment for r in rows] == [0, 1, 2]
+        assert [r.nmembers for r in rows] == [8, 7, 8]
+        assert [r.opened_by for r in rows] == ["start", "crash", "join"]
+
+    def test_every_segment_plan_verified(self, rows):
+        assert all(r.plan_verified for r in rows)
+        assert all(r.plan_ops > 0 for r in rows)
+
+    def test_run_is_bit_exact_with_checkpoints(self, rows):
+        assert all(r.bit_exact for r in rows)
+        assert rows[-1].checkpoints_committed >= 1
+
+    def test_format_table(self, rows):
+        text = ext_elastic.format_table(rows)
+        assert "bit-exact" in text
+        assert "crash" in text and "join" in text
 
 
 class TestExtPlans:

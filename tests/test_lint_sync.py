@@ -146,6 +146,72 @@ class TestUnfencedStore:
         assert findings == []
 
 
+class TestCkptAtomic:
+    def test_direct_commit_write_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def save_checkpoint(backend, blob):
+                backend.write("commits/gen-00000001/shard.bin", blob)
+        """)
+        assert [f.rule for f in findings] == ["SYNC004"]
+        assert "atomic rename" in findings[0].message
+
+    def test_staged_write_is_clean(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def save_checkpoint(backend, stage, blob):
+                backend.write(f"{stage}/shard.bin", blob)
+        """)
+        assert findings == []
+
+    def test_open_for_write_flagged_in_ckpt_file(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def publish(path, data):
+                with open(path, "wb") as f:
+                    f.write(data)
+        """, name="checkpoint.py")
+        assert [f.rule for f in findings] == ["SYNC004"]
+
+    def test_open_for_read_ignored(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def load_checkpoint(path):
+                with open(path, "rb") as f:
+                    return f.read()
+        """, name="checkpoint.py")
+        assert findings == []
+
+    def test_unscoped_code_ignored(self, tmp_path):
+        # A direct write outside checkpoint-scoped code is not this
+        # rule's business.
+        findings = _lint_source(tmp_path, """
+            def export(backend, blob):
+                backend.write("results/out.bin", blob)
+        """)
+        assert findings == []
+
+    def test_write_method_is_the_primitive(self, tmp_path):
+        # A storage backend's own write() implements the primitive;
+        # staging is its caller's job.
+        findings = _lint_source(tmp_path, """
+            class DirectoryCheckpointBackend:
+                def write(self, path, data):
+                    self.inner.write(path, data)
+        """)
+        assert findings == []
+
+    def test_write_text_on_durable_path_flagged(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def save_ckpt(root, manifest):
+                (root / "manifest.json").write_text(manifest)
+        """)
+        assert [f.rule for f in findings] == ["SYNC004"]
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = _lint_source(tmp_path, """
+            def save_checkpoint(backend, blob):
+                backend.write("commits/g/s.bin", blob)  # sync-lint: allow(ckpt-atomic)
+        """)
+        assert findings == []
+
+
 class TestCli:
     def test_exit_zero_on_clean_tree(self, capsys):
         assert lint_sync.main([str(REPO / "src")]) == 0

@@ -22,6 +22,13 @@ type system cannot enforce; this AST pass does:
   live inside ``runtime/sync.py`` (lock/unlock, post, event set), and a
   raw store outside them is how the seeded ``dropped_post`` bug looks
   in real code.
+- **SYNC004 ckpt-atomic** — checkpoint-protocol code (a file or
+  function whose name mentions ``checkpoint``/``ckpt``) must never
+  write a durable path directly: a crash mid-write would leave a
+  half-written generation that a reader can pick up.  Every write must
+  target a staging/tmp path and be published by atomic rename.
+  Methods literally named ``write`` are exempt — they *implement* the
+  storage primitive; atomicity is the calling protocol's job.
 
 Suppress a finding with an end-of-line pragma stating why::
 
@@ -63,7 +70,19 @@ _RULES = {
     "SYNC001": "raw-threading",
     "SYNC002": "spin-abort",
     "SYNC003": "unfenced-store",
+    "SYNC004": "ckpt-atomic",
 }
+
+# Scope markers for SYNC004: code is checkpoint-protocol code when the
+# file name or any enclosing def/class mentions one of these.
+_CKPT_SCOPE = ("checkpoint", "ckpt")
+
+# Path spellings that mark a write as safely staged (matched as
+# substrings of any name or string literal in the path expression;
+# "stag" covers stage/staging/STAGING).
+_STAGED_TOKENS = ("stag", "tmp", "temp", "partial")
+
+_WRITE_MODES = frozenset("wax")
 
 
 class Finding:
@@ -120,6 +139,87 @@ def _subtree_mentions_abort(node: ast.AST) -> bool:
         ):
             return True
     return False
+
+
+def _mentions_staged(node: ast.AST) -> bool:
+    """Does a path expression mention a staging/temporary location?"""
+    for sub in ast.walk(node):
+        text = None
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            text = sub.value
+        elif isinstance(sub, ast.Name):
+            text = sub.id
+        elif isinstance(sub, ast.Attribute):
+            text = sub.attr
+        if text is not None and any(
+            token in text.lower() for token in _STAGED_TOKENS
+        ):
+            return True
+    return False
+
+
+def _durable_write_path(node: ast.Call) -> ast.AST | None:
+    """The path expression of a durable-write call, or None.
+
+    Recognized shapes: ``open(path, "w"/"wb"/...)``, two-argument
+    ``X.write(path, data)`` (the storage-backend primitive), and
+    ``path.write_bytes(...)`` / ``path.write_text(...)``.
+    """
+    qual, attr = _call_name(node)
+    if qual is None and attr == "open" and len(node.args) >= 2:
+        mode = node.args[1]
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            if _WRITE_MODES & set(mode.value):
+                return node.args[0]
+        return None
+    if not isinstance(node.func, ast.Attribute):
+        return None
+    if node.func.attr == "write" and len(node.args) == 2:
+        return node.args[0]
+    if node.func.attr in ("write_bytes", "write_text") and node.args:
+        return node.func.value
+    return None
+
+
+def _lint_ckpt_atomic(
+    tree: ast.Module, path: Path, lines: list[str]
+) -> list[Finding]:
+    """SYNC004: checkpoint-scoped writes must target staged paths."""
+    file_scoped = any(
+        token in path.name.lower() for token in _CKPT_SCOPE
+    )
+    findings: list[Finding] = []
+
+    def visit(node: ast.AST, scoped: bool, func: str | None) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            name = node.name.lower()
+            scoped = scoped or any(t in name for t in _CKPT_SCOPE)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                func = node.name
+        if (
+            isinstance(node, ast.Call)
+            and scoped
+            and func != "write"  # the storage primitive itself
+        ):
+            path_expr = _durable_write_path(node)
+            if (
+                path_expr is not None
+                and not _mentions_staged(path_expr)
+                and not _allowed(lines, node.lineno, "SYNC004")
+            ):
+                findings.append(Finding(
+                    path, node.lineno, "SYNC004",
+                    "checkpoint code writes a durable path in place — "
+                    "write to a staging/tmp path and publish with an "
+                    "atomic rename",
+                ))
+        for child in ast.iter_child_nodes(node):
+            visit(child, scoped, func)
+
+    visit(tree, file_scoped, None)
+    return findings
 
 
 def _collect_imports(tree: ast.Module) -> tuple[set[str], bool]:
@@ -204,6 +304,7 @@ def lint_file(path: Path) -> list[Finding]:
                     "publish through a fenced primitive (lock/post/event)",
                 ))
 
+    findings.extend(_lint_ckpt_atomic(tree, path, lines))
     return findings
 
 
@@ -218,7 +319,7 @@ def lint_paths(paths: list[Path]) -> list[Finding]:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="lint the repro sync discipline (SYNC001-003)"
+        description="lint the repro sync discipline (SYNC001-004)"
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
