@@ -1,0 +1,52 @@
+"""`repro.bench`: the deterministic perf-trajectory harness.
+
+`repro bench run` measures the repo's hot paths (runtime iteration
+time, DES throughput, plan compile+verify, fuzz schedule throughput,
+sanitizer and tracer overhead ratios) into a schema-versioned
+``BENCH_<rev>.json``; `repro bench compare` gates a candidate payload
+against the committed baseline; `repro bench report` renders either.
+See DESIGN.md §11 for the methodology and regression policy.
+"""
+
+from .compare import CompareReport, MetricComparison, compare_payloads
+from .harness import (
+    SCHEMA_VERSION,
+    bench_filename,
+    current_rev,
+    latest_baseline,
+    load_payload,
+    run_bench,
+    strip_timing,
+    write_payload,
+)
+from .metrics import (
+    METRICS,
+    BenchContext,
+    MetricResult,
+    MetricSpec,
+    calibrate,
+    metric_names,
+)
+from .report import render_comparison, render_payload
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "METRICS",
+    "BenchContext",
+    "MetricResult",
+    "MetricSpec",
+    "CompareReport",
+    "MetricComparison",
+    "bench_filename",
+    "calibrate",
+    "compare_payloads",
+    "current_rev",
+    "latest_baseline",
+    "load_payload",
+    "metric_names",
+    "render_comparison",
+    "render_payload",
+    "run_bench",
+    "strip_timing",
+    "write_payload",
+]

@@ -1,0 +1,218 @@
+"""Run benchmark metrics and read/write ``BENCH_<rev>.json`` payloads.
+
+The payload is schema-versioned: loaders refuse payloads whose
+``schema_version`` differs, so a format change cannot be silently
+compared against an old committed baseline.
+
+Payload determinism contract: two runs with the same seed and the same
+code produce payloads that are **identical modulo timing fields**.
+:func:`strip_timing` removes exactly those fields (measured values,
+per-iteration stats, ``before`` references, calibration, revision and
+creation stamps), and the property tests pin that what remains —
+metric names, units, directions, gate flags, deterministic op counts,
+iteration budgets — is bit-identical across runs.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import BenchError
+
+from .metrics import METRICS, BenchContext, calibrate
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "run_bench",
+    "bench_filename",
+    "current_rev",
+    "write_payload",
+    "load_payload",
+    "latest_baseline",
+    "strip_timing",
+]
+
+SCHEMA_VERSION = 1
+
+#: Pointer file naming the committed baseline inside a baselines dir
+#: (lexicographic max over revision hashes would be meaningless).
+LATEST_POINTER = "LATEST"
+
+#: Per-metric keys that hold measured time (removed by strip_timing).
+_METRIC_TIMING_KEYS = ("value", "timing", "before", "speedup_vs_before")
+
+#: Top-level keys that vary run-to-run without a code change.
+_TOP_TIMING_KEYS = ("created", "rev", "calibration", "python", "numpy")
+
+
+def current_rev() -> str:
+    """Short git revision of the working tree, or ``"unversioned"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unversioned"
+    except (OSError, subprocess.SubprocessError):
+        return "unversioned"
+
+
+def bench_filename(rev: str) -> str:
+    return f"BENCH_{rev}.json"
+
+
+def run_bench(
+    *,
+    profile: str = "smoke",
+    seed: int = 2026,
+    metrics: list[str] | None = None,
+    rev: str | None = None,
+) -> dict:
+    """Run the selected metrics and return the payload dict.
+
+    Args:
+        profile: ``"smoke"`` or ``"full"`` (iteration budgets).
+        seed: workload RNG seed.
+        metrics: subset of metric names (default: all).
+        rev: revision stamp (default: ``git rev-parse --short HEAD``).
+
+    Raises:
+        BenchError: on an unknown profile or metric name.
+    """
+    if profile not in ("smoke", "full"):
+        raise BenchError(f"unknown bench profile {profile!r}")
+    names = metrics if metrics is not None else list(METRICS)
+    unknown = [n for n in names if n not in METRICS]
+    if unknown:
+        raise BenchError(
+            f"unknown metric(s) {unknown!r}; known: {sorted(METRICS)}"
+        )
+    ctx = BenchContext(seed=seed, profile=profile)
+    payload: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "rev": rev if rev is not None else current_rev(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "profile": profile,
+        "seed": seed,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "calibration": calibrate(),
+        "metrics": {},
+    }
+    for name in names:
+        spec = METRICS[name]
+        result = spec.fn(ctx)
+        entry = {
+            "unit": spec.unit,
+            "higher_is_better": spec.higher_is_better,
+            "gate": spec.gate,
+            "describe": spec.describe,
+            "ops": result.ops,
+            "warmup": result.warmup,
+            "iters": result.iters,
+            "value": result.value,
+            "timing": result.timing,
+            "before": result.before,
+        }
+        if result.before is not None:
+            # Measured speedup of the optimized path over the preserved
+            # pre-optimization reference, in goodness terms.
+            if spec.higher_is_better:
+                entry["speedup_vs_before"] = result.value / result.before
+            else:
+                entry["speedup_vs_before"] = result.before / result.value
+        payload["metrics"][name] = entry
+    return payload
+
+
+def write_payload(payload: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_payload(path: str | Path) -> dict:
+    """Load and validate a ``BENCH_*.json`` payload.
+
+    Raises:
+        BenchError: missing file, unparseable JSON, a non-dict payload,
+            or a schema-version mismatch.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise BenchError(f"cannot read bench payload {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BenchError(
+            f"bench payload {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or "metrics" not in payload:
+        raise BenchError(f"bench payload {path} is not a BENCH dict")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise BenchError(
+            f"bench payload {path} has schema_version {version!r}, "
+            f"this tree expects {SCHEMA_VERSION}"
+        )
+    return payload
+
+
+def latest_baseline(baselines_dir: str | Path) -> Path:
+    """The committed baseline a candidate run gates against.
+
+    Resolved through the ``LATEST`` pointer file (written when a new
+    baseline is committed); falls back to the sole ``BENCH_*.json`` in
+    the directory when no pointer exists.
+
+    Raises:
+        BenchError: no baseline resolvable, or an ambiguous directory.
+    """
+    root = Path(baselines_dir)
+    pointer = root / LATEST_POINTER
+    if pointer.is_file():
+        name = pointer.read_text().strip()
+        target = root / name
+        if not target.is_file():
+            raise BenchError(
+                f"baseline pointer {pointer} names missing file {name!r}"
+            )
+        return target
+    candidates = sorted(root.glob("BENCH_*.json"))
+    if len(candidates) == 1:
+        return candidates[0]
+    if not candidates:
+        raise BenchError(f"no BENCH_*.json baseline under {root}")
+    raise BenchError(
+        f"multiple baselines under {root} and no {LATEST_POINTER} pointer"
+    )
+
+
+def strip_timing(payload: dict) -> dict:
+    """Deep copy of ``payload`` with every timing-dependent field removed.
+
+    What survives is the deterministic skeleton the property tests pin:
+    schema version, profile, seed, and per-metric structure (unit,
+    direction, gate, op count, iteration budget).
+    """
+    out = copy.deepcopy(payload)
+    for key in _TOP_TIMING_KEYS:
+        out.pop(key, None)
+    for entry in out.get("metrics", {}).values():
+        if isinstance(entry, dict):
+            for key in _METRIC_TIMING_KEYS:
+                entry.pop(key, None)
+    return out

@@ -1,0 +1,66 @@
+"""Plain-text rendering for bench payloads and comparisons."""
+
+from __future__ import annotations
+
+from .compare import CompareReport
+
+__all__ = ["render_payload", "render_comparison"]
+
+
+def _fmt(value: float) -> str:
+    if value >= 1000 or 0 < value < 0.001:
+        return f"{value:.3e}"
+    return f"{value:.6f}".rstrip("0").rstrip(".")
+
+
+def render_payload(payload: dict) -> str:
+    """One table per payload: metric, value, unit, speedup-vs-before."""
+    lines = [
+        f"BENCH rev={payload.get('rev', '?')} "
+        f"profile={payload.get('profile', '?')} "
+        f"seed={payload.get('seed', '?')} "
+        f"schema=v{payload.get('schema_version', '?')}",
+    ]
+    header = f"{'metric':<20} {'value':>12} {'unit':<12} {'ops':>8} " \
+             f"{'vs before':>10}  gate"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, entry in payload.get("metrics", {}).items():
+        speedup = entry.get("speedup_vs_before")
+        lines.append(
+            f"{name:<20} {_fmt(entry['value']):>12} {entry['unit']:<12} "
+            f"{entry.get('ops', 0):>8} "
+            f"{(f'{speedup:.2f}x' if speedup else '-'):>10}  "
+            f"{'yes' if entry.get('gate') else 'no'}"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(report: CompareReport) -> str:
+    """Per-metric verdict table plus the overall gate outcome."""
+    lines = [
+        f"compare threshold={report.threshold:.0%} "
+        f"normalized={'yes' if report.normalized else 'no'}",
+    ]
+    header = f"{'metric':<20} {'baseline':>12} {'candidate':>12} " \
+             f"{'speedup':>9}  verdict"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for c in report.comparisons:
+        verdict = "REGRESSED" if c.regressed else (
+            "improved" if c.improved else "ok"
+        )
+        lines.append(
+            f"{c.name:<20} {_fmt(c.base_value):>12} "
+            f"{_fmt(c.cand_value):>12} {c.speedup:>8.3f}x  {verdict}"
+        )
+    for name in report.only_in_base:
+        lines.append(f"{name:<20} (missing from candidate)")
+    for name in report.only_in_candidate:
+        lines.append(f"{name:<20} (new in candidate)")
+    if report.ok:
+        lines.append("gate: OK (no metric regressed beyond threshold)")
+    else:
+        names = ", ".join(c.name for c in report.regressions)
+        lines.append(f"gate: FAIL ({names} regressed beyond threshold)")
+    return "\n".join(lines)

@@ -312,6 +312,49 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ckpt_inspect.add_argument("dir", help="checkpoint root directory")
 
+    bench = sub.add_parser(
+        "bench",
+        help="perf-trajectory harness: run metrics, compare payloads, "
+             "render reports (see DESIGN.md §11)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run",
+        help="measure the hot-path metrics and write BENCH_<rev>.json",
+    )
+    bench_run.add_argument("--profile", choices=["smoke", "full"],
+                           default="smoke",
+                           help="iteration budget (smoke: CI-sized)")
+    bench_run.add_argument("--seed", type=int, default=2026)
+    bench_run.add_argument("--metrics", default=None,
+                           help="comma-separated metric subset "
+                                "(default: all)")
+    bench_run.add_argument("--rev", default=None,
+                           help="revision stamp (default: git short rev)")
+    bench_run.add_argument("--out", default=None,
+                           help="output file or directory (default: "
+                                "./BENCH_<rev>.json)")
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="gate a candidate payload against a baseline; exit 1 on "
+             "regression, 2 on an unreadable/incompatible payload",
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("candidate", help="candidate BENCH_*.json")
+    bench_compare.add_argument("--threshold", type=float, default=0.15,
+                               help="regression threshold fraction")
+    bench_compare.add_argument("--normalize", action="store_true",
+                               help="scale out the machines' calibration "
+                                    "ratio before comparing")
+
+    bench_report = bench_sub.add_parser(
+        "report", help="render one or more BENCH payloads as tables"
+    )
+    bench_report.add_argument("paths", nargs="+",
+                              help="BENCH_*.json files to render")
+
     sub.add_parser("info", help="print library and model summary")
     return parser
 
@@ -1351,8 +1394,63 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import (
+        bench_filename,
+        compare_payloads,
+        current_rev,
+        load_payload,
+        render_comparison,
+        render_payload,
+        run_bench,
+        write_payload,
+    )
+    from repro.errors import BenchError
+
+    try:
+        if args.bench_command == "run":
+            metrics = (
+                [m.strip() for m in args.metrics.split(",") if m.strip()]
+                if args.metrics
+                else None
+            )
+            payload = run_bench(
+                profile=args.profile,
+                seed=args.seed,
+                metrics=metrics,
+                rev=args.rev,
+            )
+            out = Path(args.out) if args.out else Path(".")
+            if out.is_dir() or not out.suffix:
+                out = out / bench_filename(payload["rev"])
+            write_payload(payload, out)
+            print(render_payload(payload))
+            print(f"\nwrote {out}")
+            return 0
+        if args.bench_command == "compare":
+            base = load_payload(args.baseline)
+            cand = load_payload(args.candidate)
+            report = compare_payloads(
+                base, cand,
+                threshold=args.threshold,
+                normalize=args.normalize,
+            )
+            print(render_comparison(report))
+            return 0 if report.ok else 1
+        for path in args.paths:
+            print(render_payload(load_payload(path)))
+            print()
+        return 0
+    except BenchError as exc:
+        print(f"bench error: {exc}", file=sys.stderr)
+        return 2
+
+
 _COMMANDS = {
     "compare": _cmd_compare,
+    "bench": _cmd_bench,
     "figures": _cmd_figures,
     "autotune": _cmd_autotune,
     "chaos": _cmd_chaos,

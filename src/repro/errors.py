@@ -88,3 +88,9 @@ class PlanVerificationError(PlanError):
         super().__init__(
             f"plan verification failed with {len(self.errors)} error(s):\n{lines}"
         )
+
+
+class BenchError(ReproError):
+    """The benchmark harness could not run or compare: a missing or
+    unreadable ``BENCH_*.json`` payload, a schema-version mismatch, or
+    an invalid metric selection."""

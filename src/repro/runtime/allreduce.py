@@ -251,16 +251,23 @@ class TreeAllReduceRuntime:
         chunks = self.layout.tree_chunks[t]
 
         def kernel() -> None:
+            # One pooled receive/send scratch per kernel: links copy the
+            # payload into wire memory synchronously, so the buffer can
+            # be reused for every chunk and child.
+            scratch = np.empty(self.layout.total_elems)
             for pos, chunk in enumerate(chunks):
                 board.set(node, f"reduce t{t} chunk {pos + 1}/{len(chunks)}")
                 self._apply_gpu_fault(node, t, pos, board, abort)
+                view = scratch[: self.layout.chunk_elems(chunk)]
                 for child in tree.children[node]:
-                    values = uplinks[(t, child)].recv(chunk)
-                    buffers[node].accumulate(chunk, values)
+                    uplinks[(t, child)].recv_into(chunk, view)
+                    buffers[node].accumulate(chunk, view)
                 if node == tree.root:
                     reduced_sem.post()
                 else:
-                    uplinks[(t, node)].send(chunk, buffers[node].read(chunk))
+                    uplinks[(t, node)].send(
+                        chunk, buffers[node].read_into(chunk, view)
+                    )
 
         return kernel
 
@@ -278,6 +285,7 @@ class TreeAllReduceRuntime:
         chunks = self.layout.tree_chunks[t]
 
         def kernel() -> None:
+            scratch = np.empty(self.layout.total_elems)
             if node == tree.root and not self.overlapped:
                 # Baseline: the broadcast phase starts only after the
                 # entire reduction phase completed.
@@ -292,7 +300,11 @@ class TreeAllReduceRuntime:
                         reduced_sem.wait()
                 else:
                     downlinks[(t, node)].recv_wait(chunk)
-                payload = buffers[node].read(chunk)
+                # Pooled: every downlink send copies the payload into its
+                # wire synchronously, so one scratch serves all children.
+                payload = buffers[node].read_into(
+                    chunk, scratch[: self.layout.chunk_elems(chunk)]
+                )
                 for child in tree.children[node]:
                     downlinks[(t, child)].send(chunk, payload)
                 enqueue.post(node, t)

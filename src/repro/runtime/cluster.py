@@ -46,6 +46,7 @@ from repro.runtime.memory import ChunkLayout, GradientBuffer
 from repro.runtime.memory import _emit as _access_emit
 from repro.runtime.sync import AbortCell, DeviceSemaphore, SpinConfig
 from repro.runtime.sync import _emit as _sync_emit
+from repro.sanitizer import hooks as _hooks
 
 
 class _Wire:
@@ -91,18 +92,13 @@ class _Wire:
             self._send_seq += 1
         self._sem.post()
 
-    def take(self, chunk: int) -> np.ndarray:
-        """Receiver side: block for ``chunk``, verify, return a copy.
+    def _verify_frame(self, chunk: int) -> int:
+        """Pop the next frame, enforce ordering, return its checksum.
 
         Raises:
-            LinkFaultError: on out-of-sequence delivery, a chunk-id
-                mismatch, or a CRC32 mismatch (corrupted payload).
+            LinkFaultError: on out-of-sequence delivery or a chunk-id
+                mismatch.
         """
-        self._sem.wait()
-        if self._owner_buffer is not None:
-            # The checksum verification below reads the aliased gradient
-            # memory; record it as a local read of the owning GPU.
-            _access_emit("read", self._owner_buffer.label, chunk)
         with self._frame_lock:
             seq, frame_chunk, checksum = self._frames.popleft()
         if seq != self._recv_seq:
@@ -116,13 +112,53 @@ class _Wire:
                 f"link {self.name!r}: received chunk {frame_chunk}, "
                 f"expected {chunk}"
             )
+        return checksum
+
+    def take(self, chunk: int) -> np.ndarray:
+        """Receiver side: block for ``chunk``, verify, return a copy.
+
+        The returned array is caller-owned: interpreter relays stash it
+        across ops, so ``take`` must keep copy semantics.  Hot loops that
+        consume the payload immediately should use :meth:`take_into`.
+
+        Raises:
+            LinkFaultError: on out-of-sequence delivery, a chunk-id
+                mismatch, or a CRC32 mismatch (corrupted payload).
+        """
+        self._sem.wait()
+        if self._owner_buffer is not None and _hooks.ANY:
+            # The checksum verification below reads the aliased gradient
+            # memory; record it as a local read of the owning GPU.
+            _access_emit("read", self._owner_buffer.label, chunk)
+        checksum = self._verify_frame(chunk)
         payload = self._data[self._layout.slice_of(chunk)].copy()
         if payload_checksum(payload) != checksum:
             raise LinkFaultError(
                 f"link {self.name!r}: checksum mismatch on chunk {chunk} "
-                f"(seq {seq}) — payload corrupted in transit"
+                f"— payload corrupted in transit"
             )
         return payload
+
+    def take_into(self, chunk: int, out: np.ndarray) -> np.ndarray:
+        """Receiver side: like :meth:`take`, landing the payload in
+        caller-owned ``out`` instead of allocating a fresh copy.
+
+        The pooled-receive-buffer fast path: identical frame/sequence/
+        CRC verification (the checksum is computed over ``out`` after the
+        copy, so the end-to-end property is unchanged), zero allocations.
+        Returns ``out``.
+        """
+        self._sem.wait()
+        if self._owner_buffer is not None and _hooks.ANY:
+            _access_emit("read", self._owner_buffer.label, chunk)
+        checksum = self._verify_frame(chunk)
+        np.copyto(out, self._data[self._layout.slice_of(chunk)])
+        if payload_checksum(out) != checksum:
+            raise LinkFaultError(
+                f"link {self.name!r}: checksum mismatch on chunk {chunk} "
+                f"— payload corrupted in transit"
+            )
+        return out
 
 
 def _transmit(
@@ -221,15 +257,27 @@ class UpLink:
         """Parent side: block for, verify, and return the chunk payload."""
         return self._wire.take(chunk)
 
+    def recv_into(self, chunk: int, out: np.ndarray) -> np.ndarray:
+        """Parent side: receive the verified payload into ``out`` (the
+        pooled-buffer fast path; see :meth:`_Wire.take_into`)."""
+        return self._wire.take_into(chunk, out)
+
     def relay_kernel(self, chunks: Sequence[int]) -> Callable[[], None]:
-        """Forwarding kernel body for the intermediate GPU (chunk order)."""
+        """Forwarding kernel body for the intermediate GPU (chunk order).
+
+        Uses one pooled scratch buffer for the whole run instead of
+        allocating a copy per forwarded chunk.
+        """
         if self.relay_via is None:
             raise RuntimeClusterError("relay kernel on a direct link")
+        layout = self._wire._layout
 
         def kernel() -> None:
+            scratch = np.empty(layout.total_elems)
             for chunk in chunks:
-                payload = self._mid_wire.take(chunk)
-                self._wire.deliver(chunk, payload, payload_checksum(payload))
+                view = scratch[: layout.chunk_elems(chunk)]
+                self._mid_wire.take_into(chunk, view)
+                self._wire.deliver(chunk, view, payload_checksum(view))
 
         return kernel
 
@@ -280,14 +328,20 @@ class DownLink:
         self._wire.take(chunk)
 
     def relay_kernel(self, chunks: Sequence[int]) -> Callable[[], None]:
-        """Forwarding kernel body for the intermediate GPU (chunk order)."""
+        """Forwarding kernel body for the intermediate GPU (chunk order).
+
+        Pooled scratch, as in :meth:`UpLink.relay_kernel`.
+        """
         if self.relay_via is None:
             raise RuntimeClusterError("relay kernel on a direct link")
+        layout = self._wire._layout
 
         def kernel() -> None:
+            scratch = np.empty(layout.total_elems)
             for chunk in chunks:
-                payload = self._mid_wire.take(chunk)
-                self._wire.deliver(chunk, payload, payload_checksum(payload))
+                view = scratch[: layout.chunk_elems(chunk)]
+                self._mid_wire.take_into(chunk, view)
+                self._wire.deliver(chunk, view, payload_checksum(view))
 
         return kernel
 

@@ -137,7 +137,7 @@ class HalvingDoublingRuntime:
                 stg = staging[stage]
                 for c in send:
                     sl = self.layout.slice_of(c)
-                    stg[partner][sl] = buffer.read(c)
+                    buffer.read_into(c, stg[partner][sl])
                 sems[stage][partner].post()
                 sems[stage][rank].wait()
                 for c in recv:

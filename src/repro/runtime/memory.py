@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -25,13 +26,31 @@ _ANON_LABELS = itertools.count()
 def _emit(kind: str, label: str, chunk: int) -> None:
     # The schedule fuzzer perturbs *before* the access happens (and
     # before the tracer records it), widening any race window between
-    # this access and an unordered peer.
+    # this access and an unordered peer.  Hot paths guard every call
+    # with ``_hooks.ANY`` so a detached tracer costs one attribute
+    # check, not an event construction.
     scheduler = _hooks.active_scheduler()
     if scheduler is not None:
         scheduler.on_point("access", kind, f"{label}/c{chunk}")
     tracer = _hooks.active()
     if tracer is not None:
         tracer.on_access(kind, label, chunk)
+
+
+def reduce_chunk_reference(
+    dst: np.ndarray, values: np.ndarray
+) -> None:
+    """Per-element serial reduce: the reference the vectorized
+    :meth:`GradientBuffer.accumulate` is pinned bit-exact against.
+
+    IEEE-754 addition is deterministic per element, so ``dst[i] +=
+    values[i]`` one index at a time and the array-slice ``dst +=
+    values`` must agree bitwise; the regression tests (and the
+    ``chunk_reduce`` benchmark, where this loop is the "before"
+    number) rely on exactly that.
+    """
+    for i in range(len(dst)):
+        dst[i] += values[i]
 
 
 @dataclass(frozen=True)
@@ -57,9 +76,14 @@ class ChunkLayout:
     def ntrees(self) -> int:
         return len(self.tree_chunks)
 
+    @cached_property
+    def slices(self) -> tuple[slice, ...]:
+        """Per-chunk slice objects, built once (hot paths index these
+        instead of constructing a fresh slice per access)."""
+        return tuple(slice(start, stop) for start, stop in self.bounds)
+
     def slice_of(self, chunk: int) -> slice:
-        start, stop = self.bounds[chunk]
-        return slice(start, stop)
+        return self.slices[chunk]
 
     def chunk_elems(self, chunk: int) -> int:
         start, stop = self.bounds[chunk]
@@ -139,6 +163,8 @@ class GradientBuffer:
         self.data = data.astype(np.float64, copy=True)
         self.layout = layout
         self.owner = owner
+        # Hot paths index the layout's cached slice table directly.
+        self._slices = layout.slices
         self.label = (
             f"gpu{owner}" if owner is not None
             else f"buffer{next(_ANON_LABELS)}"
@@ -151,37 +177,64 @@ class GradientBuffer:
         :meth:`overwrite` so the access is visible to the sanitizer;
         ``chunk`` remains for single-threaded setup/inspection.
         """
-        return self.data[self.layout.slice_of(chunk_id)]
+        return self.data[self._slices[chunk_id]]
 
     def read(self, chunk_id: int) -> np.ndarray:
         """Copy of one chunk's elements (a traced kernel-side read)."""
-        _emit("read", self.label, chunk_id)
-        return self.chunk(chunk_id).copy()
+        if _hooks.ANY:
+            _emit("read", self.label, chunk_id)
+        return self.data[self._slices[chunk_id]].copy()
+
+    def read_into(self, chunk_id: int, dest: np.ndarray) -> np.ndarray:
+        """Copy one chunk's elements into ``dest`` (a traced read).
+
+        The pooled-buffer fast path: kernels that previously did
+        ``staging[sl] = buffer.read(c)`` (allocate a copy, then copy it
+        again into staging) call ``buffer.read_into(c, staging[sl])``
+        instead — one traced read, one copy, zero allocations.  Returns
+        ``dest`` for convenience.
+        """
+        if _hooks.ANY:
+            _emit("read", self.label, chunk_id)
+        np.copyto(dest, self.data[self._slices[chunk_id]])
+        return dest
 
     def read_range(self, start: int, stop: int) -> np.ndarray:
         """View of an element range (traced as reads of every chunk the
         range overlaps — the compute kernel's per-layer gradient fetch)."""
-        for chunk_id, (lo, hi) in enumerate(self.layout.bounds):
-            if lo < stop and start < hi:
-                _emit("read", self.label, chunk_id)
+        if _hooks.ANY:
+            for chunk_id, (lo, hi) in enumerate(self.layout.bounds):
+                if lo < stop and start < hi:
+                    _emit("read", self.label, chunk_id)
         return self.data[start:stop]
 
     def accumulate(self, chunk_id: int, values: np.ndarray) -> None:
-        """Reduce ``values`` into the chunk (the reduction kernel's add)."""
-        _emit("reduce", self.label, chunk_id)
-        self.chunk(chunk_id)[:] += values
+        """Reduce ``values`` into the chunk (the reduction kernel's add).
+
+        Array-slice in-place add: bit-identical to the per-element
+        :func:`reduce_chunk_reference` loop (IEEE-754 addition is
+        deterministic per element) and the path every runtime reduces
+        through.
+        """
+        if _hooks.ANY:
+            _emit("reduce", self.label, chunk_id)
+        dst = self.data[self._slices[chunk_id]]
+        dst += values
 
     def overwrite(self, chunk_id: int, values: np.ndarray) -> None:
         """Replace the chunk with the fully reduced payload (broadcast)."""
-        _emit("write", self.label, chunk_id)
-        self.chunk(chunk_id)[:] = values
+        if _hooks.ANY:
+            _emit("write", self.label, chunk_id)
+        self.data[self._slices[chunk_id]] = values
 
     def note_remote_write(self, chunk_id: int) -> None:
         """Record a write performed directly into :attr:`data` by another
         GPU's kernel (a wire delivery into aliased receive memory)."""
-        _emit("write", self.label, chunk_id)
+        if _hooks.ANY:
+            _emit("write", self.label, chunk_id)
 
     def snapshot(self) -> np.ndarray:
-        for chunk_id in range(self.layout.nchunks):
-            _emit("read", self.label, chunk_id)
+        if _hooks.ANY:
+            for chunk_id in range(self.layout.nchunks):
+                _emit("read", self.label, chunk_id)
         return self.data.copy()

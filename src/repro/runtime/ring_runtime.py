@@ -126,7 +126,7 @@ class RingAllReduceRuntime:
                 for step in range(p - 1):
                     send_chunk = (pos - step) % p
                     sl = self.layout.slice_of(send_chunk)
-                    staging_rs[nxt][sl] = buffer.read(send_chunk)
+                    buffer.read_into(send_chunk, staging_rs[nxt][sl])
                     sems[nxt].post()
                     recv_chunk = (pos - step - 1) % p
                     sems[pos].wait()
@@ -141,7 +141,7 @@ class RingAllReduceRuntime:
                 for step in range(p - 1):
                     send_chunk = (pos + 1 - step) % p
                     sl = self.layout.slice_of(send_chunk)
-                    staging_ag[nxt][sl] = buffer.read(send_chunk)
+                    buffer.read_into(send_chunk, staging_ag[nxt][sl])
                     sems[nxt].post()
                     recv_chunk = (pos - step) % p
                     sems[pos].wait()

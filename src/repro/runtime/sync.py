@@ -85,13 +85,13 @@ class AtomicCell:
 
     def load(self) -> int:
         with self._hw:
-            if self.name:
+            if self.name and _hooks.ANY:
                 _emit("atomic_load", self)
             return self._value
 
     def store(self, value: int) -> None:
         with self._hw:
-            if self.name:
+            if self.name and _hooks.ANY:
                 _emit("atomic_store", self)
             self._value = value
 
@@ -102,16 +102,16 @@ class AtomicCell:
             old = self._value
             if old == expected:
                 self._value = new
-                if self.name:
+                if self.name and _hooks.ANY:
                     _emit("atomic_rmw", self)
-            elif self.name:
+            elif self.name and _hooks.ANY:
                 _emit("atomic_load", self)
             return old
 
     def exchange(self, new: int) -> int:
         """atomicExch: unconditionally store ``new``; returns the old value."""
         with self._hw:
-            if self.name:
+            if self.name and _hooks.ANY:
                 _emit("atomic_rmw", self)
             old = self._value
             self._value = new
@@ -120,7 +120,7 @@ class AtomicCell:
     def add(self, delta: int) -> int:
         """atomicAdd; returns the value before the addition."""
         with self._hw:
-            if self.name:
+            if self.name and _hooks.ANY:
                 _emit("atomic_rmw", self)
             old = self._value
             self._value = old + delta
@@ -244,13 +244,13 @@ class DeviceLock:
                 raise RuntimeClusterError("device lock acquisition timed out")
             time.sleep(self._spin.pause)
         # threadfence(): Python's lock release/acquire orders memory.
-        if self.name:
+        if self.name and _hooks.ANY:
             _emit("lock_acquire", self)
 
     def unlock(self) -> None:
         # The release event fires before the cell exchange so a tracer
         # can never observe the enabled acquire first.
-        if self.name:
+        if self.name and _hooks.ANY:
             _emit("lock_release", self)
         # threadfence() before release, as in the paper's pseudocode.
         if self._cell.exchange(0) != 1:
@@ -345,7 +345,8 @@ class DeviceSemaphore:
             if not blocked_reported:
                 # Tells the sanitizer's wait-graph which semaphore each
                 # thread is parked on; cleared by the next success.
-                _emit("sem_block", self, what)
+                if _hooks.ANY:
+                    _emit("sem_block", self, what)
                 blocked_reported = True
             if self._spin.abort is not None:
                 self._spin.abort.raise_if_set()
@@ -368,21 +369,26 @@ class DeviceSemaphore:
         self._total_posted += 1
         # Emitted under the internal lock: the tracer sees posts and the
         # waits/checks they satisfy in true counter order.
-        _emit("sem_post", self)
+        if _hooks.ANY:
+            _emit("sem_post", self)
         self._lock.unlock()
 
     def wait(self) -> None:
         """Consumer: take one item (blocks while empty)."""
         self._spin_until(lambda: self._count > 0, "wait")
         self._count -= 1
-        _emit("sem_wait", self)
+        if _hooks.ANY:
+            _emit("sem_wait", self)
         self._lock.unlock()
 
     def check(self, value: int) -> None:
         """Block until at least ``value`` items were ever posted; does not
         consume (paper: gradient queuing's dequeue test)."""
-        self._spin_until(lambda: self._total_posted >= value, f"check({value})")
-        _emit("sem_check", self, value)
+        self._spin_until(
+            lambda: self._total_posted >= value, f"check({value})"
+        )
+        if _hooks.ANY:
+            _emit("sem_check", self, value)
         self._lock.unlock()
 
 
@@ -411,7 +417,8 @@ class DeviceEvent:
     def set(self) -> None:
         # Release event before the store, so no tracer ordering can show
         # the enabled wait first.
-        _emit("event_set", self)
+        if _hooks.ANY:
+            _emit("event_set", self)
         self._cell.store(1)
 
     def wait(self) -> None:
@@ -427,4 +434,5 @@ class DeviceEvent:
                     f"timed out waiting for {self.name or 'event'}"
                 )
             time.sleep(self._spin.pause)
-        _emit("event_wait", self)
+        if _hooks.ANY:
+            _emit("event_wait", self)

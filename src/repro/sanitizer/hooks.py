@@ -27,6 +27,7 @@ import sys
 import threading
 
 __all__ = [
+    "ANY",
     "active",
     "push",
     "pop",
@@ -40,6 +41,19 @@ _STACK: list = []
 _SCHED_STACK: list = []
 _STACK_LOCK = threading.Lock()  # sync-lint: allow(raw-threading)
 
+#: Fast-path flag: True iff a tracer OR a scheduler is attached.  Hot
+#: paths (chunk accesses, semaphore ops) read this one module attribute
+#: and skip event construction entirely when it is False, so a detached
+#: tracer costs a single attribute check per operation.  Reads are
+#: lock-free (GIL-atomic bool load); pushes always happen-before the
+#: kernels whose events they want, because the pusher starts the threads.
+ANY = False
+
+
+def _refresh() -> None:
+    global ANY
+    ANY = bool(_STACK or _SCHED_STACK)
+
 
 def active():
     """The tracer events should go to right now (``None`` when inactive)."""
@@ -51,12 +65,15 @@ def push(tracer) -> None:
     """Activate ``tracer`` (it shadows any currently active tracer)."""
     with _STACK_LOCK:
         _STACK.append(tracer)
+        _refresh()
 
 
 def pop():
     """Deactivate and return the most recently pushed tracer."""
     with _STACK_LOCK:
-        return _STACK.pop()
+        tracer = _STACK.pop()
+        _refresh()
+        return tracer
 
 
 def active_scheduler():
@@ -69,12 +86,15 @@ def push_scheduler(scheduler) -> None:
     """Activate a schedule fuzzer (shadows any active one)."""
     with _STACK_LOCK:
         _SCHED_STACK.append(scheduler)
+        _refresh()
 
 
 def pop_scheduler():
     """Deactivate and return the most recently pushed schedule fuzzer."""
     with _STACK_LOCK:
-        return _SCHED_STACK.pop()
+        scheduler = _SCHED_STACK.pop()
+        _refresh()
+        return scheduler
 
 
 # Frames from these locations are instrumentation plumbing, not the code

@@ -80,17 +80,139 @@ class DagSimulator:
         """The resource map (shared, not copied — treat as read-only)."""
         return self._resources
 
-    def run(self, dag: Dag, *, validate: bool = True) -> SimResult:
+    def run(
+        self,
+        dag: Dag,
+        *,
+        validate: bool = True,
+        record_trace: bool = True,
+    ) -> SimResult:
         """Execute ``dag`` and return per-op timings.
+
+        The hot loop: pinned bit-exact against :meth:`run_reference` by
+        the regression tests, so optimizations here must be provably
+        order-preserving.  Events are still processed strictly one at a
+        time — batching same-timestamp completions would change which
+        ready op a freed resource serves first (the FIFO pop would see
+        children of *later* same-time events), breaking determinism
+        against the reference.
 
         Args:
             dag: the operation DAG to execute.
             validate: run :meth:`Dag.validate` first (cheap; disable only
                 in tight benchmark loops on already-validated DAGs).
+            record_trace: build the chronological :class:`TraceRecord`
+                list.  Disable in tight loops that only need timings —
+                record construction is a large share of sim cost.
 
         Raises:
             SimulationError: if an op references an unknown resource.
             DeadlockError: if execution stalls before all ops complete.
+        """
+        if validate:
+            dag.validate()
+        resources = self._resources
+        missing = dag.resources() - resources.keys()
+        if missing:
+            raise SimulationError(f"DAG references unknown resources: {missing!r}")
+
+        ops = dag.ops
+        n = len(ops)
+        start = [0.0] * n
+        finish = [0.0] * n
+        trace: list[TraceRecord] = []
+        if n == 0:
+            return SimResult(start=start, finish=finish, makespan=0.0, trace=trace)
+
+        pending = [len(op.deps) for op in ops]
+        children: list[list[int]] = [[] for _ in range(n)]
+        for op in ops:
+            for d in op.deps:
+                children[d].append(op.op_id)
+
+        # Per-resource FIFO of ready ops: heap of (ready_time, op_id).
+        # Service-time methods are bound once per resource up front.
+        ready: dict[Hashable, list[tuple[float, int]]] = {}
+        busy: dict[Hashable, bool] = {}
+        service_of: dict[Hashable, Callable[[Op], float]] = {}
+        for key in dag.resources():
+            ready[key] = []
+            busy[key] = False
+            service_of[key] = resources[key].service_time
+
+        # Event heap of op completions: (time, op_id).
+        events: list[tuple[float, int]] = []
+        completed = 0
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        trace_append = trace.append
+
+        def start_next(resource: Hashable, now: float) -> None:
+            """If ``resource`` is idle and has ready work, start the next op."""
+            rheap = ready[resource]
+            if busy[resource] or not rheap:
+                return
+            _, op_id = heappop(rheap)
+            op = ops[op_id]
+            service = service_of[resource](op)
+            if service < 0:
+                raise SimulationError(f"op {op_id} has negative service time")
+            busy[resource] = True
+            done = now + service
+            start[op_id] = now
+            finish[op_id] = done
+            if record_trace:
+                trace_append(
+                    TraceRecord(
+                        op_id=op_id,
+                        resource=resource,
+                        start=now,
+                        finish=done,
+                        label=op.label,
+                    )
+                )
+            heappush(events, (done, op_id))
+
+        for op in ops:
+            if pending[op.op_id] == 0:
+                heappush(ready[op.resource], (0.0, op.op_id))
+        for key in ready:
+            start_next(key, 0.0)
+
+        while events:
+            now, op_id = heappop(events)
+            op = ops[op_id]
+            busy[op.resource] = False
+            completed += 1
+            kids = children[op_id]
+            if not kids:
+                start_next(op.resource, now)
+                continue
+            touched = {op.resource}
+            for child_id in kids:
+                pending[child_id] -= 1
+                if pending[child_id] == 0:
+                    child = ops[child_id]
+                    heappush(ready[child.resource], (now, child_id))
+                    touched.add(child.resource)
+            for key in touched:
+                start_next(key, now)
+
+        if completed != n:
+            raise DeadlockError(
+                f"simulation stalled: {completed}/{n} ops completed"
+            )
+        return SimResult(
+            start=start, finish=finish, makespan=max(finish), trace=trace
+        )
+
+    def run_reference(self, dag: Dag, *, validate: bool = True) -> SimResult:
+        """The pre-optimization event loop, kept verbatim as the oracle.
+
+        :meth:`run` must produce bit-identical ``start`` / ``finish`` /
+        ``makespan`` and an identical trace; the hot-path regression
+        tests and the ``sim_events`` benchmark's "before" number both
+        come from here.  Do not optimize this method.
         """
         if validate:
             dag.validate()
@@ -111,17 +233,14 @@ class DagSimulator:
             for d in op.deps:
                 children[d].append(op.op_id)
 
-        # Per-resource FIFO of ready ops: heap of (ready_time, op_id).
         ready: dict[Hashable, list[tuple[float, int]]] = {
             key: [] for key in dag.resources()
         }
         busy: dict[Hashable, bool] = {key: False for key in dag.resources()}
-        # Event heap of op completions: (time, op_id).
         events: list[tuple[float, int]] = []
         completed = 0
 
         def start_next(resource: Hashable, now: float) -> None:
-            """If ``resource`` is idle and has ready work, start the next op."""
             if busy[resource] or not ready[resource]:
                 return
             _, op_id = heapq.heappop(ready[resource])

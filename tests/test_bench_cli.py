@@ -1,0 +1,244 @@
+"""Exit-code and error-path coverage for `repro bench` and the CI gate.
+
+The contract (relied on by the CI bench job): 0 = clean, 1 = at least
+one gated metric regressed beyond the threshold, 2 = harness error
+(missing/corrupt payload, schema mismatch, bad arguments).
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import SCHEMA_VERSION, load_payload
+from repro.cli import main
+from repro.errors import BenchError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_gate_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_gate", REPO_ROOT / "tools" / "bench_gate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def gate():
+    return _load_gate_module()
+
+
+@pytest.fixture(scope="module")
+def baseline_path(tmp_path_factory):
+    """One real (cheap) bench run shared by every test in the module."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_base.json"
+    code = main([
+        "bench", "run", "--metrics", "sim_events,plan_compile",
+        "--rev", "base", "--seed", "11", "--out", str(out),
+    ])
+    assert code == 0
+    return out
+
+
+def _degrade(path: Path, out: Path, factor: float) -> Path:
+    payload = json.loads(path.read_text())
+    for entry in payload["metrics"].values():
+        if entry.get("higher_is_better"):
+            entry["value"] /= factor
+        else:
+            entry["value"] *= factor
+    out.write_text(json.dumps(payload))
+    return out
+
+
+class TestBenchRun:
+    def test_run_writes_schema_versioned_payload(self, baseline_path):
+        payload = load_payload(baseline_path)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload["metrics"]) == {"sim_events", "plan_compile"}
+        assert payload["rev"] == "base"
+
+    def test_run_directory_out_uses_rev_filename(self, tmp_path):
+        code = main([
+            "bench", "run", "--metrics", "sim_events", "--rev", "abc",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "BENCH_abc.json").is_file()
+
+    def test_run_unknown_metric_exits_2(self, tmp_path, capsys):
+        code = main([
+            "bench", "run", "--metrics", "warpdrive",
+            "--out", str(tmp_path),
+        ])
+        assert code == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+
+class TestBenchCompare:
+    def test_self_compare_exits_0(self, baseline_path):
+        code = main([
+            "bench", "compare", str(baseline_path), str(baseline_path),
+        ])
+        assert code == 0
+
+    def test_twenty_percent_slowdown_exits_1(self, baseline_path, tmp_path):
+        bad = _degrade(baseline_path, tmp_path / "bad.json", 1.20)
+        code = main([
+            "bench", "compare", str(baseline_path), str(bad),
+            "--threshold", "0.15",
+        ])
+        assert code == 1
+
+    def test_slowdown_within_threshold_exits_0(self, baseline_path,
+                                               tmp_path):
+        mild = _degrade(baseline_path, tmp_path / "mild.json", 1.05)
+        code = main([
+            "bench", "compare", str(baseline_path), str(mild),
+            "--threshold", "0.15",
+        ])
+        assert code == 0
+
+    def test_missing_baseline_exits_2(self, baseline_path, tmp_path,
+                                      capsys):
+        code = main([
+            "bench", "compare", str(tmp_path / "nope.json"),
+            str(baseline_path),
+        ])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_corrupt_json_exits_2(self, baseline_path, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        code = main([
+            "bench", "compare", str(baseline_path), str(corrupt),
+        ])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_non_dict_payload_exits_2(self, baseline_path, tmp_path):
+        bogus = tmp_path / "list.json"
+        bogus.write_text("[1, 2, 3]")
+        assert main([
+            "bench", "compare", str(baseline_path), str(bogus),
+        ]) == 2
+
+    def test_schema_mismatch_exits_2(self, baseline_path, tmp_path,
+                                     capsys):
+        payload = json.loads(baseline_path.read_text())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        other = tmp_path / "future.json"
+        other.write_text(json.dumps(payload))
+        code = main([
+            "bench", "compare", str(baseline_path), str(other),
+        ])
+        assert code == 2
+        assert "schema_version" in capsys.readouterr().err
+
+
+class TestBenchReport:
+    def test_report_renders_payload(self, baseline_path, capsys):
+        assert main(["bench", "report", str(baseline_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sim_events" in out
+        assert "BENCH rev=base" in out
+
+    def test_report_missing_file_exits_2(self, tmp_path):
+        assert main([
+            "bench", "report", str(tmp_path / "missing.json"),
+        ]) == 2
+
+
+class TestGateScript:
+    def test_synthetic_twenty_percent_slowdown_fails_gate(
+        self, gate, baseline_path
+    ):
+        assert gate.main([
+            "--baseline", str(baseline_path),
+            "--synthesize-slowdown", "20",
+        ]) == 1
+
+    def test_synthetic_small_slowdown_passes_gate(self, gate,
+                                                  baseline_path):
+        assert gate.main([
+            "--baseline", str(baseline_path),
+            "--synthesize-slowdown", "5",
+        ]) == 0
+
+    def test_candidate_mode_matches_cli_compare(self, gate, baseline_path,
+                                                tmp_path):
+        bad = _degrade(baseline_path, tmp_path / "bad.json", 1.3)
+        assert gate.main([
+            "--baseline", str(baseline_path), "--candidate", str(bad),
+        ]) == 1
+        assert gate.main([
+            "--baseline", str(baseline_path),
+            "--candidate", str(baseline_path),
+        ]) == 0
+
+    def test_missing_baseline_exits_2(self, gate, tmp_path):
+        assert gate.main([
+            "--baseline", str(tmp_path / "gone.json"),
+            "--synthesize-slowdown", "20",
+        ]) == 2
+
+    def test_both_modes_at_once_exits_2(self, gate, baseline_path):
+        assert gate.main([
+            "--baseline", str(baseline_path),
+            "--candidate", str(baseline_path),
+            "--synthesize-slowdown", "20",
+        ]) == 2
+
+    def test_neither_mode_exits_2(self, gate, baseline_path):
+        assert gate.main(["--baseline", str(baseline_path)]) == 2
+
+    def test_synthesize_helper_degrades_both_directions(self, gate):
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "metrics": {
+                "t": {"gate": True, "higher_is_better": False,
+                      "value": 1.0},
+                "r": {"gate": True, "higher_is_better": True,
+                      "value": 100.0},
+                "ungated": {"gate": False, "higher_is_better": False,
+                            "value": 1.0},
+            },
+        }
+        out = gate.synthesize_slowdown(payload, 20)
+        assert out["metrics"]["t"]["value"] == pytest.approx(1.2)
+        assert out["metrics"]["r"]["value"] == pytest.approx(100 / 1.2)
+        assert out["metrics"]["ungated"]["value"] == 1.0
+        # Original untouched.
+        assert payload["metrics"]["t"]["value"] == 1.0
+
+
+class TestLatestBaseline:
+    def test_pointer_resolution(self, tmp_path):
+        from repro.bench import latest_baseline
+
+        (tmp_path / "BENCH_a.json").write_text("{}")
+        (tmp_path / "BENCH_b.json").write_text("{}")
+        with pytest.raises(BenchError, match="no LATEST"):
+            latest_baseline(tmp_path)
+        (tmp_path / "LATEST").write_text("BENCH_b.json\n")
+        assert latest_baseline(tmp_path).name == "BENCH_b.json"
+        (tmp_path / "LATEST").write_text("BENCH_zz.json\n")
+        with pytest.raises(BenchError, match="missing file"):
+            latest_baseline(tmp_path)
+
+    def test_sole_baseline_needs_no_pointer(self, tmp_path):
+        from repro.bench import latest_baseline
+
+        (tmp_path / "BENCH_only.json").write_text("{}")
+        assert latest_baseline(tmp_path).name == "BENCH_only.json"
+
+    def test_empty_dir_raises(self, tmp_path):
+        from repro.bench import latest_baseline
+
+        with pytest.raises(BenchError, match="no BENCH"):
+            latest_baseline(tmp_path)

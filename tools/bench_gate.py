@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI regression gate over BENCH payloads.
+
+Exit codes (asserted by tests/test_bench_cli.py and relied on by CI):
+
+- 0: no gated metric regressed beyond the threshold,
+- 1: at least one regression,
+- 2: harness error (missing/corrupt payload, schema mismatch, bad args).
+
+Two modes:
+
+- ``--candidate PATH``: compare a measured candidate payload against
+  the baseline (CI normally passes ``--normalize`` so the machines'
+  calibration gap is scaled out).
+- ``--synthesize-slowdown PCT``: derive the candidate from the baseline
+  itself by degrading every gated metric by PCT percent.  Fully
+  deterministic — CI uses 20 to prove the gate actually fires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import (  # noqa: E402
+    compare_payloads,
+    load_payload,
+    render_comparison,
+)
+from repro.errors import BenchError  # noqa: E402
+
+
+def synthesize_slowdown(payload: dict, pct: float) -> dict:
+    """A copy of ``payload`` with every gated metric ``pct``% worse."""
+    out = copy.deepcopy(payload)
+    factor = 1.0 + pct / 100.0
+    for entry in out.get("metrics", {}).values():
+        if not isinstance(entry, dict) or not entry.get("gate"):
+            continue
+        if entry.get("higher_is_better"):
+            entry["value"] = entry["value"] / factor
+        else:
+            entry["value"] = entry["value"] * factor
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--candidate", default=None,
+                        help="measured candidate BENCH_*.json")
+    parser.add_argument("--synthesize-slowdown", type=float, default=None,
+                        metavar="PCT",
+                        help="derive the candidate by degrading the "
+                             "baseline's gated metrics by PCT percent")
+    parser.add_argument("--threshold", type=float, default=0.15)
+    parser.add_argument("--normalize", action="store_true")
+    args = parser.parse_args(argv)
+
+    try:
+        if (args.candidate is None) == (args.synthesize_slowdown is None):
+            raise BenchError(
+                "pass exactly one of --candidate / --synthesize-slowdown"
+            )
+        base = load_payload(args.baseline)
+        if args.synthesize_slowdown is not None:
+            cand = synthesize_slowdown(base, args.synthesize_slowdown)
+        else:
+            cand = load_payload(args.candidate)
+        report = compare_payloads(
+            base, cand, threshold=args.threshold, normalize=args.normalize
+        )
+    except BenchError as exc:
+        print(f"bench gate error: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
