@@ -27,7 +27,7 @@ from .metrics import (
     calibrate,
     metric_names,
 )
-from .report import render_comparison, render_payload
+from .report import render_comparison, render_payload, render_trajectory
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -46,6 +46,7 @@ __all__ = [
     "metric_names",
     "render_comparison",
     "render_payload",
+    "render_trajectory",
     "run_bench",
     "strip_timing",
     "write_payload",

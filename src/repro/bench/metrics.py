@@ -321,6 +321,53 @@ def _plan_compile(ctx: BenchContext) -> MetricResult:
     )
 
 
+def _plan_synthesize(ctx: BenchContext) -> MetricResult:
+    """Plan synthesis + autotune wall-clock (smoke-size sweep).
+
+    One op = one tuned topology: the full synthesize -> gate -> score
+    pipeline over the smoke sizes on DGX-1 (plus DGX-2 under the full
+    profile, where the topology searches dominate).
+    """
+    from repro.synth.search import search_structures
+    from repro.synth.tune import SMOKE_SIZES, tune
+    from repro.topology.dgx1 import dgx1_topology
+    from repro.topology.dgx2 import dgx2_topology
+
+    topos = [dgx1_topology()]
+    if ctx.full:
+        topos.append(dgx2_topology())
+    iterations, restarts = (400, 2) if ctx.full else (200, 1)
+
+    def synthesize_and_tune() -> int:
+        nops = 0
+        for topo in topos:
+            structures = search_structures(
+                topo,
+                seed=ctx.seed,
+                iterations=iterations,
+                restarts=restarts,
+            )
+            result = tune(
+                topo,
+                sizes=SMOKE_SIZES,
+                pipelines=(1, 2),
+                seed=ctx.seed,
+                structures=structures,
+            )
+            nops += sum(len(w.best.plan.ops) for w in result.winners)
+        return nops
+
+    warmup, iters = (1, 4) if ctx.full else (1, 2)
+    samples = _samples(synthesize_and_tune, warmup=warmup, iters=iters)
+    return MetricResult(
+        value=min(samples) / len(topos),
+        ops=len(topos),
+        warmup=warmup,
+        iters=iters,
+        timing=_stats(samples),
+    )
+
+
 def _fuzz_schedules(ctx: BenchContext) -> MetricResult:
     """Schedule-fuzzer throughput (schedules/sec, shrinking disabled)."""
     from repro.fuzz.harness import fuzz_scenario
@@ -435,6 +482,14 @@ METRICS: dict[str, MetricSpec] = {
             gate=True,
             describe="plan compile + verify wall-clock",
             fn=_plan_compile,
+        ),
+        MetricSpec(
+            name="plan_synthesize",
+            unit="s/op",
+            higher_is_better=False,
+            gate=True,
+            describe="topology synthesis + plan-IR autotune wall-clock",
+            fn=_plan_synthesize,
         ),
         MetricSpec(
             name="fuzz_schedules",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from .compare import CompareReport
 
-__all__ = ["render_payload", "render_comparison"]
+__all__ = ["render_payload", "render_comparison", "render_trajectory"]
 
 
 def _fmt(value: float) -> str:
@@ -33,6 +33,51 @@ def render_payload(payload: dict) -> str:
             f"{(f'{speedup:.2f}x' if speedup else '-'):>10}  "
             f"{'yes' if entry.get('gate') else 'no'}"
         )
+    return "\n".join(lines)
+
+
+def render_trajectory(payloads: list[dict]) -> str:
+    """Per-rev trajectory: one row per metric, one column per payload.
+
+    Payloads are kept in the order given (the caller passes them
+    oldest-first for a left-to-right timeline); the final column is the
+    last/first ratio so a drift over many revisions is visible even
+    when each step stayed under the gate threshold.
+    """
+    if not payloads:
+        return "trajectory: no payloads"
+    revs = [str(p.get("rev", "?")) for p in payloads]
+    names: list[str] = []
+    for payload in payloads:
+        for name in payload.get("metrics", {}):
+            if name not in names:
+                names.append(name)
+    width = max(12, *(len(r) for r in revs))
+    header = f"{'metric':<20} " + " ".join(
+        f"{rev:>{width}}" for rev in revs
+    ) + f" {'last/first':>10}"
+    lines = [
+        "BENCH trajectory "
+        f"({len(payloads)} revs, profile="
+        f"{payloads[-1].get('profile', '?')})",
+        header,
+        "-" * len(header),
+    ]
+    for name in names:
+        cells = []
+        series = []
+        for payload in payloads:
+            entry = payload.get("metrics", {}).get(name)
+            if entry is None:
+                cells.append(f"{'-':>{width}}")
+            else:
+                cells.append(f"{_fmt(entry['value']):>{width}}")
+                series.append(entry["value"])
+        if len(series) >= 2 and series[0]:
+            ratio = f"{series[-1] / series[0]:.2f}x"
+        else:
+            ratio = "-"
+        lines.append(f"{name:<20} " + " ".join(cells) + f" {ratio:>10}")
     return "\n".join(lines)
 
 

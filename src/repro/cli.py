@@ -355,6 +355,62 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_report.add_argument("paths", nargs="+",
                               help="BENCH_*.json files to render")
 
+    synth = sub.add_parser(
+        "synth",
+        help="topology-driven plan synthesis: tune winners per message "
+             "size, manage the plan store, soak random fabrics "
+             "(see DESIGN.md §12)",
+    )
+    synth_sub = synth.add_subparsers(dest="synth_command", required=True)
+
+    synth_tune = synth_sub.add_parser(
+        "tune",
+        help="synthesize + autotune plans for a topology and print the "
+             "per-size winner table",
+    )
+    synth_tune.add_argument("--topology", default="dgx1",
+                            choices=sorted(_SYNTH_TOPOLOGIES),
+                            help="named topology (default: dgx1)")
+    synth_tune.add_argument("--topology-json", default=None,
+                            help="tune a topology loaded from a JSON "
+                                 "file instead (overrides --topology)")
+    synth_tune.add_argument("--smoke", action="store_true",
+                            help="two-size CI sweep instead of the full "
+                                 "size ladder")
+    synth_tune.add_argument("--sizes", default=None,
+                            help="comma-separated message sizes in bytes "
+                                 "(overrides --smoke)")
+    synth_tune.add_argument("--seed", type=int, default=0)
+    synth_tune.add_argument("--store", default=None,
+                            help="persist each size's winner into this "
+                                 "plan-store directory")
+
+    synth_show = synth_sub.add_parser(
+        "show", help="list the plan store's cached winners"
+    )
+    synth_show.add_argument("--store", required=True,
+                            help="plan-store directory")
+
+    synth_clear = synth_sub.add_parser(
+        "clear", help="drop every cached plan from the store"
+    )
+    synth_clear.add_argument("--store", required=True,
+                             help="plan-store directory")
+
+    synth_soak = synth_sub.add_parser(
+        "soak",
+        help="synthesize + verify plans over seeded random fabrics; "
+             "failing topologies are dumped as JSON artifacts",
+    )
+    synth_soak.add_argument("--fabrics", type=int, default=20,
+                            help="how many random fabrics to try")
+    synth_soak.add_argument("--seed", type=int, default=0,
+                            help="first fabric seed (fabric i uses "
+                                 "seed+i)")
+    synth_soak.add_argument("--save-dir", default=None,
+                            help="directory for failing-topology JSON "
+                                 "artifacts")
+
     sub.add_parser("info", help="print library and model summary")
     return parser
 
@@ -1394,6 +1450,156 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _synth_dgx1_nolink37():
+    from repro.topology.dgx1 import dgx1_topology
+
+    topo = dgx1_topology().without_link(3, 7)
+    topo.name = "dgx1-nolink37"
+    return topo
+
+
+def _synth_dgx1_quad_dead():
+    from repro.topology.dgx1 import dgx1_topology
+    from repro.topology.tree_search import survivor_topology
+
+    topo, _ = survivor_topology(dgx1_topology(), [1, 2, 3, 4])
+    topo.name = "dgx1-quad-dead"
+    return topo
+
+
+#: Named topologies for ``repro synth tune --topology``.
+_SYNTH_TOPOLOGIES = {
+    "dgx1": lambda: __import__(
+        "repro.topology.dgx1", fromlist=["dgx1_topology"]
+    ).dgx1_topology(),
+    "dgx2": lambda: __import__(
+        "repro.topology.dgx2", fromlist=["dgx2_topology"]
+    ).dgx2_topology(),
+    "dgx1-nolink37": _synth_dgx1_nolink37,
+    "dgx1-quad-dead": _synth_dgx1_quad_dead,
+    "switch8": lambda: __import__(
+        "repro.topology.switch", fromlist=["switch_topology"]
+    ).switch_topology(8, radix=4),
+}
+
+
+def _cmd_synth_tune(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.synth.fabrics import topology_from_json
+    from repro.synth.store import PlanStore
+    from repro.synth.tune import (
+        SMOKE_SIZES,
+        SWEEP_SIZES,
+        format_tune_table,
+        tune,
+    )
+
+    if args.topology_json:
+        topo = topology_from_json(Path(args.topology_json))
+    else:
+        topo = _SYNTH_TOPOLOGIES[args.topology]()
+    if args.sizes:
+        sizes = tuple(
+            float(s) for s in args.sizes.split(",") if s.strip()
+        )
+    else:
+        sizes = SMOKE_SIZES if args.smoke else SWEEP_SIZES
+    result = tune(topo, sizes=sizes, seed=args.seed)
+    print(format_tune_table(result))
+    if args.store:
+        store = PlanStore(args.store)
+        for winner in result.winners:
+            key = store.put(
+                topo,
+                winner.nbytes,
+                winner.best.plan,
+                strategy=winner.best.strategy,
+                source=winner.best.source,
+                time=winner.best.time,
+            )
+            print(f"stored {key}")
+    return 0
+
+
+def _cmd_synth_show(args: argparse.Namespace) -> int:
+    from repro.synth.store import PlanStore
+
+    entries = PlanStore(args.store).entries()
+    if not entries:
+        print("plan store is empty")
+        return 0
+    for entry in entries:
+        print(
+            f"{entry['fingerprint']}  {entry['nbytes']:>12.0f} B  "
+            f"{entry['strategy']:<16} ({entry['source']})  "
+            f"{entry['time'] * 1e6:>9.1f} us  "
+            f"[{entry['topology_name']}]"
+        )
+    return 0
+
+
+def _cmd_synth_clear(args: argparse.Namespace) -> int:
+    from repro.synth.store import PlanStore
+
+    count = PlanStore(args.store).clear()
+    print(f"dropped {count} cached plans")
+    return 0
+
+
+def _cmd_synth_soak(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import SynthesisError
+    from repro.synth.fabrics import random_fabric, topology_to_json
+    from repro.synth.search import synthesize_plan
+
+    failures = 0
+    for i in range(args.fabrics):
+        seed = args.seed + i
+        topo = random_fabric(seed)
+        try:
+            candidate = synthesize_plan(
+                topo, 4e6, nchunks=2, pipelines=(1,), seed=seed
+            )
+        except SynthesisError as exc:
+            failures += 1
+            print(f"seed {seed}: FAIL on {topo.name!r}: {exc}")
+            if args.save_dir:
+                out_dir = Path(args.save_dir)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                out = out_dir / f"soak_fail_seed{seed}.json"
+                out.write_text(topology_to_json(topo))
+                print(f"  topology dumped to {out}")
+            continue
+        print(
+            f"seed {seed}: ok on {topo.name!r} — "
+            f"{candidate.strategy} ({len(candidate.plan.ops)} ops, "
+            f"{candidate.time * 1e6:.1f} us)"
+        )
+    print(
+        f"soak: {args.fabrics - failures}/{args.fabrics} fabrics "
+        "synthesized and verified"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    handlers = {
+        "tune": _cmd_synth_tune,
+        "show": _cmd_synth_show,
+        "clear": _cmd_synth_clear,
+        "soak": _cmd_synth_soak,
+    }
+    from repro.errors import ConfigError, SynthesisError
+
+    try:
+        return handlers[args.synth_command](args)
+    except (ConfigError, SynthesisError) as exc:
+        print(f"synth error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -1404,6 +1610,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_payload,
         render_comparison,
         render_payload,
+        render_trajectory,
         run_bench,
         write_payload,
     )
@@ -1439,9 +1646,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             print(render_comparison(report))
             return 0 if report.ok else 1
-        for path in args.paths:
-            print(render_payload(load_payload(path)))
+        payloads = [load_payload(path) for path in args.paths]
+        for payload in payloads:
+            print(render_payload(payload))
             print()
+        if len(payloads) > 1:
+            # Oldest-first timeline across every payload given.
+            print(render_trajectory(payloads))
         return 0
     except BenchError as exc:
         print(f"bench error: {exc}", file=sys.stderr)
@@ -1451,6 +1662,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "compare": _cmd_compare,
     "bench": _cmd_bench,
+    "synth": _cmd_synth,
     "figures": _cmd_figures,
     "autotune": _cmd_autotune,
     "chaos": _cmd_chaos,

@@ -32,6 +32,7 @@ from repro.experiments import (
     ext_hierarchical,
     ext_plans,
     ext_sensitivity,
+    ext_synth,
     ext_tree_search,
     ext_workloads,
     fig01_allreduce_ratio,
@@ -58,6 +59,7 @@ __all__ = [
     "ext_hierarchical",
     "ext_plans",
     "ext_sensitivity",
+    "ext_synth",
     "ext_tree_search",
     "ext_workloads",
     "fig01_allreduce_ratio",

@@ -63,6 +63,7 @@ def export_all(out_dir: str | Path) -> list[Path]:
         ext_plans,
         ext_recovery,
         ext_sensitivity,
+        ext_synth,
         ext_tree_search,
         ext_workloads,
         fig01_allreduce_ratio,
@@ -99,6 +100,7 @@ def export_all(out_dir: str | Path) -> list[Path]:
         "ext_hierarchical.csv": ext_hierarchical.run,
         "ext_plans.csv": ext_plans.run,
         "ext_recovery.csv": ext_recovery.run,
+        "ext_synth.csv": ext_synth.run,
         "ext_tree_search.csv": ext_tree_search.run,
         "ext_workloads.csv": ext_workloads.run,
         "ext_sensitivity.csv": ext_sensitivity.run,

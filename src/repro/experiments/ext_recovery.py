@@ -129,6 +129,7 @@ def run(
         dgx1_topology(),
         [dead_gpu],
         detour_preference=DETOUR_NODES,
+        synth_fallback=True,
         iterations=1200,
         restarts=3,
         seed=seed,

@@ -21,6 +21,7 @@ from repro.experiments import (
     ext_plans,
     ext_recovery,
     ext_sensitivity,
+    ext_synth,
     ext_tree_search,
     ext_workloads,
     fig01_allreduce_ratio,
@@ -77,6 +78,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     ),
     "ext_plans": lambda: ext_plans.format_table(ext_plans.run()),
     "ext_recovery": lambda: ext_recovery.format_table(ext_recovery.run()),
+    "ext_synth": lambda: ext_synth.format_table(ext_synth.run()),
     "ext_tree_search": lambda: ext_tree_search.format_table(
         ext_tree_search.run()
     ),

@@ -66,6 +66,7 @@ from repro.runtime.recovery import (
     adopted_gradient_fn,
     detect_dead_gpus,
     drain_aborted_run,
+    interpreted_segment,
     shard_assignments,
 )
 from repro.runtime.sync import SpinConfig
@@ -379,6 +380,7 @@ class ElasticTrainer:
                 self.topo,
                 dead,
                 detour_preference=self.detour_preference,
+                synth_fallback=True,
                 **self._search_kwargs,
             )
         return self._embeddings[members]
@@ -397,6 +399,27 @@ class ElasticTrainer:
         if members in self._plan_checks:
             return self._plan_checks[members]
         embedding = self.embedding_for(members)
+        if embedding.synthesized:
+            # No feasible double tree: the embedding already carries a
+            # synthesized plan; re-verify it against the member topology.
+            report = verify_plan(
+                embedding.plan,
+                topo=embedding.topology,
+                raise_on_error=False,
+            )
+            if not report.ok:
+                raise PlanVerificationError(report.errors)
+            check = PlanCheck(
+                members=tuple(sorted(members)),
+                nops=len(embedding.plan.ops),
+                verified=True,
+                notes=(
+                    "synthesized fallback: no feasible double tree over "
+                    f"the members; {embedding.plan_strategy} plan",
+                ),
+            )
+            self._plan_checks[members] = check
+            return check
         plan = build_double_tree_plan(
             embedding.topology.nnodes,
             float(self.network.total_params * 8),
@@ -529,12 +552,21 @@ class ElasticTrainer:
                 if boundary - here <= step:
                     step = boundary - here
                     at_ckpt = True
-            span = self._segment(
-                self._runtime(embedding),
-                self._member_fn(assignments, start + done),
-                weights,
-                step,
-            )
+            member_fn = self._member_fn(assignments, start + done)
+            if embedding.synthesized:
+                span = interpreted_segment(
+                    embedding,
+                    self.network,
+                    member_fn,
+                    weights,
+                    step,
+                    learning_rate=self.learning_rate,
+                    spin=self.spin,
+                )
+            else:
+                span = self._segment(
+                    self._runtime(embedding), member_fn, weights, step
+                )
             history.extend(span)
             weights = span[-1].copy()
             done += step
@@ -621,6 +653,13 @@ class ElasticTrainer:
                     raise ConfigError(
                         f"crash targets gpu {event.gpu}, not a member at "
                         f"iteration {event.at_iteration}"
+                    )
+                if embedding.synthesized:
+                    raise ConfigError(
+                        "crash fault injection targets the hand-written "
+                        "tree kernels; the current member set runs a "
+                        "synthesized fallback plan, which does not "
+                        "support it"
                     )
                 armed = FaultPlan(
                     gpu_faults=(

@@ -312,6 +312,59 @@ def adopted_gradient_fn(
     return fn
 
 
+def interpreted_segment(
+    embedding: DegradedEmbedding,
+    network: NetworkModel,
+    gradient_fn: GradientFn,
+    weights: np.ndarray,
+    iterations: int,
+    *,
+    learning_rate: float,
+    spin=None,
+) -> list[np.ndarray]:
+    """Run a training segment on a *synthesized* embedding's plan.
+
+    Survivor sets with no feasible double tree carry a verified
+    synthesized plan (``embedding.synthesized``) instead of trees the
+    hand-written kernels could execute; this drives the same SGD math
+    as :class:`~repro.runtime.training.FunctionalTrainer` — per-rank
+    gradients, summed collective, ``w -= lr * sum`` — through
+    :class:`repro.plan.interpreter.PlanInterpreter`.
+
+    Returns the per-iteration weight history, like ``_segment``.
+    """
+    # Late import: the interpreter lives in repro.plan, whose package
+    # init imports back into repro.runtime.
+    from repro.plan.interpreter import PlanInterpreter
+
+    if not embedding.synthesized or embedding.plan is None:
+        raise ConfigError(
+            "interpreted_segment needs a synthesized embedding"
+        )
+    nranks = embedding.topology.nnodes
+    w = np.asarray(weights, dtype=np.float64).copy()
+    history: list[np.ndarray] = []
+    for iteration in range(iterations):
+        grads = [
+            np.asarray(gradient_fn(w, rank, iteration), dtype=np.float64)
+            for rank in range(nranks)
+        ]
+        report = PlanInterpreter(
+            embedding.plan,
+            total_elems=network.total_params,
+            spin=spin,
+            verify=False,  # gated once at synthesis time
+        ).run(grads)
+        for out in report.outputs[1:]:
+            if not np.array_equal(report.outputs[0], out):
+                raise ConfigError(
+                    "GPUs diverged — the synthesized collective is broken"
+                )
+        w = w - learning_rate * report.outputs[0]
+        history.append(w.copy())
+    return history
+
+
 @dataclass
 class RecoveryReport:
     """Everything one resilient training run did.
@@ -498,6 +551,31 @@ class ResilientTrainer:
         )
         return trainer.train(weights, iterations=iterations).weight_history
 
+    def _degraded_segment(
+        self,
+        embedding: DegradedEmbedding,
+        gradient_fn: GradientFn,
+        weights: np.ndarray,
+        iterations: int,
+    ) -> list[np.ndarray]:
+        """Run a degraded segment on whatever the embedding supports:
+        the hand-written tree kernels, or — for a synthesized-fallback
+        embedding — its verified plan through the interpreter."""
+        if embedding.synthesized:
+            return interpreted_segment(
+                embedding,
+                self.network,
+                gradient_fn,
+                weights,
+                iterations,
+                learning_rate=self.learning_rate,
+                spin=self.spin,
+            )
+        return self._segment(
+            self._degraded_runtime(embedding), gradient_fn, weights,
+            iterations,
+        )
+
     @staticmethod
     def _shifted(fn: GradientFn, offset: int) -> GradientFn:
         """Gradient function with the iteration counter rebased, so a
@@ -611,8 +689,15 @@ class ResilientTrainer:
             self.topo,
             dead,
             detour_preference=self.detour_preference,
+            synth_fallback=True,
             **self._search_kwargs,
         )
+        if embedding.synthesized:
+            timeline.append(
+                "re-embed: no feasible double tree over the survivors; "
+                f"synthesized {embedding.plan_strategy} plan "
+                f"({len(embedding.plan.ops)} ops, verified)"
+            )
         decision = self.policy.decide(
             nnodes_healthy=self.topo.nnodes,
             nnodes_degraded=embedding.topology.nnodes,
@@ -641,13 +726,19 @@ class ResilientTrainer:
             degraded_fn = adopted_gradient_fn(self.gradient_fn, assignments)
             if cascade_fault_plan is None:
                 history.extend(
-                    self._segment(
-                        self._degraded_runtime(embedding),
+                    self._degraded_segment(
+                        embedding,
                         self._shifted(degraded_fn, prefix),
                         weights, remaining,
                     )
                 )
             else:
+                if embedding.synthesized:
+                    raise ConfigError(
+                        "cascade fault injection targets the hand-written "
+                        "tree kernels; the synthesized-plan fallback "
+                        "segment does not support it"
+                    )
                 if not 0 <= cascade_at_iteration < remaining:
                     raise ConfigError(
                         f"cascade_at_iteration {cascade_at_iteration} "
@@ -713,8 +804,17 @@ class ResilientTrainer:
                         self.topo,
                         all_dead,
                         detour_preference=self.detour_preference,
+                        synth_fallback=True,
                         **self._search_kwargs,
                     )
+                    if cascade_embedding.synthesized:
+                        timeline.append(
+                            "re-embed: no feasible double tree over the "
+                            "cascade survivors; synthesized "
+                            f"{cascade_embedding.plan_strategy} plan "
+                            f"({len(cascade_embedding.plan.ops)} ops, "
+                            "verified)"
+                        )
                     cascade_decision = self.policy.decide(
                         nnodes_healthy=self.topo.nnodes,
                         nnodes_degraded=cascade_embedding.topology.nnodes,
@@ -737,14 +837,17 @@ class ResilientTrainer:
                             f"cost {cascade_embedding.cost}, "
                             f"shards {cascade_assignments}"
                         )
-                        resume_runtime = self._degraded_runtime(
-                            cascade_embedding
-                        )
                         resume_fn = self._shifted(
                             adopted_gradient_fn(
                                 self.gradient_fn, cascade_assignments
                             ),
                             cascade_split,
+                        )
+                        history.extend(
+                            self._degraded_segment(
+                                cascade_embedding, resume_fn, weights,
+                                left,
+                            )
                         )
                     else:
                         timeline.append(
@@ -752,15 +855,15 @@ class ResilientTrainer:
                             "8-GPU schedule"
                         )
                         cascade_embedding = None
-                        resume_runtime = self._healthy_runtime(None)
-                        resume_fn = self._shifted(
-                            self.gradient_fn, cascade_split
+                        history.extend(
+                            self._segment(
+                                self._healthy_runtime(None),
+                                self._shifted(
+                                    self.gradient_fn, cascade_split
+                                ),
+                                weights, left,
+                            )
                         )
-                    history.extend(
-                        self._segment(
-                            resume_runtime, resume_fn, weights, left
-                        )
-                    )
                     timeline.append(
                         f"resume: iterations {cascade_split}.."
                         f"{iterations - 1} redone after cascading crash"

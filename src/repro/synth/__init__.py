@@ -1,0 +1,68 @@
+"""Topology-driven plan synthesis: generate collective plans, don't
+just legalize hand-written ones.
+
+Three layers (the top open ROADMAP item):
+
+- :mod:`repro.synth.search` — construct candidate :class:`repro.plan.ir.Plan`s
+  directly from any :class:`repro.topology.base.PhysicalTopology`:
+  greedy ForestColl-style edge-disjoint spanning-tree packing,
+  hill-climbed double-tree embedding, ring-from-Hamiltonian-cycle
+  extraction, and a hypercube exchange where the fabric supports it.
+  Every candidate must pass ``compile_plan`` -> ``verify_plan`` and the
+  sim ordering oracle before it is ever returned.
+- :mod:`repro.synth.tune` — the plan-IR autotuner: sweep algorithm
+  choice x pipeline chunk factor x chunking per message size, score
+  with ``simulate_plan``, pick per-size winners NCCL byte-threshold
+  style.
+- :mod:`repro.synth.store` — deterministic JSON cache of tuned winners
+  keyed by (topology fingerprint, message size).
+
+:mod:`repro.synth.fallback` turns an infeasible survivor set (no
+double-tree pair exists) into a *verified synthesized plan* instead of
+a :class:`repro.errors.ConfigError`, and :mod:`repro.synth.fabrics`
+generates the seeded random fabrics the nightly soak chews through.
+"""
+
+from repro.synth.fabrics import (
+    random_fabric,
+    topology_from_json,
+    topology_to_json,
+)
+from repro.synth.search import (
+    SynthCandidate,
+    build_forest_plan,
+    effective_gpu_topology,
+    hamiltonian_cycle,
+    pack_binary_forest,
+    synthesize_candidates,
+    synthesize_plan,
+)
+from repro.synth.store import PlanStore, StoredPlan, topology_fingerprint
+from repro.synth.tune import (
+    SizeWinner,
+    SweepEntry,
+    TuneResult,
+    format_tune_table,
+    tune,
+)
+
+__all__ = [
+    "SynthCandidate",
+    "build_forest_plan",
+    "effective_gpu_topology",
+    "hamiltonian_cycle",
+    "pack_binary_forest",
+    "synthesize_candidates",
+    "synthesize_plan",
+    "SizeWinner",
+    "SweepEntry",
+    "TuneResult",
+    "format_tune_table",
+    "tune",
+    "PlanStore",
+    "StoredPlan",
+    "topology_fingerprint",
+    "random_fabric",
+    "topology_to_json",
+    "topology_from_json",
+]

@@ -1,0 +1,135 @@
+"""Seeded random fabrics and topology JSON for the synthesis soak.
+
+The nightly CI job synthesizes and verifies plans over a stream of
+seeded random fabrics (degraded meshes, doubled-link clusters, switch
+hierarchies); a fabric that defeats synthesis is dumped as a JSON
+artifact so the failure replays locally with
+``repro synth soak --seed <n>``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.topology.base import LinkKind, LinkSpec, PhysicalTopology
+from repro.topology.dgx1 import NVLINK_ALPHA, NVLINK_BANDWIDTH
+from repro.topology.switch import switch_topology
+
+__all__ = ["random_fabric", "topology_to_json", "topology_from_json"]
+
+
+def random_fabric(seed: int) -> PhysicalTopology:
+    """A deterministic random fabric for soak seed ``seed``.
+
+    Three families, chosen by the seed: connected random GPU meshes
+    with doubled links, leaf/spine switch fabrics of varying radix, and
+    degraded variants of either (one GPU isolated or one link cut).
+    Always at least 2 usable GPUs; connectivity of the *mesh* family is
+    guaranteed by construction (a random spanning tree first).
+    """
+    rng = random.Random(seed)
+    family = rng.randrange(3)
+    if family == 0:
+        topo = _random_mesh(rng)
+    elif family == 1:
+        nnodes = rng.choice([4, 6, 8, 12])
+        radix = rng.choice([2, 4, 8])
+        topo = switch_topology(nnodes, radix=min(radix, nnodes))
+    else:
+        topo = _random_mesh(rng)
+        if rng.random() < 0.5 and topo.nnodes > 3:
+            victim = rng.randrange(topo.nnodes)
+            try:
+                topo = topo.without_gpu(victim)
+            except Exception:
+                pass
+        else:
+            links = [
+                s for s in topo.links()
+                if s.u < s.v and s.lane == 0
+            ]
+            if links:
+                cut = rng.choice(links)
+                topo = topo.without_link(cut.u, cut.v)
+    return topo
+
+
+def _random_mesh(rng: random.Random) -> PhysicalTopology:
+    n = rng.choice([4, 5, 6, 8, 10])
+    alpha = NVLINK_ALPHA
+    beta = 1.0 / NVLINK_BANDWIDTH
+    topo = PhysicalTopology(nnodes=n, name=f"mesh{n}-r{rng.randrange(1 << 16)}")
+    # Random spanning tree keeps it connected.
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    for i, v in enumerate(nodes[1:], start=1):
+        u = rng.choice(nodes[:i])
+        topo.add_link(u, v, alpha=alpha, beta=beta)
+    # Extra random edges, occasionally doubled.
+    for _ in range(rng.randrange(n, 3 * n)):
+        u, v = rng.sample(range(n), 2)
+        topo.add_link(u, v, alpha=alpha, beta=beta)
+    topo.validate()
+    return topo
+
+
+def topology_to_json(topo: PhysicalTopology) -> str:
+    """Serialize a topology (links, switches) to a JSON string."""
+    payload = {
+        "version": 1,
+        "name": topo.name,
+        "nnodes": topo.nnodes,
+        "switch_ids": sorted(topo.switch_ids),
+        "links": [
+            {
+                "u": spec.u,
+                "v": spec.v,
+                "lane": spec.lane,
+                "alpha": spec.alpha,
+                "beta": spec.beta,
+                "kind": spec.kind.value,
+            }
+            for spec in sorted(
+                topo.links(), key=lambda s: (s.u, s.v, s.lane)
+            )
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def topology_from_json(text: str | Path) -> PhysicalTopology:
+    """Inverse of :func:`topology_to_json` (accepts a path or a string).
+
+    Raises:
+        ConfigError: on a malformed or wrong-version payload.
+    """
+    if isinstance(text, Path):
+        text = text.read_text()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"unreadable topology JSON: {exc}") from exc
+    if payload.get("version") != 1:
+        raise ConfigError(
+            f"unsupported topology JSON version {payload.get('version')!r}"
+        )
+    topo = PhysicalTopology(
+        nnodes=int(payload["nnodes"]),
+        name=str(payload.get("name", "from-json")),
+        switch_ids=frozenset(int(s) for s in payload.get("switch_ids", ())),
+    )
+    for link in payload["links"]:
+        key = (int(link["u"]), int(link["v"]), int(link["lane"]))
+        topo._links[key] = LinkSpec(
+            u=key[0],
+            v=key[1],
+            lane=key[2],
+            alpha=float(link["alpha"]),
+            beta=float(link["beta"]),
+            kind=LinkKind(link.get("kind", "nvlink")),
+        )
+    topo.validate()
+    return topo

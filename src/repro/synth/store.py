@@ -1,0 +1,175 @@
+"""Deterministic plan store: tuned winners cached on disk.
+
+Entries are keyed by ``(topology fingerprint, message size)``.  The
+fingerprint hashes the *structure* of the topology — node count, switch
+ids, and every channel's (u, v, lane, alpha, beta, kind) — so any
+wiring or cost-model change invalidates the cache naturally: a changed
+topology simply hashes to a different key and tunes fresh.  The
+topology *name* is deliberately excluded (two identically-wired
+machines share plans).
+
+Layout under the store root::
+
+    index.json                  # schema version + entry metadata
+    plans/<fp>_<size>.json      # one Plan.to_json payload per entry
+
+Everything is plain JSON via the existing ``Plan.to_json`` /
+``Plan.from_json`` round-trip, so ``repro plan verify <file>`` works on
+stored plans directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.plan.ir import Plan
+from repro.topology.base import PhysicalTopology
+
+__all__ = [
+    "STORE_VERSION",
+    "topology_fingerprint",
+    "StoredPlan",
+    "PlanStore",
+]
+
+STORE_VERSION = 1
+
+
+def topology_fingerprint(topo: PhysicalTopology) -> str:
+    """Stable 16-hex-digit structural hash of a topology."""
+    canon = {
+        "nnodes": topo.nnodes,
+        "switch_ids": sorted(topo.switch_ids),
+        "links": sorted(
+            (s.u, s.v, s.lane, s.alpha, s.beta, s.kind.value)
+            for s in topo.links()
+        ),
+    }
+    digest = hashlib.sha256(
+        json.dumps(canon, sort_keys=True).encode()
+    ).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class StoredPlan:
+    """One cache hit: the plan plus the metadata it was tuned with."""
+
+    fingerprint: str
+    nbytes: float
+    plan: Plan
+    strategy: str
+    source: str
+    time: float
+    topology_name: str
+
+
+class PlanStore:
+    """JSON-backed cache of tuned plans under a directory root."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _load_index(self) -> dict:
+        if not self._index_path.exists():
+            return {"version": STORE_VERSION, "entries": {}}
+        try:
+            index = json.loads(self._index_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"corrupt plan-store index {self._index_path}: {exc}"
+            ) from exc
+        if index.get("version") != STORE_VERSION:
+            # A schema bump invalidates every cached plan.
+            return {"version": STORE_VERSION, "entries": {}}
+        return index
+
+    def _save_index(self, index: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path.write_text(json.dumps(index, indent=2, sort_keys=True))
+
+    @staticmethod
+    def _key(fingerprint: str, nbytes: float) -> str:
+        return f"{fingerprint}_{int(round(nbytes))}"
+
+    def put(
+        self,
+        topo: PhysicalTopology,
+        nbytes: float,
+        plan: Plan,
+        *,
+        strategy: str,
+        source: str,
+        time: float,
+    ) -> str:
+        """Persist one tuned winner; returns the entry key."""
+        fp = topology_fingerprint(topo)
+        key = self._key(fp, nbytes)
+        index = self._load_index()
+        plans_dir = self.root / "plans"
+        plans_dir.mkdir(parents=True, exist_ok=True)
+        plan_file = plans_dir / f"{key}.json"
+        plan_file.write_text(plan.to_json())
+        index["entries"][key] = {
+            "fingerprint": fp,
+            "nbytes": float(nbytes),
+            "strategy": strategy,
+            "source": source,
+            "time": float(time),
+            "topology_name": topo.name,
+            "plan_file": f"plans/{key}.json",
+        }
+        self._save_index(index)
+        return key
+
+    def get(
+        self, topo: PhysicalTopology, nbytes: float
+    ) -> StoredPlan | None:
+        """Exact-key lookup; None on miss or unreadable entry."""
+        fp = topology_fingerprint(topo)
+        key = self._key(fp, nbytes)
+        entry = self._load_index()["entries"].get(key)
+        if entry is None:
+            return None
+        plan_file = self.root / entry["plan_file"]
+        try:
+            plan = Plan.from_json(plan_file.read_text())
+        except Exception:
+            return None
+        return StoredPlan(
+            fingerprint=fp,
+            nbytes=float(entry["nbytes"]),
+            plan=plan,
+            strategy=entry["strategy"],
+            source=entry["source"],
+            time=float(entry["time"]),
+            topology_name=entry["topology_name"],
+        )
+
+    def entries(self) -> list[dict]:
+        """Every index entry, sorted by (fingerprint, nbytes)."""
+        index = self._load_index()
+        return sorted(
+            index["entries"].values(),
+            key=lambda e: (e["fingerprint"], e["nbytes"]),
+        )
+
+    def clear(self) -> int:
+        """Remove every entry and plan file; returns how many entries
+        were dropped."""
+        index = self._load_index()
+        count = len(index["entries"])
+        for entry in index["entries"].values():
+            path = self.root / entry["plan_file"]
+            if path.exists():
+                path.unlink()
+        self._save_index({"version": STORE_VERSION, "entries": {}})
+        return count

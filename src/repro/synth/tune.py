@@ -1,0 +1,259 @@
+"""The plan-IR autotuner: per-size winners over algorithm x pipeline.
+
+``core.autotune`` picks among the *analytic* collective models; this
+module tunes over actual plan IR.  For every message size it sweeps
+
+- the hand-written builders (identity ring, balanced tree, Sanders
+  double tree, halving-doubling where the node count allows), and
+- every synthesized candidate from :mod:`repro.synth.search`,
+
+each crossed with the pipeline chunk factor, scores every survivor of
+the compile -> verify -> ordering gate with ``simulate_plan``, and
+records the per-size winner — the NCCL posture of picking one-shot vs
+two-shot vs hcm by byte thresholds, applied to whole plans.
+
+The topology-dependent searches (tree pair, forest packing, Hamiltonian
+cycle) run once per topology and are reused across sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Sequence
+
+from repro.errors import SynthesisError
+from repro.plan.ir import Plan
+from repro.synth.search import (
+    SynthStructures,
+    gate_candidate,
+    search_structures,
+)
+from repro.topology.base import PhysicalTopology
+from repro.topology.routing import Router
+
+__all__ = [
+    "SWEEP_SIZES",
+    "SMOKE_SIZES",
+    "SweepEntry",
+    "SizeWinner",
+    "TuneResult",
+    "tune",
+    "format_tune_table",
+]
+
+#: Default message sizes swept by ``repro synth tune`` (bytes).
+SWEEP_SIZES: tuple[float, ...] = (
+    64e3, 1e6, 4e6, 16e6, 64e6,
+)
+
+#: The CI smoke subset.
+SMOKE_SIZES: tuple[float, ...] = (64e3, 4e6)
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One gated (plan, score) point of the sweep.
+
+    Attributes:
+        strategy: generator name (``double_tree``, ``forest2``, ...,
+            or a hand-written builder name).
+        source: ``"synth"`` or ``"builder"``.
+        pipeline: pipeline chunk factor.
+        time: simulated completion time (seconds).
+        nops: compiled op count.
+        plan: the compiled plan itself.
+    """
+
+    strategy: str
+    source: str
+    pipeline: int
+    time: float
+    nops: int
+    plan: Plan
+
+
+@dataclass(frozen=True)
+class SizeWinner:
+    """Per-size outcome: overall winner plus the best of each source."""
+
+    nbytes: float
+    best: SweepEntry
+    best_builder: SweepEntry | None
+    best_synth: SweepEntry | None
+    entries: tuple[SweepEntry, ...]
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """The tuner's output for one topology.
+
+    ``choose(nbytes)`` picks the winner of the nearest swept size by
+    byte threshold: the cut between two adjacent swept sizes is their
+    geometric midpoint, mirroring NCCL's threshold tables.
+    """
+
+    topology_name: str
+    nnodes: int
+    winners: tuple[SizeWinner, ...]
+    wall_time: float
+
+    def choose(self, nbytes: float) -> SizeWinner:
+        if not self.winners:
+            raise SynthesisError("empty tune result")
+        best = self.winners[0]
+        for winner in self.winners[1:]:
+            cut = (best.nbytes * winner.nbytes) ** 0.5
+            if nbytes >= cut:
+                best = winner
+        return best
+
+
+def _builder_raws(
+    nnodes: int, nbytes: float, *, nchunks: int
+) -> list[tuple[str, Plan]]:
+    from repro.plan.builders import (
+        build_double_tree_plan,
+        build_halving_doubling_plan,
+        build_ring_plan,
+        build_tree_plan,
+    )
+
+    raws = [
+        ("ring", build_ring_plan(nnodes, nbytes)),
+        ("tree", build_tree_plan(nnodes, nbytes, nchunks=nchunks)),
+        (
+            "double_tree",
+            build_double_tree_plan(
+                nnodes, nbytes, nchunks=nchunks, overlapped=True
+            ),
+        ),
+    ]
+    if nnodes >= 2 and nnodes & (nnodes - 1) == 0:
+        raws.append(
+            ("halving_doubling", build_halving_doubling_plan(nnodes, nbytes))
+        )
+    return raws
+
+
+def tune(
+    topo: PhysicalTopology,
+    *,
+    sizes: Sequence[float] = SWEEP_SIZES,
+    nchunks: int = 4,
+    pipelines: Sequence[int] = (1, 2),
+    seed: int = 0,
+    iterations: int = 800,
+    restarts: int = 3,
+    structures: SynthStructures | None = None,
+) -> TuneResult:
+    """Sweep, score, and pick winners for every message size.
+
+    Raises:
+        SynthesisError: when some size ends with no gated synthesized
+            candidate at all (the store refuses to cache such a size).
+    """
+    t0 = perf_counter()
+    s = structures or search_structures(
+        topo, seed=seed, iterations=iterations, restarts=restarts
+    )
+    eff = s.topology
+    router = Router(eff)
+    winners: list[SizeWinner] = []
+    for nbytes in sizes:
+        entries: list[SweepEntry] = []
+        sources: list[tuple[str, str, Plan]] = [
+            ("builder", name, raw)
+            for name, raw in _builder_raws(eff.nnodes, nbytes, nchunks=nchunks)
+        ]
+        from repro.synth.search import synthesize_candidates
+
+        # Synth raws come pre-gated at pipeline granularity.
+        for cand in synthesize_candidates(
+            topo, nbytes, nchunks=nchunks, pipelines=pipelines, seed=seed,
+            structures=s,
+        ):
+            entries.append(SweepEntry(
+                strategy=cand.strategy,
+                source="synth",
+                pipeline=cand.pipeline,
+                time=cand.time,
+                nops=len(cand.plan.ops),
+                plan=cand.plan,
+            ))
+        for source, name, raw in sources:
+            for factor in pipelines:
+                gated = gate_candidate(
+                    raw, eff, strategy=name, router=router, pipeline=factor
+                )
+                if gated is None:
+                    continue
+                entries.append(SweepEntry(
+                    strategy=name,
+                    source=source,
+                    pipeline=factor,
+                    time=gated.time,
+                    nops=len(gated.plan.ops),
+                    plan=gated.plan,
+                ))
+        if not entries:
+            raise SynthesisError(
+                f"no plan passed the gate on {topo.name!r} at "
+                f"{nbytes:.0f} bytes"
+            )
+        entries.sort(key=lambda e: (e.time, e.source, e.strategy, e.pipeline))
+        synths = [e for e in entries if e.source == "synth"]
+        builders = [e for e in entries if e.source == "builder"]
+        if not synths:
+            raise SynthesisError(
+                f"no synthesized plan passed the gate on {topo.name!r} "
+                f"at {nbytes:.0f} bytes"
+            )
+        winners.append(SizeWinner(
+            nbytes=nbytes,
+            best=entries[0],
+            best_builder=builders[0] if builders else None,
+            best_synth=synths[0],
+            entries=tuple(entries),
+        ))
+    return TuneResult(
+        topology_name=topo.name,
+        nnodes=eff.nnodes,
+        winners=tuple(winners),
+        wall_time=perf_counter() - t0,
+    )
+
+
+def format_tune_table(result: TuneResult) -> str:
+    """Human-readable winner table for ``repro synth tune``."""
+    # Late import: repro.experiments' package init pulls in ext_synth,
+    # which imports back into repro.synth.
+    from repro.experiments.report import render_table
+
+    rows = []
+    for winner in result.winners:
+        synth = winner.best_synth
+        builder = winner.best_builder
+        ratio = (
+            synth.time / builder.time if synth and builder else float("nan")
+        )
+        rows.append([
+            f"{winner.nbytes / 1e6:.3f}",
+            f"{winner.best.strategy} ({winner.best.source})",
+            f"x{winner.best.pipeline}",
+            f"{winner.best.time * 1e6:.1f}",
+            builder.strategy if builder else "-",
+            f"{builder.time * 1e6:.1f}" if builder else "-",
+            synth.strategy if synth else "-",
+            f"{synth.time * 1e6:.1f}" if synth else "-",
+            f"{ratio:.3f}",
+        ])
+    header = [
+        "MB", "winner", "pipe", "us", "best builder", "us",
+        "best synth", "us", "synth/builder",
+    ]
+    title = (
+        f"tuned plans on {result.topology_name} "
+        f"({result.nnodes} ranks, {result.wall_time:.2f}s)"
+    )
+    return render_table(header, rows, title=title)

@@ -236,6 +236,14 @@ class DegradedEmbedding:
         detour_map: ``(child, parent) -> intermediate`` ranks for tree
             edges with no surviving direct link.
         cost: the pair's :class:`PairCost` on the survivor topology.
+        synthesized: True when no feasible pair exists and the
+            embedding instead carries a verified synthesized plan —
+            ``trees``/``detour_map`` are then the best (still
+            infeasible) pair for diagnostics only, and callers must
+            execute ``plan`` rather than the hand-written kernels.
+        plan: the compiled, verified synthesized plan in rank space
+            (None for ordinary embeddings).
+        plan_strategy: which synthesis strategy won (``""`` otherwise).
     """
 
     survivors: tuple[int, ...]
@@ -245,6 +253,9 @@ class DegradedEmbedding:
     trees: tuple[BinaryTree, BinaryTree]
     detour_map: dict[tuple[int, int], int]
     cost: PairCost
+    synthesized: bool = False
+    plan: object | None = None
+    plan_strategy: str = ""
 
 
 def search_degraded_pair(
@@ -255,6 +266,7 @@ def search_degraded_pair(
     iterations: int = 2000,
     restarts: int = 4,
     seed: int = 0,
+    synth_fallback: bool = False,
 ) -> DegradedEmbedding:
     """Re-embed the double tree over the GPUs surviving ``dead_gpus``.
 
@@ -272,11 +284,17 @@ def search_degraded_pair(
             ids (dead ones are dropped; survivors are translated to
             ranks).
         iterations / restarts / seed: forwarded to the hill climb.
+        synth_fallback: when True, an infeasible survivor set does not
+            raise — plan synthesis (:mod:`repro.synth`) runs on the
+            compacted survivor topology instead and the embedding comes
+            back flagged ``synthesized=True`` carrying the verified
+            plan.
 
     Raises:
         ConfigError: on invalid dead GPUs, fewer than 2 survivors, or
-            when no feasible pair exists on the survivor topology (some
-            tree edge has neither a link nor a detour).
+            (without ``synth_fallback``) when no feasible pair exists
+            on the survivor topology (some tree edge has neither a link
+            nor a detour).
     """
     dead = set(dead_gpus)
     compacted, rank_of = survivor_topology(topo, dead)
@@ -292,6 +310,19 @@ def search_degraded_pair(
         seed=seed,
     )
     if cost.infeasible_edges:
+        if synth_fallback:
+            # Late import: repro.synth builds plans, and repro.plan's
+            # passes import back into repro.topology.
+            from repro.synth.fallback import synthesized_embedding
+
+            return synthesized_embedding(
+                rank_of=rank_of,
+                compacted=compacted,
+                pair=pair,
+                cost=cost,
+                router=router,
+                seed=seed,
+            )
         raise ConfigError(
             f"no feasible double tree over the survivors of "
             f"{sorted(dead)} in {topo.name!r}: best pair still has "

@@ -242,3 +242,21 @@ class TestHarnessValidation:
             if entry.get("speedup_vs_before", 0) >= 1.3
         ]
         assert len(fast_enough) >= 2, payload["metrics"]
+
+
+class TestPlanSynthesizeMetric:
+    def test_registered_and_gated(self):
+        from repro.bench.metrics import METRICS
+
+        spec = METRICS["plan_synthesize"]
+        assert spec.gate
+        assert spec.unit == "s/op"
+        assert not spec.higher_is_better
+
+    def test_smoke_run_measures_one_topology(self):
+        payload = run_bench(
+            profile="smoke", seed=3, metrics=["plan_synthesize"], rev="r"
+        )
+        entry = payload["metrics"]["plan_synthesize"]
+        assert entry["ops"] == 1  # DGX-1 only under smoke
+        assert entry["value"] > 0

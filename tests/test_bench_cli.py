@@ -242,3 +242,49 @@ class TestLatestBaseline:
 
         with pytest.raises(BenchError, match="no BENCH"):
             latest_baseline(tmp_path)
+
+
+class TestBenchTrajectory:
+    def test_multiple_payloads_render_trajectory(self, baseline_path,
+                                                 tmp_path, capsys):
+        older = _degrade(
+            baseline_path, tmp_path / "BENCH_old.json", 1.5
+        )
+        # Rename the rev so the columns are distinguishable.
+        payload = json.loads(older.read_text())
+        payload["rev"] = "old"
+        older.write_text(json.dumps(payload))
+        assert main([
+            "bench", "report", str(older), str(baseline_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH trajectory (2 revs" in out
+        assert "last/first" in out
+        assert "old" in out and "base" in out
+        # plan_compile got 1.5x faster old -> base.
+        line = next(
+            l for l in out.splitlines()
+            if l.startswith("plan_compile") and "0.67x" in l
+        )
+        assert line
+
+    def test_single_payload_has_no_trajectory(self, baseline_path,
+                                              capsys):
+        assert main(["bench", "report", str(baseline_path)]) == 0
+        assert "trajectory" not in capsys.readouterr().out
+
+    def test_render_trajectory_handles_missing_metrics(self):
+        from repro.bench import render_trajectory
+
+        a = {"rev": "a", "profile": "smoke",
+             "metrics": {"m1": {"value": 1.0}}}
+        b = {"rev": "b", "profile": "smoke",
+             "metrics": {"m1": {"value": 2.0},
+                         "m2": {"value": 5.0}}}
+        out = render_trajectory([a, b])
+        assert "m1" in out and "m2" in out
+        assert "2.00x" in out  # m1 trajectory
+        m2_line = next(
+            l for l in out.splitlines() if l.startswith("m2")
+        )
+        assert "-" in m2_line  # missing in rev a, no ratio
