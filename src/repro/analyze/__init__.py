@@ -1,0 +1,66 @@
+"""Static analysis suite over the plan IR (no interpreter, no DES).
+
+Modules:
+
+- :mod:`repro.analyze.diagnostics` — the unified ``PLAN0xx``/``SYNC00x``
+  diagnostic model (JSON + SARIF) shared with the verifier and the sync
+  lint.
+- :mod:`repro.analyze.ordering` — the static ordering prover
+  (FIFO-per-wire, reduce-before-broadcast, deadlock freedom on the
+  happens-before graph built from the IR).
+- :mod:`repro.analyze.contention` — per-link contention profile and the
+  α-β critical-path lower bound that prunes the autotuner.
+- :mod:`repro.analyze.core` — :func:`analyze_plan`, the one-call
+  aggregate the ``repro analyze`` CLI surfaces.
+
+The heavy submodules import :mod:`repro.plan`, and the plan verifier
+imports :mod:`repro.analyze.diagnostics` — so this package initializer
+stays import-light and resolves the analysis entry points lazily (PEP
+562) to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import (  # noqa: F401  (re-export, dependency-free)
+    Diagnostic,
+    DiagnosticReport,
+    RULES,
+    rule_slug,
+    severity_of,
+    to_sarif,
+)
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "RULES",
+    "rule_slug",
+    "severity_of",
+    "to_sarif",
+    "AnalysisReport",
+    "analyze_plan",
+    "StaticOrderingReport",
+    "prove_plan_ordering",
+    "ContentionReport",
+    "analyze_contention",
+    "static_lower_bound",
+]
+
+_LAZY = {
+    "AnalysisReport": "core",
+    "analyze_plan": "core",
+    "StaticOrderingReport": "ordering",
+    "prove_plan_ordering": "ordering",
+    "ContentionReport": "contention",
+    "analyze_contention": "contention",
+    "static_lower_bound": "contention",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

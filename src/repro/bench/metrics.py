@@ -321,6 +321,50 @@ def _plan_compile(ctx: BenchContext) -> MetricResult:
     )
 
 
+def _plan_analyze(ctx: BenchContext) -> MetricResult:
+    """Full static-analysis pass (verify + ordering proof + bound).
+
+    This is the cost the autotuner pays per candidate *instead of* a
+    DES run, so it must stay far below simulation time for pruning to
+    pay off.
+    """
+    from repro.analyze import analyze_plan
+    from repro.plan import compile_plan
+    from repro.plan.builders import build_plan
+    from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+    from repro.topology.dgx1_trees import dgx1_trees
+    from repro.topology.routing import Router
+
+    topo = dgx1_topology()
+    router = Router(topo, detour_preference=DETOUR_NODES)
+    nchunks = 6 if ctx.full else 3
+    warmup, iters = (2, 10) if ctx.full else (1, 4)
+    plan = build_plan(
+        "double_tree",
+        8,
+        4096.0,
+        nchunks=nchunks,
+        overlapped=True,
+        trees=dgx1_trees(),
+    )
+    compiled, _ = compile_plan(plan, topo, router=router)
+
+    def analyze():
+        report = analyze_plan(compiled, topo=topo)
+        if not report.ok:  # pragma: no cover - workload is legal
+            raise BenchError("bench plan failed static analysis")
+        return report
+
+    samples = _samples(analyze, warmup=warmup, iters=iters)
+    return MetricResult(
+        value=min(samples),
+        ops=len(compiled.ops),
+        warmup=warmup,
+        iters=iters,
+        timing=_stats(samples),
+    )
+
+
 def _plan_synthesize(ctx: BenchContext) -> MetricResult:
     """Plan synthesis + autotune wall-clock (smoke-size sweep).
 
@@ -482,6 +526,14 @@ METRICS: dict[str, MetricSpec] = {
             gate=True,
             describe="plan compile + verify wall-clock",
             fn=_plan_compile,
+        ),
+        MetricSpec(
+            name="plan_analyze",
+            unit="s/op",
+            higher_is_better=False,
+            gate=True,
+            describe="static analysis (verify + ordering + bound)",
+            fn=_plan_analyze,
         ),
         MetricSpec(
             name="plan_synthesize",

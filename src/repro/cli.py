@@ -180,6 +180,25 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="gradient element count")
     run.add_argument("--seed", type=int, default=0)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="static plan analysis: prove ordering properties and "
+             "compute the contention lower bound on the IR, no "
+             "simulation (see DESIGN.md §13)",
+    )
+    add_plan_args(analyze)
+    analyze.add_argument("file", nargs="?", default=None,
+                         help="serialized plan JSON to analyze instead "
+                              "of building one")
+    analyze.add_argument("--all", action="store_true", dest="analyze_all",
+                         help="analyze every builder, raw and compiled "
+                              "onto DGX-1 (CI smoke)")
+    analyze.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the diagnostic report as JSON")
+    analyze.add_argument("--sarif", default=None, metavar="PATH",
+                         help="also write a SARIF 2.1.0 report to PATH "
+                              "('-' for stdout)")
+
     sanitize = sub.add_parser(
         "sanitize",
         help="device-memory sanitizer: race / lock-order / wait-cycle "
@@ -381,6 +400,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="comma-separated message sizes in bytes "
                                  "(overrides --smoke)")
     synth_tune.add_argument("--seed", type=int, default=0)
+    synth_tune.add_argument("--no-prune", action="store_true",
+                            help="simulate every gated candidate instead "
+                                 "of pruning by the static lower bound "
+                                 "(same winners, more DES runs)")
     synth_tune.add_argument("--store", default=None,
                             help="persist each size's winner into this "
                                  "plan-store directory")
@@ -1038,6 +1061,96 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         return 2
 
 
+def _write_sarif(diagnostics, path: str) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.analyze import to_sarif
+
+    text = json.dumps(to_sarif(diagnostics), indent=2)
+    if path == "-":
+        print(text)
+    else:
+        Path(path).write_text(text + "\n")
+        # stderr so --json stdout stays pure machine-readable.
+        print(f"wrote SARIF report to {path}", file=sys.stderr)
+
+
+def _cmd_analyze_all(args: argparse.Namespace) -> int:
+    import argparse as _argparse
+
+    from repro.analyze import analyze_plan
+    from repro.experiments.report import render_table
+
+    algorithms = ("ring", "tree", "double_tree", "halving_doubling")
+    cases = [(a, False) for a in algorithms]
+    cases += [(a, True) for a in algorithms]
+    rows = []
+    failures = 0
+    diagnostics = []
+    for algorithm, physical in cases:
+        case_args = _argparse.Namespace(
+            algorithm=algorithm,
+            nnodes=args.nnodes,
+            nbytes=args.nbytes,
+            nchunks=args.nchunks,
+            physical=physical,
+        )
+        plan, topo = _plan_for_args(case_args)
+        report = analyze_plan(plan, topo=topo)
+        failures += 0 if report.ok else 1
+        diagnostics.extend(report.report.diagnostics)
+        lb = report.lower_bound
+        rows.append((
+            algorithm,
+            "dgx1" if physical else "logical",
+            len(plan.ops),
+            "ok" if report.ok else "FAIL",
+            f"{lb * 1e6:.1f}us" if lb is not None else "-",
+            str(report.report.diagnostics[0])
+            if report.report.diagnostics else "",
+        ))
+    print(render_table(
+        ["algorithm", "target", "ops", "verdict", "lower bound",
+         "first diagnostic"],
+        rows,
+        title="static plan analysis",
+    ))
+    if args.sarif:
+        _write_sarif(diagnostics, args.sarif)
+    return 0 if failures == 0 else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analyze import analyze_plan
+    from repro.errors import ConfigError, PlanError
+
+    try:
+        if args.analyze_all:
+            return _cmd_analyze_all(args)
+        if args.file is not None:
+            from repro.plan import Plan
+
+            plan = Plan.from_json(Path(args.file).read_text())
+            topo = None
+        else:
+            plan, topo = _plan_for_args(args)
+        report = analyze_plan(plan, topo=topo)
+        if args.as_json:
+            print(json.dumps(report.to_json_dict(), indent=2))
+        else:
+            print(report.describe())
+        if args.sarif:
+            _write_sarif(report.report.diagnostics, args.sarif)
+        return 0 if report.ok else 1
+    except (ConfigError, PlanError, OSError) as exc:
+        print(f"repro analyze: error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_sanitize_list(_args: argparse.Namespace) -> int:
     from repro.experiments.report import render_table
     from repro.sanitizer import SCENARIOS
@@ -1505,7 +1618,8 @@ def _cmd_synth_tune(args: argparse.Namespace) -> int:
         )
     else:
         sizes = SMOKE_SIZES if args.smoke else SWEEP_SIZES
-    result = tune(topo, sizes=sizes, seed=args.seed)
+    result = tune(topo, sizes=sizes, seed=args.seed,
+                  prune=not args.no_prune)
     print(format_tune_table(result))
     if args.store:
         store = PlanStore(args.store)
@@ -1667,6 +1781,7 @@ _COMMANDS = {
     "autotune": _cmd_autotune,
     "chaos": _cmd_chaos,
     "plan": _cmd_plan,
+    "analyze": _cmd_analyze,
     "sanitize": _cmd_sanitize,
     "fuzz": _cmd_fuzz,
     "ckpt": _cmd_ckpt,

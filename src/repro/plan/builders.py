@@ -16,7 +16,7 @@ from ..collectives.ring import DGX1_RING_ORDER  # noqa: F401  (re-export)
 from ..errors import ConfigError
 from ..sim.dag import Phase
 from ..topology.logical import BinaryTree, balanced_binary_tree, two_trees
-from .ir import COPY, RECV, REDUCE, SEND, Plan
+from .ir import COPY, RECV, REDUCE, SEND, Plan, stamp_origin
 
 __all__ = [
     "build_tree_plan",
@@ -180,7 +180,7 @@ def build_tree_plan(
         tree_index=0,
         overlapped=overlapped,
     )
-    return plan
+    return stamp_origin(plan, f"builder:{plan.algorithm}")
 
 
 def build_double_tree_plan(
@@ -225,7 +225,7 @@ def build_double_tree_plan(
             tree_index=tree_index,
             overlapped=overlapped,
         )
-    return plan
+    return stamp_origin(plan, f"builder:{plan.algorithm}")
 
 
 def build_ring_plan(
@@ -332,7 +332,7 @@ def build_ring_plan(
                     label=f"ag-recv c{chunk} s{step} {peer}->{rank}",
                 )
                 last_write[(rank, chunk)] = op.op_id
-    return plan
+    return stamp_origin(plan, f"builder:{plan.algorithm}")
 
 
 def _is_power_of_two(n: int) -> bool:
@@ -441,7 +441,7 @@ def build_halving_doubling_plan(nnodes: int, nbytes: float) -> Plan:
             last_incoming[rank] = op.op_id
             new_owned[rank] |= owned[partner]
         owned = new_owned
-    return plan
+    return stamp_origin(plan, f"builder:{plan.algorithm}")
 
 
 #: name -> builder taking (nnodes, nbytes, **kwargs); used by the CLI

@@ -28,7 +28,10 @@ from typing import Hashable, Iterable
 from ..errors import PlanError
 from ..sim.dag import Phase
 
-__all__ = ["OpKind", "PlanOp", "Plan", "SEND", "RECV", "REDUCE", "COPY"]
+__all__ = [
+    "OpKind", "PlanOp", "Plan", "SEND", "RECV", "REDUCE", "COPY",
+    "stamp_origin",
+]
 
 
 class OpKind:
@@ -82,6 +85,10 @@ class PlanOp:
         deps: op_ids that must complete before this op runs (always
             backward references, in addition to implicit program order).
         label: human-readable description for diagnostics.
+        origin: provenance tag — the builder or compile pass that
+            introduced the op (``"builder:ring"``,
+            ``"pass:legalize_routes"``); carried through passes so
+            post-pass diagnostics name the phase that created the op.
     """
 
     op_id: int
@@ -99,6 +106,7 @@ class PlanOp:
     medium: str = "nvlink"
     deps: tuple[int, ...] = ()
     label: str = ""
+    origin: str = ""
 
     @property
     def src(self) -> int:
@@ -164,6 +172,19 @@ class PlanOp:
         return dataclasses.replace(self, **changes)
 
 
+def stamp_origin(plan: "Plan", origin: str) -> "Plan":
+    """Tag every op that has no provenance yet with ``origin`` (in place).
+
+    Builders call this once at the end so every op they emitted is
+    attributed; passes that rewrite ops preserve existing origins and
+    only stamp the ops they introduce themselves.
+    """
+    plan.ops = [
+        op if op.origin else op.replace(origin=origin) for op in plan.ops
+    ]
+    return plan
+
+
 _JSON_VERSION = 1
 
 
@@ -206,6 +227,7 @@ def _op_to_dict(op: "PlanOp") -> dict:
         "medium": op.medium,
         "deps": list(op.deps),
         "label": op.label,
+        "origin": op.origin,
     }
 
 
@@ -237,6 +259,7 @@ def _op_from_dict(data: dict) -> "PlanOp":
             medium=str(data.get("medium", "nvlink")),
             deps=tuple(int(d) for d in data.get("deps", ())),
             label=str(data.get("label", "")),
+            origin=str(data.get("origin", "")),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise PlanError(f"malformed plan op: {exc}") from exc

@@ -184,6 +184,7 @@ def legalize_routes(
                 rank=op.rank, kind=op.kind, chunk=op.chunk,
                 chunk_set=op.chunk_set, tree=op.tree, tb=op.tb,
                 phase=op.phase, deps=deps, label=op.label,
+                origin=op.origin,
             ).op_id
             continue
         choice = choose(op.src, op.dst, op.nbytes)
@@ -192,7 +193,7 @@ def legalize_routes(
                 rank=op.rank, kind=op.kind, chunk=op.chunk,
                 chunk_set=op.chunk_set, peer=op.peer, nbytes=op.nbytes,
                 lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
-                deps=deps, label=op.label,
+                deps=deps, label=op.label, origin=op.origin,
             ).op_id
             continue
         if choice.choice == "pcie":
@@ -201,6 +202,7 @@ def legalize_routes(
                 chunk_set=op.chunk_set, peer=op.peer, nbytes=op.nbytes,
                 lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
                 deps=deps, medium="pcie", label=op.label,
+                origin=op.origin,
             ).op_id
             if op.kind == SEND:
                 report.pcie_transfers += 1
@@ -216,7 +218,7 @@ def legalize_routes(
                 rank=op.rank, kind=SEND, chunk=op.chunk,
                 chunk_set=op.chunk_set, peer=path[1], nbytes=op.nbytes,
                 lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
-                flow=flow, deps=deps, label=op.label,
+                flow=flow, deps=deps, label=op.label, origin=op.origin,
             ).op_id
             for i in range(1, len(path) - 1):
                 relay_tb = ("relay", op.src, op.dst, op.tree,
@@ -227,6 +229,7 @@ def legalize_routes(
                     nbytes=op.nbytes, lane=op.lane, tree=op.tree,
                     tb=relay_tb, phase=op.phase, flow=flow,
                     label=f"relay-recv {op.label}".strip(),
+                    origin="pass:legalize_routes",
                 )
                 new_plan.add(
                     rank=path[i], kind=SEND, chunk=op.chunk,
@@ -235,13 +238,14 @@ def legalize_routes(
                     tb=relay_tb, phase=op.phase, flow=flow,
                     deps=(recv.op_id,),
                     label=f"relay-send {op.label}".strip(),
+                    origin="pass:legalize_routes",
                 )
         else:  # RECV / REDUCE endpoint
             id_map[op.op_id] = new_plan.add(
                 rank=op.rank, kind=op.kind, chunk=op.chunk,
                 chunk_set=op.chunk_set, peer=path[-2], nbytes=op.nbytes,
                 lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
-                flow=flow, deps=deps, label=op.label,
+                flow=flow, deps=deps, label=op.label, origin=op.origin,
             ).op_id
     if report.detour_transfers or report.pcie_transfers:
         new_plan.notes.append(
@@ -341,6 +345,7 @@ def pipeline_chunks(plan: Plan, factor: int) -> Plan:
                 lane=op.lane, tree=op.tree, tb=op.tb, phase=op.phase,
                 flow=op.flow, medium=op.medium,
                 deps=map_deps(op.deps, None), label=op.label,
+                origin=op.origin,
             )
             id_map[op.op_id] = [new.op_id]
         elif op.chunk >= 0:
@@ -354,6 +359,7 @@ def pipeline_chunks(plan: Plan, factor: int) -> Plan:
                     flow=op.flow, medium=op.medium,
                     deps=map_deps(op.deps, j),
                     label=f"{op.label}.{j}" if op.label else "",
+                    origin=op.origin,
                 )
                 ids.append(new.op_id)
             id_map[op.op_id] = ids
@@ -362,7 +368,7 @@ def pipeline_chunks(plan: Plan, factor: int) -> Plan:
                 rank=op.rank, kind=op.kind, peer=op.peer, lane=op.lane,
                 tree=op.tree, tb=op.tb, phase=op.phase, flow=op.flow,
                 medium=op.medium, deps=map_deps(op.deps, None),
-                label=op.label,
+                label=op.label, origin=op.origin,
             )
             id_map[op.op_id] = [new.op_id]
     return new_plan

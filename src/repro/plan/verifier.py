@@ -3,32 +3,39 @@
 The verifier proves, without executing anything, that a plan is a
 correct AllReduce:
 
-1. **Structure** — dense op ids, backward deps, valid kinds/peers/
-   chunks/payloads.
-2. **Wire matching** — on every FIFO wire ``(src, dst, tree, phase,
-   flow)`` the k-th SEND pairs with the k-th RECV/REDUCE and both carry
-   the same chunks and bytes; each wire has a single sending and a
-   single receiving thread block (otherwise FIFO order is racy).
-3. **Deadlock freedom** — the combined graph of explicit deps,
-   per-thread-block program order, and send→recv pairing is acyclic.
-   Sends never block (the interpreter sizes each wire to its total send
-   count), so acyclicity of this graph is exactly deadlock freedom.
-4. **Dataflow** — replaying ops in a topological order of that graph,
-   every rank must end holding each chunk's full reduction: every
-   contributor reduced exactly once (no drops, no double counting) and
-   every broadcast an overwrite of a fully-reduced copy delivered
-   exactly once.  Unordered accesses to the same (rank, chunk) slot are
-   reported as races.
-5. **Physical legality** (with a topology) — every NVLink hop must ride
-   an existing link and an existing lane.
+1. **Structure** (``PLAN001``) — dense op ids, backward deps, valid
+   kinds/peers/chunks/payloads.
+2. **Wire matching** (``PLAN002``) — on every FIFO wire ``(src, dst,
+   tree, phase, flow)`` the k-th SEND pairs with the k-th RECV/REDUCE
+   and both carry the same chunks and bytes; each wire has a single
+   sending and a single receiving thread block (otherwise FIFO order is
+   racy).
+3. **Deadlock freedom** (``PLAN003``) — the combined graph of explicit
+   deps, per-thread-block program order, and send→recv pairing is
+   acyclic.  Sends never block (the interpreter sizes each wire to its
+   total send count), so acyclicity of this graph is exactly deadlock
+   freedom.
+4. **Dataflow** (``PLAN004``) — replaying ops in a topological order of
+   that graph, every rank must end holding each chunk's full reduction:
+   every contributor reduced exactly once (no drops, no double
+   counting) and every broadcast an overwrite of a fully-reduced copy
+   delivered exactly once.  Unordered accesses to the same (rank,
+   chunk) slot are reported as races (``PLAN005``).
+5. **Physical legality** (``PLAN006``, with a topology) — every NVLink
+   hop must ride an existing link and an existing lane.
 
-Every diagnostic names the offending op (``op 17 [send c3 2->4 t0]``).
+Every diagnostic is a typed :class:`~repro.analyze.diagnostics.Diagnostic`
+naming the offending op (``op 17 [send c3 2->4 t0]``) *and* its
+provenance — the builder or pass that introduced the op — so a finding
+on a compiled plan points at the phase that created the bad op, not
+just the post-pass op id.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..analyze.diagnostics import Diagnostic, severity_of
 from ..errors import PlanVerificationError
 from ..topology.base import PhysicalTopology
 from .ir import COPY, RECV, REDUCE, SEND, OpKind, Plan, PlanOp
@@ -57,6 +64,25 @@ def is_relay(op: PlanOp) -> bool:
     return False
 
 
+def _diag(code: str, message: str, op: PlanOp | None = None) -> Diagnostic:
+    """A typed diagnostic, carrying the op's id/name/provenance."""
+    return Diagnostic(
+        code=code,
+        message=message,
+        severity=severity_of(code),
+        op_id=op.op_id if op is not None else -1,
+        op_name=op.name() if op is not None else "",
+        origin=op.origin if op is not None else "",
+    )
+
+
+def render_diagnostic(d: Diagnostic) -> str:
+    """The legacy error-string form: message plus provenance suffix."""
+    if d.origin:
+        return f"{d.message} [from {d.origin}]"
+    return d.message
+
+
 @dataclass
 class WirePairing:
     """Send/recv pairing of one plan, shared with interpreter/lowering.
@@ -64,15 +90,20 @@ class WirePairing:
     Attributes:
         partner: op_id -> paired op_id (send <-> recv/reduce).
         wires: wire key -> (send op ids, recv op ids) in FIFO order.
-        errors: pairing diagnostics (mismatched counts/payloads, racy
-            multi-producer wires).
+        diagnostics: typed pairing findings (mismatched counts/payloads,
+            racy multi-producer wires) — ``PLAN002``.
     """
 
     partner: dict[int, int] = field(default_factory=dict)
     wires: dict[tuple, tuple[list[int], list[int]]] = field(
         default_factory=dict
     )
-    errors: list[str] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[str]:
+        """Pairing diagnostics as plain strings (legacy API)."""
+        return [render_diagnostic(d) for d in self.diagnostics]
 
 
 def match_wires(plan: Plan) -> WirePairing:
@@ -103,34 +134,42 @@ def match_wires(plan: Plan) -> WirePairing:
         if len(s_ids) != len(r_ids):
             longer = s_ids if len(s_ids) > len(r_ids) else r_ids
             culprit = plan.op(longer[min(len(s_ids), len(r_ids))])
-            pairing.errors.append(
+            pairing.diagnostics.append(_diag(
+                "PLAN002",
                 f"wire {wire}: {len(s_ids)} send(s) vs {len(r_ids)} "
-                f"recv(s); unmatched {culprit.name()}"
-            )
+                f"recv(s); unmatched {culprit.name()}",
+                culprit,
+            ))
             continue
         for tbs, role in ((send_tbs.get(wire), "sender"),
                           (recv_tbs.get(wire), "receiver")):
             if tbs and len(tbs) > 1:
                 first = plan.op(s_ids[0] if role == "sender" else r_ids[0])
-                pairing.errors.append(
+                pairing.diagnostics.append(_diag(
+                    "PLAN002",
                     f"wire {wire}: {len(tbs)} {role} thread blocks "
                     f"{sorted(tbs, key=repr)} — FIFO order is racy; "
-                    f"first {first.name()}"
-                )
+                    f"first {first.name()}",
+                    first,
+                ))
         for s_id, r_id in zip(s_ids, r_ids):
             s_op, r_op = plan.op(s_id), plan.op(r_id)
             if s_op.chunks_carried() != r_op.chunks_carried():
-                pairing.errors.append(
+                pairing.diagnostics.append(_diag(
+                    "PLAN002",
                     f"wire {wire}: {s_op.name()} carries "
                     f"{s_op.chunks_carried()} but paired {r_op.name()} "
-                    f"expects {r_op.chunks_carried()}"
-                )
+                    f"expects {r_op.chunks_carried()}",
+                    s_op,
+                ))
                 continue
             if abs(s_op.nbytes - r_op.nbytes) > 1e-9 * max(1.0, s_op.nbytes):
-                pairing.errors.append(
+                pairing.diagnostics.append(_diag(
+                    "PLAN002",
                     f"wire {wire}: payload mismatch between {s_op.name()} "
-                    f"({s_op.nbytes}B) and {r_op.name()} ({r_op.nbytes}B)"
-                )
+                    f"({s_op.nbytes}B) and {r_op.name()} ({r_op.nbytes}B)",
+                    s_op,
+                ))
             pairing.partner[s_id] = r_id
             pairing.partner[r_id] = s_id
     return pairing
@@ -142,53 +181,78 @@ class VerifyReport:
 
     Attributes:
         ok: no errors found.
-        errors: every diagnostic, each naming an op.
+        errors: every diagnostic as a plain string, each naming an op
+            (legacy API; ``diagnostics`` carries the typed form).
         pairing: the send/recv pairing (reusable by interpreter and
             lowering).
         order: a combined-graph topological order of op ids (execution
             order certificate), empty when a cycle was found.
+        diagnostics: typed findings with code/severity/op provenance.
     """
 
     ok: bool
     errors: list[str]
     pairing: WirePairing
     order: list[int] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
 
-def _structural_errors(plan: Plan) -> list[str]:
-    errors = []
+def _structural_diags(plan: Plan) -> list[Diagnostic]:
+    diags = []
     for i, op in enumerate(plan.ops):
         if op.op_id != i:
-            errors.append(
+            diags.append(_diag(
+                "PLAN001",
                 f"{op.name()}: op_id {op.op_id} at position {i} "
-                "(ids must be dense and ordered)"
-            )
+                "(ids must be dense and ordered)",
+                op,
+            ))
         if op.kind not in OpKind.ALL:
-            errors.append(f"{op.name()}: unknown kind {op.kind!r}")
+            diags.append(_diag(
+                "PLAN001", f"{op.name()}: unknown kind {op.kind!r}", op
+            ))
             continue
         if not (0 <= op.rank < plan.nnodes):
-            errors.append(f"{op.name()}: rank {op.rank} out of range")
+            diags.append(_diag(
+                "PLAN001", f"{op.name()}: rank {op.rank} out of range", op
+            ))
         if op.is_transfer:
             if not (0 <= op.peer < plan.nnodes):
-                errors.append(f"{op.name()}: peer {op.peer} out of range")
+                diags.append(_diag(
+                    "PLAN001", f"{op.name()}: peer {op.peer} out of range",
+                    op,
+                ))
             elif op.peer == op.rank:
-                errors.append(f"{op.name()}: self-transfer")
+                diags.append(_diag(
+                    "PLAN001", f"{op.name()}: self-transfer", op
+                ))
             if not op.chunks_carried():
-                errors.append(f"{op.name()}: transfer carries no chunks")
+                diags.append(_diag(
+                    "PLAN001", f"{op.name()}: transfer carries no chunks",
+                    op,
+                ))
             if op.nbytes <= 0:
-                errors.append(f"{op.name()}: non-positive payload")
+                diags.append(_diag(
+                    "PLAN001", f"{op.name()}: non-positive payload", op
+                ))
         for c in op.chunks_carried():
             if not (0 <= c < plan.nchunks):
-                errors.append(f"{op.name()}: chunk {c} out of range")
+                diags.append(_diag(
+                    "PLAN001", f"{op.name()}: chunk {c} out of range", op
+                ))
         for d in op.deps:
             if not (0 <= d < len(plan.ops)):
-                errors.append(f"{op.name()}: dep {d} out of range")
+                diags.append(_diag(
+                    "PLAN001", f"{op.name()}: dep {d} out of range", op
+                ))
             elif d >= op.op_id:
-                errors.append(
+                diags.append(_diag(
+                    "PLAN001",
                     f"{op.name()}: forward/self dep on op {d} "
-                    "(deps must reference earlier ops)"
-                )
-    return errors
+                    "(deps must reference earlier ops)",
+                    op,
+                ))
+    return diags
 
 
 def _combined_edges(plan: Plan, pairing: WirePairing) -> list[set[int]]:
@@ -207,7 +271,7 @@ def _combined_edges(plan: Plan, pairing: WirePairing) -> list[set[int]]:
 
 def _topo_order(
     plan: Plan, preds: list[set[int]]
-) -> tuple[list[int], list[str]]:
+) -> tuple[list[int], list[Diagnostic]]:
     n = len(plan.ops)
     indeg = [len(p) for p in preds]
     succs: list[list[int]] = [[] for _ in range(n)]
@@ -229,18 +293,20 @@ def _topo_order(
     if len(order) < n:
         stuck = [i for i in range(n) if indeg[i] > 0]
         first = plan.op(stuck[0])
-        return [], [
+        return [], [_diag(
+            "PLAN003",
             f"dependency cycle (deadlock): {len(stuck)} op(s) can never "
-            f"run, first {first.name()}"
-        ]
+            f"run, first {first.name()}",
+            first,
+        )]
     return order, []
 
 
-def _dataflow_errors(
+def _dataflow_diags(
     plan: Plan, pairing: WirePairing, order: list[int]
-) -> list[str]:
+) -> list[Diagnostic]:
     """Replay the plan symbolically and check exactly-once semantics."""
-    errors: list[str] = []
+    diags: list[Diagnostic] = []
     nnodes, nchunks = plan.nnodes, plan.nchunks
     # Per (rank, chunk): the multiset of original contributors held in
     # the local slot, as a dict rank -> count.  Every rank starts with
@@ -269,10 +335,12 @@ def _dataflow_errors(
                 for c in op.chunks_carried():
                     key = _relay_key(op, c)
                     if key not in relay_reg:
-                        errors.append(
+                        diags.append(_diag(
+                            "PLAN004",
                             f"{op.name()}: relay forwards chunk {c} "
-                            "before receiving it"
-                        )
+                            "before receiving it",
+                            op,
+                        ))
                         staged[c] = {}
                     else:
                         staged[c] = dict(relay_reg[key])
@@ -291,11 +359,13 @@ def _dataflow_errors(
                 for contributor, count in incoming.items():
                     local[contributor] = local.get(contributor, 0) + count
                     if local[contributor] > 1:
-                        errors.append(
+                        diags.append(_diag(
+                            "PLAN004",
                             f"{op.name()}: rank {op.rank} reduces chunk "
                             f"{c} contribution of rank {contributor} "
-                            f"twice (duplicate reduction)"
-                        )
+                            f"twice (duplicate reduction)",
+                            op,
+                        ))
                 last_writer[(op.rank, c)] = op
         elif op.kind == RECV:
             s_id = pairing.partner.get(op_id)
@@ -316,11 +386,13 @@ def _dataflow_errors(
                         deliveries.get((op.rank, c), 0) + 1
                     )
                     if deliveries[(op.rank, c)] > 1:
-                        errors.append(
+                        diags.append(_diag(
+                            "PLAN004",
                             f"{op.name()}: rank {op.rank} receives the "
                             f"reduced chunk {c} twice (duplicate "
-                            f"broadcast)"
-                        )
+                            f"broadcast)",
+                            op,
+                        ))
 
     for r in range(nnodes):
         for c in range(nchunks):
@@ -334,26 +406,32 @@ def _dataflow_errors(
             writer = last_writer.get((r, c))
             where = f" (last written by {writer.name()})" if writer else ""
             if missing:
-                errors.append(
+                diags.append(_diag(
+                    "PLAN004",
                     f"rank {r} chunk {c}: contributions from rank(s) "
-                    f"{missing} never reduced in{where} (dropped reduce)"
-                )
+                    f"{missing} never reduced in{where} (dropped reduce)",
+                    writer,
+                ))
             if extra:
-                errors.append(
+                diags.append(_diag(
+                    "PLAN004",
                     f"rank {r} chunk {c}: contributions from rank(s) "
-                    f"{extra} counted more than once{where}"
-                )
+                    f"{extra} counted more than once{where}",
+                    writer,
+                ))
             if not missing and not extra:
-                errors.append(
+                diags.append(_diag(
+                    "PLAN004",
                     f"rank {r} chunk {c}: final value is not the full "
-                    f"reduction{where}"
-                )
-    return errors
+                    f"reduction{where}",
+                    writer,
+                ))
+    return diags
 
 
-def _race_errors(
+def _race_diags(
     plan: Plan, preds: list[set[int]], order: list[int]
-) -> list[str]:
+) -> list[Diagnostic]:
     """Unordered write/write or read/write pairs on one (rank, chunk)."""
     n = len(plan.ops)
     reach = [0] * n  # bitset of ancestors (inclusive)
@@ -366,7 +444,7 @@ def _race_errors(
     def ordered(a: int, b: int) -> bool:
         return bool(reach[b] >> a & 1) or bool(reach[a] >> b & 1)
 
-    errors = []
+    diags = []
     accesses: dict[tuple[int, int], list[tuple[int, bool]]] = {}
     for op in plan.ops:
         if op.kind == COPY or is_relay(op):
@@ -380,39 +458,47 @@ def _race_errors(
                 if not (a_writes or b_writes):
                     continue
                 if not ordered(a, b):
-                    errors.append(
+                    diags.append(_diag(
+                        "PLAN005",
                         f"race on rank {rank} chunk {chunk}: "
                         f"{plan.op(a).name()} and {plan.op(b).name()} "
-                        "are unordered"
-                    )
-    return errors
+                        "are unordered",
+                        plan.op(a),
+                    ))
+    return diags
 
 
-def _physical_errors(plan: Plan, topo: PhysicalTopology) -> list[str]:
-    errors = []
+def _physical_diags(plan: Plan, topo: PhysicalTopology) -> list[Diagnostic]:
+    diags = []
     for op in plan.ops:
         if op.kind != SEND:
             continue
         if op.medium == "pcie":
             continue
         if not (0 <= op.rank < topo.nnodes and 0 <= op.peer < topo.nnodes):
-            errors.append(
+            diags.append(_diag(
+                "PLAN006",
                 f"{op.name()}: endpoint outside topology "
-                f"{topo.name!r} ({topo.nnodes} nodes)"
-            )
+                f"{topo.name!r} ({topo.nnodes} nodes)",
+                op,
+            ))
             continue
         lanes = topo.lane_count(op.rank, op.peer)
         if lanes == 0:
-            errors.append(
+            diags.append(_diag(
+                "PLAN006",
                 f"{op.name()}: no physical link {op.rank}->{op.peer} "
-                f"in topology {topo.name!r}"
-            )
+                f"in topology {topo.name!r}",
+                op,
+            ))
         elif plan.legalized and not (0 <= op.lane < lanes):
-            errors.append(
+            diags.append(_diag(
+                "PLAN006",
                 f"{op.name()}: lane {op.lane} out of range "
-                f"(link {op.rank}->{op.peer} has {lanes} lane(s))"
-            )
-    return errors
+                f"(link {op.rank}->{op.peer} has {lanes} lane(s))",
+                op,
+            ))
+    return diags
 
 
 def verify_plan(
@@ -431,21 +517,23 @@ def verify_plan(
         raise_on_error: raise :class:`PlanVerificationError` listing all
             diagnostics instead of returning a failed report.
     """
-    errors = _structural_errors(plan)
+    diags = _structural_diags(plan)
     pairing = match_wires(plan)
-    errors.extend(pairing.errors)
+    diags.extend(pairing.diagnostics)
     order: list[int] = []
-    if not errors:
+    if not diags:
         preds = _combined_edges(plan, pairing)
-        order, cycle_errors = _topo_order(plan, preds)
-        errors.extend(cycle_errors)
+        order, cycle_diags = _topo_order(plan, preds)
+        diags.extend(cycle_diags)
         if order:
-            errors.extend(_dataflow_errors(plan, pairing, order))
-            errors.extend(_race_errors(plan, preds, order))
+            diags.extend(_dataflow_diags(plan, pairing, order))
+            diags.extend(_race_diags(plan, preds, order))
     if topo is not None:
-        errors.extend(_physical_errors(plan, topo))
+        diags.extend(_physical_diags(plan, topo))
+    errors = [render_diagnostic(d) for d in diags]
     if errors and raise_on_error:
         raise PlanVerificationError(errors)
     return VerifyReport(
-        ok=not errors, errors=errors, pairing=pairing, order=order
+        ok=not errors, errors=errors, pairing=pairing, order=order,
+        diagnostics=diags,
     )

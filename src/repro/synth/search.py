@@ -51,7 +51,7 @@ from repro.plan.builders import (
     build_halving_doubling_plan,
     build_ring_plan,
 )
-from repro.plan.ir import Plan
+from repro.plan.ir import Plan, stamp_origin
 from repro.plan.lowering import simulate_plan
 from repro.plan.passes import compile_plan
 from repro.plan.verifier import verify_plan
@@ -64,11 +64,15 @@ from repro.topology.tree_search import search_tree_pair
 __all__ = [
     "SynthCandidate",
     "build_forest_plan",
+    "compile_candidate",
     "effective_gpu_topology",
+    "gate_candidate",
     "hamiltonian_cycle",
     "pack_binary_forest",
+    "score_candidate",
     "synthesize_candidates",
     "synthesize_plan",
+    "synthesize_raws",
 ]
 
 
@@ -266,7 +270,7 @@ def build_forest_plan(
             tree_index=t,
             overlapped=overlapped,
         )
-    return plan
+    return stamp_origin(plan, f"synth:{plan.algorithm}")
 
 
 # -- Hamiltonian ring extraction -----------------------------------------
@@ -369,6 +373,59 @@ class SynthCandidate:
     notes: tuple[str, ...] = ()
 
 
+def compile_candidate(
+    raw: Plan,
+    topo: PhysicalTopology,
+    *,
+    router: Router | None = None,
+    pipeline: int = 1,
+) -> tuple[Plan, tuple[str, ...]] | None:
+    """Compile and statically verify one raw plan.
+
+    The cheap half of the gate: after it a candidate can be *ranked*
+    (the static lower bound needs only the compiled plan), but not yet
+    scored.  Returns ``(compiled, notes)`` or None on rejection.
+    """
+    try:
+        compiled, reports = compile_plan(
+            raw, topo, router=router, pipeline=pipeline
+        )
+    except Exception:
+        return None
+    report = verify_plan(compiled, topo=topo, raise_on_error=False)
+    if not report.ok:
+        return None
+    return compiled, tuple(reports.notes)
+
+
+def score_candidate(
+    compiled: Plan,
+    topo: PhysicalTopology,
+    *,
+    strategy: str,
+    router: Router | None = None,
+    pipeline: int = 1,
+    notes: tuple[str, ...] = (),
+) -> SynthCandidate | None:
+    """Simulate and ordering-check one compiled plan — the expensive
+    half of the gate.  Returns None when the DES or the oracle rejects
+    it."""
+    try:
+        outcome = simulate_plan(compiled, topo=topo, router=router)
+    except Exception:
+        return None
+    ordering = check_plan_ordering(outcome.plan, outcome.dag, outcome.sim)
+    if not ordering.ok:
+        return None
+    return SynthCandidate(
+        strategy=strategy,
+        plan=compiled,
+        time=outcome.total_time,
+        pipeline=pipeline,
+        notes=notes,
+    )
+
+
 def gate_candidate(
     raw: Plan,
     topo: PhysicalTopology,
@@ -382,28 +439,13 @@ def gate_candidate(
     Returns None when any stage rejects it — synthesis never emits a
     plan the safety net has not accepted.
     """
-    try:
-        compiled, reports = compile_plan(
-            raw, topo, router=router, pipeline=pipeline
-        )
-    except Exception:
+    prepared = compile_candidate(raw, topo, router=router, pipeline=pipeline)
+    if prepared is None:
         return None
-    report = verify_plan(compiled, topo=topo, raise_on_error=False)
-    if not report.ok:
-        return None
-    try:
-        outcome = simulate_plan(compiled, topo=topo, router=router)
-    except Exception:
-        return None
-    ordering = check_plan_ordering(outcome.plan, outcome.dag, outcome.sim)
-    if not ordering.ok:
-        return None
-    return SynthCandidate(
-        strategy=strategy,
-        plan=compiled,
-        time=outcome.total_time,
-        pipeline=pipeline,
-        notes=tuple(reports.notes),
+    compiled, notes = prepared
+    return score_candidate(
+        compiled, topo, strategy=strategy, router=router,
+        pipeline=pipeline, notes=notes,
     )
 
 
@@ -458,28 +500,20 @@ def search_structures(
     )
 
 
-def synthesize_candidates(
-    topo: PhysicalTopology,
+def synthesize_raws(
+    structures: SynthStructures,
     nbytes: float,
     *,
     nchunks: int = 4,
-    pipelines: Sequence[int] = (1,),
-    seed: int = 0,
-    iterations: int = 800,
-    restarts: int = 3,
-    structures: SynthStructures | None = None,
-) -> list[SynthCandidate]:
-    """All gated candidates for one message size, best (fastest) first.
+) -> list[tuple[str, Plan]]:
+    """Raw (uncompiled) synthesized candidates for one message size.
 
-    ``structures`` lets the tuner reuse one topology search across many
-    sizes; when omitted the searches run here.
-    """
-    s = structures or search_structures(
-        topo, seed=seed, iterations=iterations, restarts=restarts
-    )
-    eff = s.topology
-    router = Router(eff)
-    n = eff.nnodes
+    The strategy enumeration shared by :func:`synthesize_candidates`
+    (which gates every entry here) and the tuner's pruning path (which
+    compiles first and lets the static lower bound decide what to
+    simulate)."""
+    s = structures
+    n = s.topology.nnodes
     raws: list[tuple[str, Plan]] = []
     if s.pair is not None:
         from repro.plan.builders import build_double_tree_plan
@@ -501,7 +535,31 @@ def synthesize_candidates(
     raws.append((ring_tag, build_ring_plan(n, nbytes, order=s.ring_order)))
     if s.hypercube:
         raws.append(("hypercube", build_halving_doubling_plan(n, nbytes)))
+    return raws
 
+
+def synthesize_candidates(
+    topo: PhysicalTopology,
+    nbytes: float,
+    *,
+    nchunks: int = 4,
+    pipelines: Sequence[int] = (1,),
+    seed: int = 0,
+    iterations: int = 800,
+    restarts: int = 3,
+    structures: SynthStructures | None = None,
+) -> list[SynthCandidate]:
+    """All gated candidates for one message size, best (fastest) first.
+
+    ``structures`` lets the tuner reuse one topology search across many
+    sizes; when omitted the searches run here.
+    """
+    s = structures or search_structures(
+        topo, seed=seed, iterations=iterations, restarts=restarts
+    )
+    eff = s.topology
+    router = Router(eff)
+    raws = synthesize_raws(s, nbytes, nchunks=nchunks)
     out: list[SynthCandidate] = []
     for strategy, raw in raws:
         for factor in pipelines:

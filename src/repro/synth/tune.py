@@ -12,6 +12,12 @@ the compile -> verify -> ordering gate with ``simulate_plan``, and
 records the per-size winner — the NCCL posture of picking one-shot vs
 two-shot vs hcm by byte thresholds, applied to whole plans.
 
+Before any DES run, every compiled candidate gets a certified α-β
+lower bound from :mod:`repro.analyze.contention`; candidates whose
+bound already exceeds the best simulated time of their source are
+rejected without simulation.  The bound is sound, so pruning never
+changes a winner — see :func:`tune`.
+
 The topology-dependent searches (tree pair, forest packing, Hamiltonian
 cycle) run once per topology and are reused across sizes.
 """
@@ -22,12 +28,15 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Sequence
 
+from repro.analyze.contention import static_lower_bound
 from repro.errors import SynthesisError
 from repro.plan.ir import Plan
 from repro.synth.search import (
     SynthStructures,
-    gate_candidate,
+    compile_candidate,
+    score_candidate,
     search_structures,
+    synthesize_raws,
 )
 from repro.topology.base import PhysicalTopology
 from repro.topology.routing import Router
@@ -49,6 +58,13 @@ SWEEP_SIZES: tuple[float, ...] = (
 
 #: The CI smoke subset.
 SMOKE_SIZES: tuple[float, ...] = (64e3, 4e6)
+
+#: Relative slack on the prune test ``lb > incumbent * (1 + margin)``.
+#: Keeps exact ties (LB equal to the incumbent's simulated time, which
+#: happens when the bound is tight) on the simulated path, so the
+#: ``(time, source, strategy, pipeline)`` tie-break — and therefore
+#: every winner — is byte-identical with pruning on or off.
+PRUNE_MARGIN: float = 1e-6
 
 
 @dataclass(frozen=True)
@@ -97,6 +113,17 @@ class TuneResult:
     nnodes: int
     winners: tuple[SizeWinner, ...]
     wall_time: float
+    #: Candidates that compiled and verified (prune-gate population).
+    candidates: int = 0
+    #: Candidates actually scored by the DES.
+    simulated: int = 0
+    #: Candidates the static lower bound rejected without simulation.
+    pruned: int = 0
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of compiled candidates never simulated."""
+        return self.pruned / self.candidates if self.candidates else 0.0
 
     def choose(self, nbytes: float) -> SizeWinner:
         if not self.winners:
@@ -146,8 +173,19 @@ def tune(
     iterations: int = 800,
     restarts: int = 3,
     structures: SynthStructures | None = None,
+    prune: bool = True,
 ) -> TuneResult:
     """Sweep, score, and pick winners for every message size.
+
+    With ``prune`` (the default) every candidate is compiled and
+    verified, ranked by its static α-β lower bound
+    (:func:`repro.analyze.contention.static_lower_bound`), and
+    simulated in ascending-bound order; a candidate whose bound already
+    exceeds its source's best *simulated* time is discarded without a
+    DES run.  Because the bound is certified (``lb <= simulated
+    time``), a pruned candidate can never be its source's winner, so
+    winners and byte thresholds are identical with pruning off — only
+    the wall time changes.
 
     Raises:
         SynthesisError: when some size ends with no gated synthesized
@@ -160,42 +198,54 @@ def tune(
     eff = s.topology
     router = Router(eff)
     winners: list[SizeWinner] = []
+    n_candidates = n_simulated = n_pruned = 0
     for nbytes in sizes:
-        entries: list[SweepEntry] = []
-        sources: list[tuple[str, str, Plan]] = [
+        raws: list[tuple[str, str, Plan]] = [
+            ("synth", name, raw)
+            for name, raw in synthesize_raws(s, nbytes, nchunks=nchunks)
+        ] + [
             ("builder", name, raw)
             for name, raw in _builder_raws(eff.nnodes, nbytes, nchunks=nchunks)
         ]
-        from repro.synth.search import synthesize_candidates
-
-        # Synth raws come pre-gated at pipeline granularity.
-        for cand in synthesize_candidates(
-            topo, nbytes, nchunks=nchunks, pipelines=pipelines, seed=seed,
-            structures=s,
-        ):
-            entries.append(SweepEntry(
-                strategy=cand.strategy,
-                source="synth",
-                pipeline=cand.pipeline,
-                time=cand.time,
-                nops=len(cand.plan.ops),
-                plan=cand.plan,
-            ))
-        for source, name, raw in sources:
+        # Cheap half of the gate: compile + verify, then rank by the
+        # certified lower bound so likely winners simulate first and
+        # dominated candidates meet an incumbent they cannot beat.
+        compiled: list[tuple[float, str, str, int, Plan, tuple[str, ...]]] = []
+        for source, name, raw in raws:
             for factor in pipelines:
-                gated = gate_candidate(
-                    raw, eff, strategy=name, router=router, pipeline=factor
+                prepared = compile_candidate(
+                    raw, eff, router=router, pipeline=factor
                 )
-                if gated is None:
+                if prepared is None:
                     continue
-                entries.append(SweepEntry(
-                    strategy=name,
-                    source=source,
-                    pipeline=factor,
-                    time=gated.time,
-                    nops=len(gated.plan.ops),
-                    plan=gated.plan,
-                ))
+                plan, notes = prepared
+                lb = static_lower_bound(plan, eff, router=router)
+                compiled.append((lb, source, name, factor, plan, notes))
+        compiled.sort(key=lambda c: (c[0], c[1], c[2], c[3]))
+        n_candidates += len(compiled)
+
+        entries: list[SweepEntry] = []
+        incumbent = {"builder": float("inf"), "synth": float("inf")}
+        for lb, source, name, factor, plan, notes in compiled:
+            if prune and lb > incumbent[source] * (1.0 + PRUNE_MARGIN):
+                n_pruned += 1
+                continue
+            n_simulated += 1
+            scored = score_candidate(
+                plan, eff, strategy=name, router=router, pipeline=factor,
+                notes=notes,
+            )
+            if scored is None:
+                continue
+            incumbent[source] = min(incumbent[source], scored.time)
+            entries.append(SweepEntry(
+                strategy=name,
+                source=source,
+                pipeline=factor,
+                time=scored.time,
+                nops=len(scored.plan.ops),
+                plan=scored.plan,
+            ))
         if not entries:
             raise SynthesisError(
                 f"no plan passed the gate on {topo.name!r} at "
@@ -221,6 +271,9 @@ def tune(
         nnodes=eff.nnodes,
         winners=tuple(winners),
         wall_time=perf_counter() - t0,
+        candidates=n_candidates,
+        simulated=n_simulated,
+        pruned=n_pruned,
     )
 
 
@@ -256,4 +309,9 @@ def format_tune_table(result: TuneResult) -> str:
         f"tuned plans on {result.topology_name} "
         f"({result.nnodes} ranks, {result.wall_time:.2f}s)"
     )
+    if result.candidates:
+        title += (
+            f" — {result.simulated}/{result.candidates} simulated, "
+            f"{result.pruned} pruned by static bound"
+        )
     return render_table(header, rows, title=title)

@@ -37,17 +37,32 @@ Suppress a finding with an end-of-line pragma stating why::
 Usage::
 
     python tools/lint_sync.py [paths ...]     # default: src/
+    python tools/lint_sync.py --sarif out.sarif src   # + code scanning
 
 Exit status 0 when clean, 1 when any finding survives, 2 on bad usage.
+
+Findings are :class:`repro.analyze.diagnostics.Diagnostic` objects —
+the same model the plan verifier and ``repro analyze`` emit — so
+``--sarif`` uploads straight into GitHub code scanning.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analyze.diagnostics import (  # noqa: E402
+    Diagnostic,
+    rule_slug,
+    severity_of,
+    to_sarif,
+)
 
 # Primitives that must come from repro.runtime.sync instead.
 _BANNED_FACTORIES = frozenset({
@@ -66,11 +81,11 @@ _SYNC_IMPL = "runtime/sync.py"
 
 _PRAGMA = re.compile(r"#\s*sync-lint:\s*allow\(([a-z0-9_,\s-]+)\)")
 
+# Rule slugs come from the shared registry (repro.analyze.diagnostics);
+# this is the subset the sync lint owns.
 _RULES = {
-    "SYNC001": "raw-threading",
-    "SYNC002": "spin-abort",
-    "SYNC003": "unfenced-store",
-    "SYNC004": "ckpt-atomic",
+    code: rule_slug(code)
+    for code in ("SYNC001", "SYNC002", "SYNC003", "SYNC004")
 }
 
 # Scope markers for SYNC004: code is checkpoint-protocol code when the
@@ -85,16 +100,16 @@ _STAGED_TOKENS = ("stag", "tmp", "temp", "partial")
 _WRITE_MODES = frozenset("wax")
 
 
-class Finding:
-    def __init__(self, path: Path, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        slug = _RULES[self.rule]
-        return f"{self.path}:{self.line}: {self.rule} ({slug}): {self.message}"
+# The lint's finding type IS the unified diagnostic; `Finding(...)`
+# survives as the constructor shim the checkers call.
+def Finding(path: Path, line: int, rule: str, message: str) -> Diagnostic:
+    return Diagnostic(
+        code=rule,
+        message=message,
+        severity=severity_of(rule),
+        path=str(path),
+        line=line,
+    )
 
 
 def _allowed(source_lines: list[str], line: int, rule: str) -> bool:
@@ -183,12 +198,12 @@ def _durable_write_path(node: ast.Call) -> ast.AST | None:
 
 def _lint_ckpt_atomic(
     tree: ast.Module, path: Path, lines: list[str]
-) -> list[Finding]:
+) -> list[Diagnostic]:
     """SYNC004: checkpoint-scoped writes must target staged paths."""
     file_scoped = any(
         token in path.name.lower() for token in _CKPT_SCOPE
     )
-    findings: list[Finding] = []
+    findings: list[Diagnostic] = []
 
     def visit(node: ast.AST, scoped: bool, func: str | None) -> None:
         if isinstance(
@@ -239,7 +254,7 @@ def _collect_imports(tree: ast.Module) -> tuple[set[str], bool]:
     return from_threading, has_atomic
 
 
-def lint_file(path: Path) -> list[Finding]:
+def lint_file(path: Path) -> list[Diagnostic]:
     text = path.read_text()
     try:
         tree = ast.parse(text, filename=str(path))
@@ -247,7 +262,7 @@ def lint_file(path: Path) -> list[Finding]:
         return [Finding(path, exc.lineno or 0, "SYNC001",
                         f"file does not parse: {exc.msg}")]
     lines = text.splitlines()
-    findings: list[Finding] = []
+    findings: list[Diagnostic] = []
     is_sync_impl = path.as_posix().endswith(_SYNC_IMPL)
     from_threading, has_atomic = _collect_imports(tree)
     sleep_aliases = {"sleep"} if any(
@@ -308,8 +323,8 @@ def lint_file(path: Path) -> list[Finding]:
     return findings
 
 
-def lint_paths(paths: list[Path]) -> list[Finding]:
-    findings: list[Finding] = []
+def lint_paths(paths: list[Path]) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
     for root in paths:
         files = [root] if root.is_file() else sorted(root.rglob("*.py"))
         for file in files:
@@ -323,6 +338,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
+    parser.add_argument("--sarif", default=None, metavar="PATH",
+                        help="also write a SARIF 2.1.0 report to PATH "
+                             "(for GitHub code scanning)")
     args = parser.parse_args(argv)
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
@@ -332,6 +350,9 @@ def main(argv: list[str] | None = None) -> int:
     findings = lint_paths(paths)
     for finding in findings:
         print(finding)
+    if args.sarif:
+        report = to_sarif(findings, tool="lint-sync")
+        Path(args.sarif).write_text(json.dumps(report, indent=2) + "\n")
     nfiles = sum(
         1 if p.is_file() else len(list(p.rglob("*.py"))) for p in paths
     )
