@@ -72,7 +72,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "scenario",
-        choices=("drops", "crash", "stuck", "link-failure", "elastic"),
+        choices=("drops", "crash", "stuck", "link-failure", "elastic",
+                 "plan"),
         help=(
             "drops: lossy/corrupting links with retransmission, verified "
             "bit-exact; crash: injected kernel crash -> fail-fast abort "
@@ -80,7 +81,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "abort; link-failure: simulator NVLink-failure degradation; "
             "elastic: membership event stream (crash/leave/join) with "
             "durable checkpoints, verified re-embedding, and a bit-exact "
-            "multi-segment reference"
+            "multi-segment reference; plan: seeded crash inside an "
+            "interpreted (synthesized-plan) segment — the whole run "
+            "starts degraded on a synthesized fallback plan, a seeded "
+            "victim dies mid-interpretation, and recovery must land "
+            "bit-exact (--cascade adds a second crash while already "
+            "re-embedded)"
         ),
     )
     chaos.add_argument("--drop", type=float, default=0.05,
@@ -89,9 +95,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-transfer corruption probability (drops)")
     chaos.add_argument("--delay", type=float, default=2e-4,
                        help="mean injected link jitter in seconds (drops)")
-    chaos.add_argument("--gpu", type=int, default=3,
-                       help="victim GPU id (crash / stuck); -1 draws one "
-                            "from --seed (crash --recover)")
+    chaos.add_argument("--gpu", type=int, default=None,
+                       help="victim GPU id (crash / stuck / plan; "
+                            "default 3 for crash/stuck); -1 or omitted "
+                            "draws one from --seed (crash --recover / "
+                            "plan)")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--iterations", type=int, default=2,
                        help="training iterations (drops / crash --recover)")
@@ -120,12 +128,20 @@ def _build_parser() -> argparse.ArgumentParser:
                             "fail/torn/bitflip (elastic), e.g. "
                             "'torn:0.1,bitflip:0.05'")
     chaos.add_argument("--soak", type=int, default=0,
-                       help="elastic: run N trials at seeds "
+                       help="elastic / plan: run N trials at seeds "
                             "seed..seed+N-1 and require every one "
                             "bit-exact")
     chaos.add_argument("--save-dir", default=None,
-                       help="elastic --soak: write failing-trial "
+                       help="elastic / plan --soak: write failing-trial "
                             "reports here as JSON")
+    chaos.add_argument("--cascade", action="store_true",
+                       help="plan: arm a second seeded crash while the "
+                            "job is already running degraded on the "
+                            "re-embedded plan")
+    chaos.add_argument("--initial-dead", default="1,2,3,4",
+                       help="plan: comma-separated GPUs already dead at "
+                            "start; the survivor set must need a "
+                            "synthesized fallback plan")
 
     plan = sub.add_parser(
         "plan",
@@ -323,6 +339,16 @@ def _build_parser() -> argparse.ArgumentParser:
     ckpt_drill.add_argument("--dir", default=None,
                             help="run against a real directory backend "
                                  "here instead of in-memory storage")
+    ckpt_drill.add_argument("--every-site", action="store_true",
+                            help="instead of probabilistic faults, "
+                                 "enumerate every durable write site one "
+                                 "save performs (each shard, the "
+                                 "manifest, the commit rename) and "
+                                 "simulate a process crash at each, "
+                                 "under every fate; exit 0 iff every "
+                                 "scenario recovers a committed "
+                                 "generation bit-exactly and a follow-up "
+                                 "save succeeds")
 
     ckpt_inspect = ckpt_sub.add_parser(
         "inspect",
@@ -591,7 +617,11 @@ def _chaos_recover(args: argparse.Namespace) -> int:
 
     rng = np.random.default_rng(args.seed)
     iterations = max(2, args.iterations)
-    gpu = args.gpu if args.gpu >= 0 else int(rng.integers(0, 8))
+    gpu = (
+        args.gpu
+        if args.gpu is not None and args.gpu >= 0
+        else int(rng.integers(0, 8))
+    )
     crash_at = (
         args.crash_iteration
         if args.crash_iteration >= 0
@@ -838,6 +868,201 @@ def _chaos_elastic(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _plan_chaos_trial(args: argparse.Namespace, seed: int):
+    """One interpreted-segment crash drill; returns (ok, lines, detail)."""
+    import numpy as np
+
+    from repro.dnn.layers import LayerSpec, NetworkModel
+    from repro.errors import ConfigError
+    from repro.runtime import (
+        FaultPlan,
+        GpuFault,
+        RecoveryPolicy,
+        ResilientTrainer,
+        quadratic_gradient,
+        recovery_serial_reference,
+    )
+    from repro.runtime.faults import CRASH
+    from repro.runtime.sync import SpinConfig
+    from repro.topology.dgx1 import DETOUR_NODES, dgx1_topology
+    from repro.topology.dgx1_trees import DETOURED_EDGES, dgx1_trees
+
+    initial_dead = tuple(sorted(
+        int(t) for t in args.initial_dead.split(",") if t.strip()
+    ))
+    survivors = sorted(set(range(8)) - set(initial_dead))
+    if len(survivors) < 3 + (1 if args.cascade else 0):
+        raise ConfigError(
+            "need at least 3 survivors (4 with --cascade) so recovery "
+            "has somewhere to go"
+        )
+    rng = np.random.default_rng(seed)
+    iterations = max(4, args.iterations)
+    victim = (
+        args.gpu
+        if args.gpu is not None and args.gpu >= 0
+        else survivors[int(rng.integers(0, len(survivors)))]
+    )
+    if victim not in survivors:
+        raise ConfigError(
+            f"victim gpu {victim} is not one of the survivors {survivors}"
+        )
+    crash_at = (
+        args.crash_iteration
+        if args.crash_iteration >= 0
+        else int(rng.integers(0, iterations - (2 if args.cascade else 0)))
+    )
+    after_chunk = int(rng.integers(0, 2))
+
+    net = NetworkModel(
+        name="plan-chaos",
+        layers=(LayerSpec(name="L0", params=args.elems, fwd_flops=1e6),),
+    )
+    targets = [rng.normal(size=args.elems) for _ in range(8)]
+    gradient_fn = quadratic_gradient(targets)
+    w0 = rng.normal(size=args.elems)
+    trainer = ResilientTrainer(
+        dgx1_topology(),
+        net,
+        gradient_fn,
+        trees=dgx1_trees(),
+        detour_map=DETOURED_EDGES,
+        learning_rate=0.02,
+        policy=RecoveryPolicy(mode=args.policy),
+        spin=SpinConfig(timeout=30.0, pause=0.0),
+        detour_preference=DETOUR_NODES,
+        search_seed=seed,
+        initial_dead=initial_dead,
+    )
+    plan = FaultPlan(
+        gpu_faults=(GpuFault(victim, CRASH, after_chunk=after_chunk),),
+        seed=seed,
+    )
+    kwargs = {}
+    cascade_victim = -1
+    if args.cascade:
+        remaining = [g for g in survivors if g != victim]
+        cascade_victim = remaining[int(rng.integers(0, len(remaining)))]
+        kwargs = dict(
+            cascade_fault_plan=FaultPlan(
+                gpu_faults=(
+                    GpuFault(cascade_victim, CRASH, after_chunk=0),
+                ),
+                seed=seed + 1,
+            ),
+            cascade_at_iteration=1,
+        )
+    report = trainer.train(
+        w0.copy(),
+        iterations=iterations,
+        fault_plan=plan,
+        fault_at_iteration=crash_at,
+        **kwargs,
+    )
+    lines = [
+        f"initial dead: GPUs {list(initial_dead)} — "
+        f"{len(survivors)} survivors on a synthesized plan",
+        f"injected crash: gpu {victim}, iteration {crash_at}, "
+        f"chunk {after_chunk} (seed {seed})"
+        + (f"; cascade crash: gpu {cascade_victim}" if args.cascade
+           else ""),
+    ]
+    lines += [f"  {line}" for line in report.timeline]
+    ok = True
+    if not report.aborted:
+        lines.append("ERROR: the armed fault never aborted the cluster")
+        ok = False
+    if report.dead_gpus != (victim,):
+        lines.append(
+            f"ERROR: detected dead {list(report.dead_gpus)}, "
+            f"expected [{victim}]"
+        )
+        ok = False
+    if args.cascade and report.cascade_dead_gpus != (cascade_victim,):
+        lines.append(
+            f"ERROR: cascade detected {list(report.cascade_dead_gpus)}, "
+            f"expected [{cascade_victim}]"
+        )
+        ok = False
+    identical = False
+    if ok:
+        reference = recovery_serial_reference(
+            net, gradient_fn, w0.copy(),
+            report=report,
+            healthy_trees=trainer.trees,
+            healthy_layout=trainer.layout,
+            iterations=iterations,
+            learning_rate=0.02,
+        )
+        identical = bool(np.array_equal(report.weights, reference))
+        lines.append(
+            "recovered weights bit-identical to plan-aware serial "
+            "reference: " + ("yes" if identical else "NO")
+        )
+    detail = {
+        "seed": seed,
+        "initial_dead": list(initial_dead),
+        "victim": victim,
+        "crash_iteration": crash_at,
+        "after_chunk": after_chunk,
+        "cascade_victim": cascade_victim,
+        "aborted": report.aborted,
+        "abort_reason": report.abort_reason,
+        "dead_detected": list(report.dead_gpus),
+        "cascade_dead_detected": list(report.cascade_dead_gpus),
+        "fault_stats": dict(report.fault_stats),
+        "cascade_fault_stats": dict(report.cascade_fault_stats),
+        "bit_exact": identical,
+        "timeline": list(report.timeline),
+    }
+    return ok and identical, lines, detail
+
+
+def _chaos_plan(args: argparse.Namespace) -> int:
+    """Seeded crash (and optional cascade) inside an interpreted segment.
+
+    The run starts with a dead quad, so every iteration executes on a
+    synthesized fallback plan through the interpreter; the armed fault
+    then kills a seeded victim mid-plan.  Exit 0 requires abort,
+    correct detection, verified re-embedding, and final weights
+    bit-identical to the plan-aware serial reference.
+    """
+    import json
+    from pathlib import Path
+
+    trials = (
+        [args.seed]
+        if args.soak <= 0
+        else list(range(args.seed, args.seed + args.soak))
+    )
+    failures = 0
+    for seed in trials:
+        ok, lines, detail = _plan_chaos_trial(args, seed)
+        if args.soak <= 0:
+            for line in lines:
+                print(line)
+        else:
+            print(
+                f"seed {seed}: victim gpu {detail['victim']}"
+                + (f" + cascade gpu {detail['cascade_victim']}"
+                   if args.cascade else "")
+                + (" bit-exact" if ok else " FAILED")
+            )
+        if not ok:
+            failures += 1
+            if args.save_dir is not None:
+                out = Path(args.save_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                path = out / f"plan-seed-{seed}.json"
+                path.write_text(json.dumps(detail, indent=2))
+                print(f"  failing trial written to {path}")
+    if args.soak > 0:
+        print(
+            f"soak: {len(trials) - failures}/{len(trials)} trials bit-exact"
+        )
+    return 0 if failures == 0 else 1
+
+
 def _chaos_kill(args: argparse.Namespace, kind: str, timeout: float) -> int:
     import time
 
@@ -846,7 +1071,8 @@ def _chaos_kill(args: argparse.Namespace, kind: str, timeout: float) -> int:
     from repro.errors import AbortedError
     from repro.runtime import FaultPlan, GpuFault
 
-    plan = FaultPlan(gpu_faults=(GpuFault(args.gpu, kind, after_chunk=1),))
+    gpu = 3 if args.gpu is None else args.gpu
+    plan = FaultPlan(gpu_faults=(GpuFault(gpu, kind, after_chunk=1),))
     runtime = _chaos_runtime(args, plan, timeout=timeout)
     inputs = [np.full(args.elems, float(g)) for g in range(8)]
     started = time.monotonic()
@@ -881,6 +1107,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             return _chaos_kill(args, STUCK, timeout=2.0)
         if args.scenario == "elastic":
             return _chaos_elastic(args)
+        if args.scenario == "plan":
+            return _chaos_plan(args)
         from repro.experiments import ext_faults
 
         print(ext_faults.format_table(ext_faults.run()))
@@ -1443,6 +1671,53 @@ def _cmd_fuzz_mutate(args: argparse.Namespace) -> int:
     return 0 if inconsistent == 0 else 1
 
 
+def _ckpt_every_site(args: argparse.Namespace) -> int:
+    """Crash-at-every-durable-write-site sweep over one save.
+
+    Exhaustive rather than probabilistic: every shard write, the
+    manifest write, and the commit rename each get a simulated process
+    death under every applicable fate (lost/torn for writes,
+    before/after for the rename); each scenario must recover a
+    committed generation bit-exactly and complete a follow-up save.
+    """
+    import functools
+
+    from repro.errors import CheckpointError
+    from repro.runtime import DirectoryBackend, MemoryBackend, every_site_drill
+
+    factory = (
+        functools.partial(DirectoryBackend, args.dir)
+        if args.dir is not None
+        else MemoryBackend
+    )
+    if args.dir is not None:
+        # Scenarios are independent; a shared directory would leak
+        # committed generations between them.
+        print("note: --dir reuses one directory across scenarios; "
+              "using fresh in-memory storage instead")
+        factory = MemoryBackend
+    try:
+        report = every_site_drill(
+            elems=args.elems, seed=args.seed, backend_factory=factory
+        )
+    except CheckpointError as exc:
+        print(f"ERROR: {exc}")
+        return 1
+    for row in report["sites"]:
+        print(
+            f"site {row['site']:2d} {row['op']:6s} fate={row['fate']:6s} "
+            f"-> recovered gen {row['recovered_generation']} "
+            f"(iteration {row['recovered_iteration']}), follow-up gen "
+            f"{row['followup_generation']}"
+        )
+    print(
+        f"every-site drill: {report['nsites']} durable write sites, "
+        f"{report['nscenarios']} crash scenarios, all recovered a "
+        "committed generation bit-exactly"
+    )
+    return 0
+
+
 def _cmd_ckpt_drill(args: argparse.Namespace) -> int:
     """Hammer the checkpointer's commit protocol with storage faults.
 
@@ -1460,6 +1735,9 @@ def _cmd_ckpt_drill(args: argparse.Namespace) -> int:
         FaultyBackend,
         MemoryBackend,
     )
+
+    if args.every_site:
+        return _ckpt_every_site(args)
 
     inner = (
         DirectoryBackend(args.dir)

@@ -96,6 +96,7 @@ def export_all(out_dir: str | Path) -> list[Path]:
         "ext_algorithms.csv": ext_algorithms.run,
         "ext_dgx2.csv": ext_dgx2.run,
         "ext_elastic.csv": ext_elastic.run,
+        "ext_elastic_interp.csv": ext_elastic.run_interpreted,
         "ext_faults.csv": ext_faults.run,
         "ext_hierarchical.csv": ext_hierarchical.run,
         "ext_plans.csv": ext_plans.run,

@@ -78,6 +78,16 @@ class ElasticRow:
     bit_exact: bool
 
 
+#: Member set whose only feasible embedding is a synthesized fallback
+#: plan — the interpreted-path variant starts here, so its crash fires
+#: *inside* the plan interpreter rather than a hand-written kernel.
+INTERPRETED_MEMBERS = (0, 5, 6, 7)
+
+#: Scripted events for the interpreted-path variant: a crash while the
+#: whole job runs on the synthesized plan.
+INTERPRETED_EVENTS = "crash:5@2"
+
+
 def run(
     *,
     elems: int = DEFAULT_ELEMS,
@@ -85,6 +95,7 @@ def run(
     iterations: int = DEFAULT_ITERATIONS,
     checkpoint_every: int = 2,
     seed: int = 0,
+    initial_members: tuple[int, ...] | None = None,
 ) -> list[ElasticRow]:
     """Run the scripted drill and audit it against the serial reference."""
     network = NetworkModel(
@@ -107,6 +118,7 @@ def run(
         detour_preference=DETOUR_NODES,
         checkpointer=Checkpointer(MemoryBackend()),
         checkpoint_every=checkpoint_every,
+        initial_members=initial_members,
     )
     stream = parse_events(events, iterations=iterations, seed=seed)
     w0 = np.zeros(elems)
@@ -149,6 +161,30 @@ def run(
     return rows
 
 
+def run_interpreted(
+    *,
+    elems: int = DEFAULT_ELEMS,
+    iterations: int = 5,
+    seed: int = 0,
+) -> list[ElasticRow]:
+    """The interpreted-path variant of the drill.
+
+    Starts on :data:`INTERPRETED_MEMBERS` — a member set with no
+    feasible double tree, so every iteration executes a synthesized
+    fallback plan through the interpreter — and crashes one member
+    mid-plan.  Recovery must drive the same abort → drain → detect →
+    re-embed machinery entirely inside interpreted segments and still
+    land bit-exact.
+    """
+    return run(
+        elems=elems,
+        events=INTERPRETED_EVENTS,
+        iterations=iterations,
+        seed=seed,
+        initial_members=INTERPRETED_MEMBERS,
+    )
+
+
 def format_table(rows: list[ElasticRow]) -> str:
     return render_table(
         ["segment", "from iter", "opened by", "members", "detours",
@@ -169,7 +205,7 @@ def format_table(rows: list[ElasticRow]) -> str:
         ],
         title=(
             "Extension — elastic membership drill "
-            f"({DEFAULT_EVENTS}, {rows[0].checkpoints_committed if rows else 0}"
+            f"({rows[0].checkpoints_committed if rows else 0}"
             " checkpoint(s) committed)"
         ),
     )

@@ -72,6 +72,9 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     ),
     "ext_dgx2": lambda: ext_dgx2.format_table(ext_dgx2.run()),
     "ext_elastic": lambda: ext_elastic.format_table(ext_elastic.run()),
+    "ext_elastic_interp": lambda: ext_elastic.format_table(
+        ext_elastic.run_interpreted()
+    ),
     "ext_faults": lambda: ext_faults.format_table(ext_faults.run()),
     "ext_hierarchical": lambda: ext_hierarchical.format_table(
         ext_hierarchical.run()

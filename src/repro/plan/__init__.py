@@ -27,7 +27,12 @@ from .builders import (
     build_ring_plan,
     build_tree_plan,
 )
-from .interpreter import PlanInterpreter, PlanRunReport, default_plan_layout
+from .interpreter import (
+    PlanInterpreter,
+    PlanRunReport,
+    default_plan_layout,
+    plan_reduce_order,
+)
 from .ir import COPY, RECV, REDUCE, SEND, OpKind, Plan, PlanOp
 from .lowering import (
     PlanOutcome,
@@ -42,7 +47,12 @@ from .passes import (
     legalize_routes,
     pipeline_chunks,
 )
-from .verifier import VerifyReport, match_wires, verify_plan
+from .verifier import (
+    VerifyReport,
+    execution_order,
+    match_wires,
+    verify_plan,
+)
 
 __all__ = [
     "Plan",
@@ -60,10 +70,12 @@ __all__ = [
     "build_halving_doubling_plan",
     "verify_plan",
     "match_wires",
+    "execution_order",
     "VerifyReport",
     "PlanInterpreter",
     "PlanRunReport",
     "default_plan_layout",
+    "plan_reduce_order",
     "lower_to_dag",
     "simulate_plan",
     "PlanOutcome",

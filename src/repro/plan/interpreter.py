@@ -27,9 +27,14 @@ from ..runtime.memory import ChunkLayout, GradientBuffer
 from ..runtime.sync import AbortCell, DeviceEvent, SpinConfig
 from ..sim.dag import Phase
 from .ir import COPY, RECV, REDUCE, SEND, Plan, PlanOp
-from .verifier import is_relay, match_wires, verify_plan
+from .verifier import execution_order, is_relay, match_wires, verify_plan
 
-__all__ = ["PlanRunReport", "PlanInterpreter", "default_plan_layout"]
+__all__ = [
+    "PlanRunReport",
+    "PlanInterpreter",
+    "default_plan_layout",
+    "plan_reduce_order",
+]
 
 _REDUCING_PHASES = (Phase.REDUCE, Phase.REDUCE_SCATTER)
 
@@ -51,6 +56,77 @@ def default_plan_layout(plan: Plan, total_elems: int) -> ChunkLayout:
         ntrees=plan.ntrees,
         chunks_per_tree=plan.nchunks // plan.ntrees,
     )
+
+
+def plan_reduce_order(
+    plan: Plan,
+    *,
+    total_elems: int | None = None,
+    layout: ChunkLayout | None = None,
+):
+    """Summation in the exact order the interpreted plan reduces.
+
+    The serial analogue of :func:`~repro.runtime.training.tree_reduce_order`
+    for compiled plans: replays the plan's ops in the verifier's combined-
+    graph topological order on plain float64 buffers, with per-wire FIFO
+    queues and the interpreter's relay-stash semantics.  PLAN005 race
+    freedom guarantees every linearization of that graph performs the
+    same per-slot access sequence, so this single-threaded replay is
+    bit-identical to the threaded :class:`PlanInterpreter` — the oracle
+    the interpreted-segment recovery tests compare against.
+
+    Returns a ``grads -> reduced`` callable suitable for
+    :func:`~repro.runtime.training.serial_reference`'s ``reduce_order``.
+    """
+    if layout is None:
+        if total_elems is None:
+            raise ConfigError("pass total_elems or an explicit layout")
+        layout = default_plan_layout(plan, total_elems)
+    if layout.nchunks != plan.nchunks:
+        raise ConfigError(
+            f"layout has {layout.nchunks} chunks, plan has {plan.nchunks}"
+        )
+    pairing = match_wires(plan)
+    order = execution_order(plan, pairing)
+
+    def reduce(grads: list[np.ndarray]) -> np.ndarray:
+        if len(grads) != plan.nnodes:
+            raise ConfigError(
+                f"expected {plan.nnodes} gradient arrays, got {len(grads)}"
+            )
+        buffers = [
+            np.asarray(g, dtype=np.float64).copy() for g in grads
+        ]
+        queues: dict[tuple, list[np.ndarray]] = {}
+        stash: dict[tuple, np.ndarray] = {}
+        for op_id in order:
+            op = plan.op(op_id)
+            if op.kind == SEND:
+                relay = is_relay(op)
+                for c in op.chunks_carried():
+                    if relay:
+                        values = stash.pop((op.rank, op.flow, op.tree,
+                                            op.phase, c))
+                    else:
+                        values = buffers[op.rank][layout.slice_of(c)].copy()
+                    queues.setdefault((op.wire_key(), c), []).append(values)
+            elif op.kind == REDUCE:
+                for c in op.chunks_carried():
+                    values = queues[(op.wire_key(), c)].pop(0)
+                    buffers[op.rank][layout.slice_of(c)] += values
+            elif op.kind == RECV:
+                relay = is_relay(op)
+                for c in op.chunks_carried():
+                    values = queues[(op.wire_key(), c)].pop(0)
+                    if relay:
+                        stash[(op.rank, op.flow, op.tree, op.phase, c)] = (
+                            values
+                        )
+                    else:
+                        buffers[op.rank][layout.slice_of(c)] = values
+        return buffers[0]
+
+    return reduce
 
 
 def wire_tag(wire_key: tuple) -> str:
@@ -128,6 +204,12 @@ class PlanInterpreter:
         self.abort_cell: AbortCell | None = None
         self.phase_board: PhaseBoard | None = None
 
+    @property
+    def nnodes(self) -> int:
+        """Rank count — lets recovery code treat the interpreter like a
+        hand-written runtime (``detect_dead_gpus`` scans this range)."""
+        return self.plan.nnodes
+
     # -- fault mirroring (same contract as TreeAllReduceRuntime) --------
 
     def _apply_gpu_fault(
@@ -191,6 +273,31 @@ class PlanInterpreter:
         self.phase_board = board
         run_spin = replace(self.spin, abort=abort)
 
+        # Fault-armed diagnostics: when a fault plan is live, the abort
+        # dump carries the injector counters and, per thread block, the
+        # last plan op in flight with its builder/pass provenance — so a
+        # post-mortem on an interpreted segment names the op *and* the
+        # compiler phase that produced it.  Unarmed runs skip all of it
+        # (the hot path pays one attribute check per kernel).
+        armed = self.fault_plan is not None
+        active_ops: dict[tuple, str] = {}
+        if armed:
+            abort.register_dump(
+                "plan fault stats", self.fault_plan.stats.describe
+            )
+
+            def dump_active_ops() -> str:
+                return "\n".join(
+                    f"g{key[0]} tb {key[1]!r}: {line}"
+                    for key, line in sorted(
+                        active_ops.items(), key=lambda kv: repr(kv[0])
+                    )
+                ) or "no plan op started"
+
+            abort.register_dump(
+                "active plan op (origin provenance)", dump_active_ops
+            )
+
         buffers = [
             GradientBuffer(a, self.layout, owner=g)
             for g, a in enumerate(inputs)
@@ -243,6 +350,10 @@ class PlanInterpreter:
                 # through this GPU's own gradient slot.
                 stash: dict[tuple, np.ndarray] = {}
                 for op in prog:
+                    if armed:
+                        active_ops[key] = (
+                            f"{op.name()} origin={op.origin or '-'}"
+                        )
                     if (
                         op.phase in _REDUCING_PHASES
                         and op.chunks_carried()

@@ -45,6 +45,7 @@ __all__ = [
     "VerifyReport",
     "match_wires",
     "verify_plan",
+    "execution_order",
     "is_relay",
 ]
 
@@ -300,6 +301,30 @@ def _topo_order(
             first,
         )]
     return order, []
+
+
+def execution_order(
+    plan: Plan, pairing: WirePairing | None = None
+) -> list[int]:
+    """A deterministic serial execution order for ``plan``.
+
+    Topological order of the combined graph (deps ∪ per-thread-block
+    program order ∪ send→recv pairing), smallest ready op id first —
+    the same order :func:`verify_plan` replays for its dataflow check.
+    Because PLAN005 race freedom makes every linearization of that
+    graph touch each (rank, chunk) slot in the same sequence, replaying
+    ops in this order is bit-identical to the threaded interpreter.
+
+    Raises:
+        PlanVerificationError: the combined graph has a cycle (the plan
+            would deadlock; run :func:`verify_plan` for the full story).
+    """
+    if pairing is None:
+        pairing = match_wires(plan)
+    order, diags = _topo_order(plan, _combined_edges(plan, pairing))
+    if diags:
+        raise PlanVerificationError([render_diagnostic(d) for d in diags])
+    return order
 
 
 def _dataflow_diags(

@@ -45,10 +45,15 @@ from repro.runtime.faults import (
 from repro.runtime.checkpoint import (
     Checkpointer,
     CheckpointState,
+    CrashingBackend,
     DirectoryBackend,
     FaultyBackend,
     MemoryBackend,
+    SimulatedCrash,
     StorageBackend,
+    WriteSite,
+    enumerate_write_sites,
+    every_site_drill,
 )
 from repro.runtime.elastic import (
     ElasticReport,
@@ -63,6 +68,7 @@ from repro.runtime.memory import ChunkLayout, GradientBuffer
 from repro.runtime.allreduce import RunReport, TreeAllReduceRuntime
 from repro.runtime.queue_runtime import ChainedTrainingRuntime, ComputeRecord
 from repro.runtime.recovery import (
+    InterpretedSegment,
     RecoveryDecision,
     RecoveryPolicy,
     RecoveryReport,
@@ -70,7 +76,9 @@ from repro.runtime.recovery import (
     adopted_gradient_fn,
     detect_dead_gpus,
     drain_aborted_run,
+    interpreted_segment,
     recovery_serial_reference,
+    segment_reduce_order,
     shard_assignments,
 )
 from repro.runtime.ring_runtime import RingAllReduceRuntime, RingRunReport
@@ -97,10 +105,15 @@ __all__ = [
     "stable_tag_seed",
     "Checkpointer",
     "CheckpointState",
+    "CrashingBackend",
     "DirectoryBackend",
     "FaultyBackend",
     "MemoryBackend",
+    "SimulatedCrash",
     "StorageBackend",
+    "WriteSite",
+    "enumerate_write_sites",
+    "every_site_drill",
     "ElasticReport",
     "ElasticTrainer",
     "MembershipEvent",
@@ -120,6 +133,7 @@ __all__ = [
     "tree_reduce_order",
     "RingAllReduceRuntime",
     "RingRunReport",
+    "InterpretedSegment",
     "RecoveryDecision",
     "RecoveryPolicy",
     "RecoveryReport",
@@ -127,6 +141,8 @@ __all__ = [
     "adopted_gradient_fn",
     "detect_dead_gpus",
     "drain_aborted_run",
+    "interpreted_segment",
     "recovery_serial_reference",
+    "segment_reduce_order",
     "shard_assignments",
 ]

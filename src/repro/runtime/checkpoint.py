@@ -35,6 +35,17 @@ torn shard           manifest CRC/size mismatch on load; generation
 bit-flipped shard    manifest CRC mismatch on load; same fallback
 torn manifest        JSON parse fails; same fallback
 ===================  ===============================================
+
+The *every-site drill* (:func:`every_site_drill`) turns the "crash
+during stage / crash during commit" rows into an exhaustive check: it
+enumerates every durable operation one save performs (each shard write,
+the manifest write, the commit rename) via :func:`enumerate_write_sites`
+and simulates a process crash **at each one**, under every applicable
+fate — a write that never reaches the medium (``lost``), a write torn
+mid-flight (``torn``), and a crash just before or just after the atomic
+rename (``before`` / ``after``).  After each simulated crash a fresh
+reader must recover the newest *committed* generation bit-exactly and a
+follow-up save must succeed despite the staging residue.
 """
 
 from __future__ import annotations
@@ -326,6 +337,244 @@ class FaultyBackend(StorageBackend):
 
     def remove_tree(self, path: str) -> None:
         self.inner.remove_tree(path)
+
+
+class SimulatedCrash(Exception):
+    """A process death injected at one durable write site.
+
+    Deliberately a plain ``Exception``: were it an ``OSError`` the
+    checkpointer's bounded retry would swallow it, and were it a
+    ``CheckpointError`` the save path's own cleanup (``remove_tree`` of
+    the staging residue) would run — neither happens when a real process
+    dies, and the drill's whole point is to leave the medium exactly as
+    a crash would.
+    """
+
+
+@dataclass(frozen=True)
+class WriteSite:
+    """One durable operation a save performs, in program order.
+
+    Attributes:
+        index: 0-based position in the save's durable-op sequence.
+        op: ``"write"`` (shard or manifest) or ``"rename"`` (the
+            commit).
+        path: backend-relative path the operation targets (for renames,
+            the source, i.e. the staging generation).
+    """
+
+    index: int
+    op: str
+    path: str
+
+
+class _RecordingBackend(StorageBackend):
+    """Passthrough backend that records durable ops, for site probing."""
+
+    def __init__(self, inner: StorageBackend):
+        self.inner = inner
+        self.sites: list[WriteSite] = []
+
+    def write(self, path: str, data: bytes) -> None:
+        self.sites.append(WriteSite(len(self.sites), "write", path))
+        self.inner.write(path, data)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.sites.append(WriteSite(len(self.sites), "rename", src))
+        self.inner.rename(src, dst)
+
+    def read(self, path: str) -> bytes:
+        return self.inner.read(path)
+
+    def exists(self, path: str) -> bool:
+        return self.inner.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return self.inner.listdir(path)
+
+    def remove_tree(self, path: str) -> None:
+        self.inner.remove_tree(path)
+
+
+class CrashingBackend(StorageBackend):
+    """Kill the process (``SimulatedCrash``) at one durable op.
+
+    Durable ops (writes and renames) are counted in order; the op at
+    ``crash_at`` raises :class:`SimulatedCrash` with a fate controlling
+    what the medium saw first:
+
+    - write + ``"lost"``: nothing reaches the medium,
+    - write + ``"torn"``: only a prefix of the bytes lands,
+    - rename + ``"before"``: the rename never happens (generation stays
+      staging),
+    - rename + ``"after"``: the rename completes, *then* the process
+      dies (generation is committed; only post-commit bookkeeping is
+      lost).
+
+    Reads and other metadata ops pass through untouched.
+    """
+
+    def __init__(self, inner: StorageBackend, *, crash_at: int, fate: str):
+        if fate not in ("lost", "torn", "before", "after"):
+            raise ConfigError(f"unknown crash fate {fate!r}")
+        self.inner = inner
+        self.crash_at = crash_at
+        self.fate = fate
+        self.ops = 0
+
+    def _next_op(self) -> bool:
+        hit = self.ops == self.crash_at
+        self.ops += 1
+        return hit
+
+    def write(self, path: str, data: bytes) -> None:
+        if self._next_op():
+            if self.fate == "torn":
+                self.inner.write(path, data[: max(1, len(data) // 2)])
+            raise SimulatedCrash(
+                f"crash at write of {path!r} (fate={self.fate})"
+            )
+        self.inner.write(path, data)
+
+    def rename(self, src: str, dst: str) -> None:
+        if self._next_op():
+            if self.fate == "after":
+                self.inner.rename(src, dst)
+            raise SimulatedCrash(
+                f"crash at rename of {src!r} (fate={self.fate})"
+            )
+        self.inner.rename(src, dst)
+
+    def read(self, path: str) -> bytes:
+        return self.inner.read(path)
+
+    def exists(self, path: str) -> bool:
+        return self.inner.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return self.inner.listdir(path)
+
+    def remove_tree(self, path: str) -> None:
+        self.inner.remove_tree(path)
+
+
+def enumerate_write_sites(
+    state: CheckpointState, **checkpointer_kwargs
+) -> list[WriteSite]:
+    """Every durable op one save of ``state`` performs, in order.
+
+    Runs a clean probe save against a throwaway in-memory backend with a
+    recording decorator: with ``n`` members that is ``n`` shard writes,
+    the manifest write, and the commit rename — ``n + 2`` sites.
+    """
+    recorder = _RecordingBackend(MemoryBackend())
+    Checkpointer(recorder, **checkpointer_kwargs).save(state)
+    return recorder.sites
+
+
+def _fates_for(site: WriteSite) -> tuple[str, ...]:
+    return ("lost", "torn") if site.op == "write" else ("before", "after")
+
+
+def every_site_drill(
+    *,
+    elems: int = 64,
+    nmembers: int = 8,
+    seed: int = 0,
+    backend_factory=MemoryBackend,
+) -> dict:
+    """Crash a save at every durable write site and prove recovery.
+
+    For each :class:`WriteSite` and each applicable fate:
+
+    1. commit a *baseline* generation on a fresh backend,
+    2. run a second save through a :class:`CrashingBackend` armed at the
+       site — the save must die with :class:`SimulatedCrash`, leaving
+       the medium exactly as a process crash would (staging residue,
+       torn bytes, half-finished commit),
+    3. a fresh :class:`Checkpointer` over the raw backend must
+       ``load_latest()`` bit-exactly: the *new* state when the crash
+       landed after the commit rename, the baseline otherwise,
+    4. a follow-up save must succeed despite the residue, and a final
+       load must return it bit-exactly.
+
+    Returns:
+        A report dict: ``sites`` (per-scenario outcome rows), ``nsites``,
+        ``nscenarios``, and ``ok`` (always ``True`` — violations raise).
+
+    Raises:
+        CheckpointError: on any recovery violation — wrong generation
+            observed, non-bit-exact weights, or a crash that failed to
+            fire.
+    """
+    rng = np.random.default_rng(seed)
+    members = tuple(range(nmembers))
+    baseline = CheckpointState(
+        weights=rng.normal(size=elems), iteration=1, members=members
+    )
+    crashed_state = CheckpointState(
+        weights=rng.normal(size=elems), iteration=2, members=members
+    )
+    followup = CheckpointState(
+        weights=rng.normal(size=elems), iteration=3, members=members
+    )
+    sites = enumerate_write_sites(baseline)
+    rows: list[dict] = []
+    for site in sites:
+        for fate in _fates_for(site):
+            label = f"site {site.index} ({site.op} {site.path}) fate={fate}"
+            backend = backend_factory()
+            base_gen = Checkpointer(backend).save(baseline)
+            crasher = Checkpointer(
+                CrashingBackend(backend, crash_at=site.index, fate=fate)
+            )
+            try:
+                crasher.save(crashed_state)
+            except SimulatedCrash:
+                pass
+            else:
+                raise CheckpointError(
+                    f"{label}: armed crash never fired — site map stale?"
+                )
+            reader = Checkpointer(backend)
+            state, generation = reader.load_latest()
+            committed = site.op == "rename" and fate == "after"
+            expect = crashed_state if committed else baseline
+            expect_gen = base_gen + 1 if committed else base_gen
+            if generation != expect_gen:
+                raise CheckpointError(
+                    f"{label}: recovered generation {generation}, "
+                    f"expected {expect_gen}"
+                )
+            if not np.array_equal(state.weights, expect.weights) or (
+                state.iteration != expect.iteration
+            ):
+                raise CheckpointError(
+                    f"{label}: recovered state is not bit-exact"
+                )
+            follow_gen = reader.save(followup)
+            final, final_gen = Checkpointer(backend).load_latest()
+            if final_gen != follow_gen or not np.array_equal(
+                final.weights, followup.weights
+            ):
+                raise CheckpointError(
+                    f"{label}: follow-up save did not win the next load"
+                )
+            rows.append({
+                "site": site.index,
+                "op": site.op,
+                "path": site.path,
+                "fate": fate,
+                "recovered_generation": generation,
+                "recovered_iteration": state.iteration,
+                "followup_generation": follow_gen,
+            })
+    return {
+        "nsites": len(sites),
+        "nscenarios": len(rows),
+        "sites": rows,
+        "ok": True,
+    }
 
 
 class Checkpointer:

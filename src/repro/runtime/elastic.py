@@ -61,12 +61,14 @@ from repro.runtime.memory import ChunkLayout
 from repro.runtime.recovery import (
     REEMBED,
     RESTART,
+    InterpretedSegment,
     RecoveryDecision,
     RecoveryPolicy,
     adopted_gradient_fn,
     detect_dead_gpus,
     drain_aborted_run,
     interpreted_segment,
+    segment_reduce_order,
     shard_assignments,
 )
 from repro.runtime.sync import SpinConfig
@@ -74,7 +76,6 @@ from repro.runtime.training import (
     FunctionalTrainer,
     GradientFn,
     serial_reference,
-    tree_reduce_order,
 )
 from repro.topology.base import PhysicalTopology
 from repro.topology.logical import BinaryTree
@@ -92,6 +93,15 @@ LEAVE_EVENT = "leave"
 JOIN_EVENT = "join"
 
 _EVENT_KINDS = (CRASH_EVENT, LEAVE_EVENT, JOIN_EVENT)
+
+#: Deterministic ordering of events landing on the *same* iteration:
+#: crashes interrupt the iteration (and are redone), so they apply
+#: first; graceful leaves next; joins last — then by gpu id.
+_KIND_ORDER = {CRASH_EVENT: 0, LEAVE_EVENT: 1, JOIN_EVENT: 2}
+
+
+def _event_sort_key(event: "MembershipEvent") -> tuple[int, int, int]:
+    return (event.at_iteration, _KIND_ORDER[event.kind], event.gpu)
 
 
 @dataclass(frozen=True)
@@ -188,7 +198,7 @@ def parse_events(
                 at_iteration=at if at is not None else next(draw),
             )
         )
-    return tuple(sorted(events, key=lambda e: e.at_iteration))
+    return tuple(sorted(events, key=_event_sort_key))
 
 
 @dataclass(frozen=True)
@@ -224,6 +234,8 @@ class MembershipRecord:
             when the run continued from live weights.
         resumed_from: global iteration training resumed at.
         plan_check: the plan-IR gate for the new member set.
+        fault_stats: injector counters snapshotted when the crash abort
+            drained (empty for leave/join or when nothing fired).
     """
 
     event: MembershipEvent
@@ -233,6 +245,7 @@ class MembershipRecord:
     restored_generation: int
     resumed_from: int
     plan_check: PlanCheck
+    fault_stats: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -587,9 +600,13 @@ class ElasticTrainer:
     ) -> ElasticReport:
         """Run ``iterations`` global steps through the event stream.
 
-        Events are applied in ``at_iteration`` order; two events cannot
-        land on the same iteration.  A crash target must be a member; a
-        join target must not be; membership never drops below 2.
+        Events are applied in ``at_iteration`` order; several events
+        may land on the same iteration, applied in the deterministic
+        order crash < leave < join (ties broken by gpu id) — a crash
+        interrupts the iteration and is redone on the post-event member
+        set, so it must resolve before boundary departures and
+        arrivals.  A crash target must be a member; a join target must
+        not be; membership never drops below 2.
 
         Raises:
             ConfigError: on invalid events.
@@ -600,12 +617,7 @@ class ElasticTrainer:
         """
         if iterations < 1:
             raise ConfigError("need at least 1 iteration")
-        stream = tuple(sorted(events, key=lambda e: e.at_iteration))
-        seen_iters = [e.at_iteration for e in stream]
-        if len(set(seen_iters)) != len(seen_iters):
-            raise ConfigError(
-                "membership events must land on distinct iterations"
-            )
+        stream = tuple(sorted(events, key=_event_sort_key))
         for event in stream:
             if event.at_iteration >= iterations:
                 raise ConfigError(
@@ -647,19 +659,13 @@ class ElasticTrainer:
             dead_detected: tuple[int, ...] = ()
             decision: RecoveryDecision | None = None
             restored_generation = -1
+            fault_stats: dict = {}
 
             if event.kind == CRASH_EVENT:
                 if event.gpu not in members:
                     raise ConfigError(
                         f"crash targets gpu {event.gpu}, not a member at "
                         f"iteration {event.at_iteration}"
-                    )
-                if embedding.synthesized:
-                    raise ConfigError(
-                        "crash fault injection targets the hand-written "
-                        "tree kernels; the current member set runs a "
-                        "synthesized fallback plan, which does not "
-                        "support it"
                     )
                 armed = FaultPlan(
                     gpu_faults=(
@@ -670,13 +676,30 @@ class ElasticTrainer:
                         ),
                     ),
                 )
-                runtime = self._runtime(embedding, armed)
-                try:
-                    span = self._segment(
-                        runtime,
-                        self._member_fn(assignments, completed),
-                        weights, 1,
+                crash_fn = self._member_fn(assignments, completed)
+                if embedding.synthesized:
+                    # The member set runs a synthesized fallback plan:
+                    # arm the fault inside the interpreter; detection
+                    # reads dense plan ranks off its phase board.
+                    runtime = InterpretedSegment(
+                        embedding,
+                        self.network,
+                        learning_rate=self.learning_rate,
+                        spin=self.spin,
+                        fault_plan=armed,
                     )
+
+                    def run_crash(w):
+                        return runtime.run(crash_fn, w, 1)
+
+                else:
+                    runtime = self._runtime(embedding, armed)
+
+                    def run_crash(w):
+                        return self._segment(runtime, crash_fn, w, 1)
+
+                try:
+                    span = run_crash(weights)
                     history.extend(span)
                     weights = span[-1].copy()
                     completed += 1
@@ -693,15 +716,16 @@ class ElasticTrainer:
                         restored_generation=-1,
                         resumed_from=completed,
                         plan_check=self.plan_check_for(members),
+                        fault_stats=dict(armed.stats.snapshot()),
                     ))
                     continue
                 except AbortedError as abort:
                     timeline.append(f"abort: {abort.reason}")
-                    stats = drain_aborted_run(runtime)
+                    fault_stats = drain_aborted_run(runtime)
                     timeline.append(
                         "drain: in-flight chunks discarded with the "
                         "aborted run"
-                        + (f"; fault stats {stats}" if stats else "")
+                        + (f"; fault stats {fault_stats}" if fault_stats else "")
                     )
                     dead_ranks = detect_dead_gpus(runtime)
                     if not dead_ranks:
@@ -812,6 +836,7 @@ class ElasticTrainer:
                 restored_generation=restored_generation,
                 resumed_from=completed,
                 plan_check=check,
+                fault_stats=fault_stats,
             ))
 
         if completed < iterations:
@@ -853,8 +878,10 @@ def elastic_serial_reference(
 ) -> np.ndarray:
     """The fault-free serial SGD an elastic run must reproduce bit-exactly.
 
-    Replays each ownership segment with its member set's tree reduction
-    order and shard adoption — the multi-segment generalization of
+    Replays each ownership segment with its member set's reduction
+    order — the hand-written tree order for healthy embeddings, the
+    interpreted plan's replay order for synthesized fallbacks — plus
+    shard adoption: the multi-segment generalization of
     :func:`~repro.runtime.recovery.recovery_serial_reference` to
     arbitrary membership-change sequences.  Floating-point addition is
     not associative, so matching the replayed orders (rather than
@@ -887,6 +914,8 @@ def elastic_serial_reference(
             nnodes=embedding.topology.nnodes,
             iterations=end - start,
             learning_rate=learning_rate,
-            reduce_order=tree_reduce_order(embedding.trees, layout),
+            reduce_order=segment_reduce_order(
+                embedding, layout, network.total_params
+            ),
         )
     return weights

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -266,6 +266,29 @@ class FaultPlan:
                 return fault
         return None
 
+    def retargeted(self, rank_of: dict[int, int]) -> "FaultPlan":
+        """GPU-fault targets rewritten through ``rank_of``.
+
+        Fault plans are specified against *physical* GPU ids (what an
+        operator would name); degraded and elastic runtimes address
+        their kernels by dense member rank.  This maps every GPU fault
+        through the embedding's ``rank_of`` so the same plan can be
+        armed on the hand-written kernels or on an interpreted segment.
+
+        Raises:
+            ConfigError: when a fault targets a GPU absent from the map
+                (it did not survive, or never joined).
+        """
+        faults = []
+        for fault in self.gpu_faults:
+            if fault.gpu not in rank_of:
+                raise ConfigError(
+                    f"fault targets gpu {fault.gpu}, which is not a "
+                    "member of the degraded group"
+                )
+            faults.append(replace(fault, gpu=rank_of[fault.gpu]))
+        return replace(self, gpu_faults=tuple(faults))
+
     def storage_injector(self, path: str) -> "StorageInjector | None":
         """Injector for the storage path ``path`` (None when unaffected)."""
         matching = [f for f in self.storage_faults if f.applies_to(path)]
@@ -425,6 +448,13 @@ class PhaseBoard:
 
     def set(self, gpu: int, phase: str) -> None:
         with self._lock:
+            # Terminal stamps are sticky: a GPU whose tree-0 kernel
+            # crashed or wedged still has live sibling kernels on the
+            # other trees, and their routine progress stamps must not
+            # erase the one line detection relies on.
+            current = self._phases.get(gpu, "")
+            if "crashed" in current or "stuck" in current:
+                return
             self._phases[gpu] = phase
 
     def get(self, gpu: int) -> str:

@@ -31,13 +31,22 @@ Accuracy-neutrality extends across the recovery boundary: the recovered
 weights are bit-identical to :func:`recovery_serial_reference`, a
 fault-free serial SGD that replays the same reduction orders (8-GPU tree
 order before the crash, 7-rank degraded order with shard adoption after).
+
+The same state machine runs *through the interpreted plan path*: when a
+survivor set has no feasible double tree, its segment executes the
+synthesized plan via :class:`InterpretedSegment`, faults arm inside the
+interpreter (joining the same fail-fast ``AbortCell`` protocol), crashes
+are detected off the interpreter's phase board as dense plan ranks, and
+the serial reference replays such segments in the plan's combined-graph
+execution order (:func:`segment_reduce_order`) — so crash, cascade, and
+recovery are uniform across hand-written kernels and compiled plans.
 """
 
 from __future__ import annotations
 
 import re
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -79,20 +88,38 @@ _POLICY_MODES = (COST_BASED, REEMBED, RESTART)
 #: Kernel names carry the GPU id; fallback when the phase board is clean.
 _KERNEL_GPU_RE = re.compile(r"kernel '[a-z-]+ t\d+ g(\d+)'")
 
+#: Interpreter kernels are named ``plan g<rank> tb (0, 'up')``; the id
+#: they carry is the *dense plan rank*, not a physical GPU.  The name
+#: itself contains quotes, so ``{name!r}`` renders it double-quoted.
+_PLAN_KERNEL_GPU_RE = re.compile(r"kernel [\"']plan g(\d+) tb")
+
+#: A starved plan wire names its semaphore ``'plan reduce t0 1->3'``;
+#: the *poster* (first id) is the rank that went silent.
+_PLAN_SEMAPHORE_RE = re.compile(r"semaphore 'plan [a-z-]+ t\d+ (\d+)->(\d+)")
+
 #: A wait timeout names the starved semaphore ``'t0:5->6.up'``; the
 #: *poster* (first id) is the GPU that went silent.
 _SEMAPHORE_RE = re.compile(r"semaphore 't\d+:(\d+)->(\d+)\.")
 
 
-def detect_dead_gpus(runtime: TreeAllReduceRuntime) -> tuple[int, ...]:
-    """Physical GPUs that died in ``runtime``'s most recent aborted run.
+def detect_dead_gpus(runtime) -> tuple[int, ...]:
+    """GPUs that died in ``runtime``'s most recent aborted run.
 
-    Primary source is the phase board (crash/stuck faults stamp their
-    last phase before firing); if the board shows nothing — a stuck
-    tree-0 kernel's stamp can be overwritten by its still-running tree-1
-    siblings — the abort reason is parsed instead: a failing kernel's
-    name carries the GPU id, and a wait timeout names the starved
-    semaphore, whose *poster* is the GPU that went silent.
+    ``runtime`` is anything exposing ``nnodes`` / ``phase_board`` /
+    ``abort_cell`` — a hand-written :class:`TreeAllReduceRuntime` or an
+    :class:`InterpretedSegment` (where the returned ids are dense plan
+    ranks, which the caller maps back to physical GPUs via the
+    embedding's ``gpu_of``).
+
+    Primary source is the phase board: crash/stuck faults stamp their
+    last phase before firing, and those terminal stamps are sticky, so
+    a faulty GPU's still-running sibling kernels on other trees cannot
+    erase them.  If the board shows nothing the abort reason is parsed
+    instead: a failing kernel's name carries the GPU id
+    (``'reduce-bcast t0 g3'`` for the tree kernels, ``'plan g3 tb ...'``
+    for the interpreter), and a wait timeout names the starved
+    semaphore, whose *poster* is the GPU that went silent (best-effort:
+    a transitively starved wait can name a healthy intermediate).
     """
     dead: set[int] = set()
     board = runtime.phase_board
@@ -103,19 +130,21 @@ def detect_dead_gpus(runtime: TreeAllReduceRuntime) -> tuple[int, ...]:
                 dead.add(gpu)
     if not dead and runtime.abort_cell is not None:
         reason = runtime.abort_cell.reason
-        match = _KERNEL_GPU_RE.search(reason)
+        match = _KERNEL_GPU_RE.search(reason) or _PLAN_KERNEL_GPU_RE.search(
+            reason
+        )
         if match:
             dead.add(int(match.group(1)))
         else:
-            match = _SEMAPHORE_RE.search(reason)
+            match = _SEMAPHORE_RE.search(reason) or (
+                _PLAN_SEMAPHORE_RE.search(reason)
+            )
             if match:
                 dead.add(int(match.group(1)))
     return tuple(sorted(dead))
 
 
-def drain_aborted_run(
-    runtime: TreeAllReduceRuntime, *, grace: float = 0.05
-) -> dict[str, int]:
+def drain_aborted_run(runtime, *, grace: float = 0.05) -> dict[str, int]:
     """Step 2 of the recovery state machine: drain the aborted cluster.
 
     By the time :class:`~repro.errors.AbortedError` propagates, the
@@ -312,6 +341,121 @@ def adopted_gradient_fn(
     return fn
 
 
+class InterpretedSegment:
+    """A training segment on a *synthesized* embedding's plan.
+
+    Survivor sets with no feasible double tree carry a verified
+    synthesized plan (``embedding.synthesized``) instead of trees the
+    hand-written kernels could execute; this drives the same SGD math
+    as :class:`~repro.runtime.training.FunctionalTrainer` — per-rank
+    gradients, summed collective, ``w -= lr * sum`` — through
+    :class:`repro.plan.interpreter.PlanInterpreter`.
+
+    The segment also exposes the runtime surface the recovery state
+    machine drives — ``nnodes``, ``fault_plan``, and the live
+    interpreter's ``abort_cell`` / ``phase_board`` — so
+    :func:`drain_aborted_run` and :func:`detect_dead_gpus` work on an
+    aborted interpreted segment exactly as they do on the hand-written
+    runtimes.  Detected ids are dense plan ranks; callers map them back
+    to physical GPUs through ``embedding.gpu_of``.
+
+    Args:
+        embedding: synthesized survivor embedding (carries the plan).
+        network: layer table (sets the gradient length).
+        learning_rate: SGD step size on the summed gradient.
+        spin: spin/timeout configuration for the interpreter.
+        fault_plan: optional fault injection, already expressed in
+            dense plan ranks (see :meth:`FaultPlan.retargeted`).
+    """
+
+    def __init__(
+        self,
+        embedding: DegradedEmbedding,
+        network: NetworkModel,
+        *,
+        learning_rate: float,
+        spin: SpinConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
+        if not embedding.synthesized or embedding.plan is None:
+            raise ConfigError(
+                "interpreted_segment needs a synthesized embedding"
+            )
+        self.embedding = embedding
+        self.network = network
+        self.learning_rate = learning_rate
+        self.spin = spin
+        self.fault_plan = fault_plan
+        #: The most recent interpreter — carries the abort cell and
+        #: phase board of the last (possibly aborted) run.
+        self.interpreter = None
+
+    @property
+    def nnodes(self) -> int:
+        return self.embedding.plan.nnodes
+
+    @property
+    def abort_cell(self):
+        return (
+            self.interpreter.abort_cell
+            if self.interpreter is not None
+            else None
+        )
+
+    @property
+    def phase_board(self):
+        return (
+            self.interpreter.phase_board
+            if self.interpreter is not None
+            else None
+        )
+
+    def run(
+        self,
+        gradient_fn: GradientFn,
+        weights: np.ndarray,
+        iterations: int,
+    ) -> list[np.ndarray]:
+        """Run ``iterations`` steps; returns the weight history.
+
+        Raises:
+            AbortedError: a kernel crashed or stalled (injected fault);
+                the interpreter's abort cell and phase board stay
+                readable for drain/detect.
+        """
+        # Late import: the interpreter lives in repro.plan, whose
+        # package init imports back into repro.runtime.
+        from repro.plan.interpreter import PlanInterpreter
+
+        nranks = self.embedding.topology.nnodes
+        w = np.asarray(weights, dtype=np.float64).copy()
+        history: list[np.ndarray] = []
+        for iteration in range(iterations):
+            grads = [
+                np.asarray(
+                    gradient_fn(w, rank, iteration), dtype=np.float64
+                )
+                for rank in range(nranks)
+            ]
+            self.interpreter = PlanInterpreter(
+                self.embedding.plan,
+                total_elems=self.network.total_params,
+                spin=self.spin,
+                fault_plan=self.fault_plan,
+                verify=False,  # gated once at synthesis time
+            )
+            report = self.interpreter.run(grads)
+            for out in report.outputs[1:]:
+                if not np.array_equal(report.outputs[0], out):
+                    raise ConfigError(
+                        "GPUs diverged — the synthesized collective is "
+                        "broken"
+                    )
+            w = w - self.learning_rate * report.outputs[0]
+            history.append(w.copy())
+        return history
+
+
 def interpreted_segment(
     embedding: DegradedEmbedding,
     network: NetworkModel,
@@ -321,48 +465,41 @@ def interpreted_segment(
     *,
     learning_rate: float,
     spin=None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[np.ndarray]:
     """Run a training segment on a *synthesized* embedding's plan.
 
-    Survivor sets with no feasible double tree carry a verified
-    synthesized plan (``embedding.synthesized``) instead of trees the
-    hand-written kernels could execute; this drives the same SGD math
-    as :class:`~repro.runtime.training.FunctionalTrainer` — per-rank
-    gradients, summed collective, ``w -= lr * sum`` — through
-    :class:`repro.plan.interpreter.PlanInterpreter`.
-
-    Returns the per-iteration weight history, like ``_segment``.
+    Functional wrapper over :class:`InterpretedSegment` for quiet
+    (unarmed) spans; returns the per-iteration weight history, like
+    ``_segment``.
     """
-    # Late import: the interpreter lives in repro.plan, whose package
-    # init imports back into repro.runtime.
-    from repro.plan.interpreter import PlanInterpreter
+    return InterpretedSegment(
+        embedding,
+        network,
+        learning_rate=learning_rate,
+        spin=spin,
+        fault_plan=fault_plan,
+    ).run(gradient_fn, weights, iterations)
 
-    if not embedding.synthesized or embedding.plan is None:
-        raise ConfigError(
-            "interpreted_segment needs a synthesized embedding"
-        )
-    nranks = embedding.topology.nnodes
-    w = np.asarray(weights, dtype=np.float64).copy()
-    history: list[np.ndarray] = []
-    for iteration in range(iterations):
-        grads = [
-            np.asarray(gradient_fn(w, rank, iteration), dtype=np.float64)
-            for rank in range(nranks)
-        ]
-        report = PlanInterpreter(
-            embedding.plan,
-            total_elems=network.total_params,
-            spin=spin,
-            verify=False,  # gated once at synthesis time
-        ).run(grads)
-        for out in report.outputs[1:]:
-            if not np.array_equal(report.outputs[0], out):
-                raise ConfigError(
-                    "GPUs diverged — the synthesized collective is broken"
-                )
-        w = w - learning_rate * report.outputs[0]
-        history.append(w.copy())
-    return history
+
+def segment_reduce_order(
+    embedding: DegradedEmbedding, layout, total_elems: int
+):
+    """The bit-exact serial reduction order for one recovery segment.
+
+    Hand-written-kernel segments reduce in the embedding's tree order;
+    synthesized segments reduce in the plan's combined-graph execution
+    order (:func:`repro.plan.interpreter.plan_reduce_order`).  This is
+    what lets one serial reference cross plan-path boundaries: each
+    segment replays whichever reduction order actually executed it.
+    """
+    if embedding.synthesized:
+        # Late import: repro.plan's package init imports back into
+        # repro.runtime.
+        from repro.plan.interpreter import plan_reduce_order
+
+        return plan_reduce_order(embedding.plan, total_elems=total_elems)
+    return tree_reduce_order(embedding.trees, layout)
 
 
 @dataclass
@@ -391,6 +528,16 @@ class RecoveryReport:
         cascade_assignments: rank -> adopted shards after the cascade.
         cascade_resumed_from_iteration: iteration index the post-cascade
             resume restarted at (-1 without a cascade).
+        initial_dead: physical GPUs already dead before the run started
+            (the trainer then runs every segment degraded — possibly
+            interpreted — from iteration 0).
+        initial_embedding: the pre-existing degraded embedding matching
+            ``initial_dead`` (None when the run started healthy).
+        initial_assignments: rank -> adopted shards for the initial
+            embedding.
+        fault_stats: injector counters snapshotted when the first abort
+            drained (empty when nothing fired).
+        cascade_fault_stats: same, for the cascade abort.
     """
 
     weights: np.ndarray
@@ -409,11 +556,18 @@ class RecoveryReport:
     cascade_embedding: DegradedEmbedding | None = None
     cascade_assignments: dict[int, tuple[int, ...]] | None = None
     cascade_resumed_from_iteration: int = -1
+    initial_dead: tuple[int, ...] = ()
+    initial_embedding: DegradedEmbedding | None = None
+    initial_assignments: dict[int, tuple[int, ...]] | None = None
+    fault_stats: dict = field(default_factory=dict)
+    cascade_fault_stats: dict = field(default_factory=dict)
 
     @property
     def all_dead_gpus(self) -> tuple[int, ...]:
-        """Every physical GPU lost across both crashes."""
-        return tuple(sorted({*self.dead_gpus, *self.cascade_dead_gpus}))
+        """Every physical GPU lost or already dead across the run."""
+        return tuple(sorted(
+            {*self.initial_dead, *self.dead_gpus, *self.cascade_dead_gpus}
+        ))
 
 
 class ResilientTrainer:
@@ -438,6 +592,11 @@ class ResilientTrainer:
         detour_preference: preferred detour intermediates (physical ids).
         search_iterations / search_restarts / search_seed: degraded
             hill-climb budget.
+        initial_dead: physical GPUs already dead when training starts —
+            the trainer then runs *every* segment on the matching
+            degraded embedding (the interpreted plan path when the
+            survivor set has no feasible double tree), and the armed
+            fault fires inside that segment.
     """
 
     def __init__(
@@ -456,6 +615,7 @@ class ResilientTrainer:
         search_iterations: int = 1200,
         search_restarts: int = 3,
         search_seed: int = 0,
+        initial_dead: tuple[int, ...] = (),
     ):
         self.topo = topo
         self.network = network
@@ -476,6 +636,16 @@ class ResilientTrainer:
             detour_map = detour_map_for(trees, topo, router)
         self.trees = trees
         self.detour_map = dict(detour_map or {})
+        self.initial_dead = tuple(sorted(set(initial_dead)))
+        self.initial_embedding: DegradedEmbedding | None = None
+        if self.initial_dead:
+            self.initial_embedding = search_degraded_pair(
+                topo,
+                self.initial_dead,
+                detour_preference=detour_preference,
+                synth_fallback=True,
+                **self._search_kwargs,
+            )
 
     @property
     def layout(self):
@@ -524,17 +694,7 @@ class ResilientTrainer:
         Raises:
             ConfigError: when a fault targets an already-dead GPU.
         """
-        faults = []
-        for fault in plan.gpu_faults:
-            if fault.gpu not in embedding.rank_of:
-                raise ConfigError(
-                    f"cascade fault targets gpu {fault.gpu}, which did "
-                    "not survive the first crash"
-                )
-            faults.append(
-                replace(fault, gpu=embedding.rank_of[fault.gpu])
-            )
-        return replace(plan, gpu_faults=tuple(faults))
+        return plan.retargeted(embedding.rank_of)
 
     def _segment(
         self,
@@ -624,31 +784,87 @@ class ResilientTrainer:
         weights = np.asarray(initial_weights, dtype=np.float64).copy()
         history: list[np.ndarray] = []
 
-        # Healthy prefix: iterations before the fault is armed.
+        # Base segment: healthy 8-GPU kernels, or — with initial_dead —
+        # the pre-degraded embedding (interpreted when synthesized).
+        base_embedding = self.initial_embedding
+        base_assignments: dict[int, tuple[int, ...]] | None = None
+        base_fn = self.gradient_fn
+        base_label = "healthy"
+        if base_embedding is not None:
+            base_assignments = shard_assignments(
+                base_embedding, self.topo.nnodes
+            )
+            base_fn = adopted_gradient_fn(
+                self.gradient_fn, base_assignments
+            )
+            base_label = "degraded"
+            timeline.append(
+                f"initial: GPUs {list(self.initial_dead)} already dead; "
+                f"{base_embedding.topology.nnodes} ranks"
+                + (
+                    f" on a synthesized {base_embedding.plan_strategy} plan"
+                    if base_embedding.synthesized
+                    else ""
+                )
+            )
+
+        def base_quiet(w: np.ndarray, n: int) -> list[np.ndarray]:
+            if base_embedding is None:
+                return self._segment(
+                    self._healthy_runtime(None), base_fn, w, n
+                )
+            return self._degraded_segment(base_embedding, base_fn, w, n)
+
+        # Prefix: iterations before the fault is armed.
         prefix = fault_at_iteration if fault_plan is not None else 0
         if prefix:
-            history.extend(
-                self._segment(
-                    self._healthy_runtime(None), self.gradient_fn,
-                    weights, prefix,
-                )
-            )
+            history.extend(base_quiet(weights, prefix))
             weights = history[-1].copy()
-            timeline.append(f"healthy: iterations 0..{prefix - 1} done")
+            timeline.append(
+                f"{base_label}: iterations 0..{prefix - 1} done"
+            )
 
         # Faulted attempt (or the whole run when no plan is armed).
-        runtime = self._healthy_runtime(fault_plan)
+        # ``attempt`` always exposes abort_cell/phase_board/fault_plan/
+        # nnodes, so drain/detect below work on either execution path.
         remaining = iterations - prefix
-        try:
-            history.extend(
-                self._segment(
-                    runtime,
-                    self._shifted(self.gradient_fn, prefix),
-                    weights, remaining,
-                )
+        shifted_fn = self._shifted(base_fn, prefix)
+        if base_embedding is None:
+            attempt = self._healthy_runtime(fault_plan)
+
+            def run_attempt(w, n):
+                return self._segment(attempt, shifted_fn, w, n)
+
+        else:
+            armed = (
+                fault_plan.retargeted(base_embedding.rank_of)
+                if fault_plan is not None
+                else None
             )
+            if base_embedding.synthesized:
+                attempt = InterpretedSegment(
+                    base_embedding,
+                    self.network,
+                    learning_rate=self.learning_rate,
+                    spin=self.spin,
+                    fault_plan=armed,
+                )
+
+                def run_attempt(w, n):
+                    return attempt.run(shifted_fn, w, n)
+
+            else:
+                attempt = self._degraded_runtime(
+                    base_embedding, fault_plan=armed
+                )
+
+                def run_attempt(w, n):
+                    return self._segment(attempt, shifted_fn, w, n)
+
+        try:
+            history.extend(run_attempt(weights, remaining))
             timeline.append(
-                f"healthy: iterations {prefix}..{iterations - 1} done"
+                f"{base_label}: iterations {prefix}..{iterations - 1} done"
                 + (" (armed fault never aborted)" if fault_plan else "")
             )
             return RecoveryReport(
@@ -665,6 +881,9 @@ class ResilientTrainer:
                 assignments=None,
                 resumed_from_iteration=-1,
                 timeline=timeline,
+                initial_dead=self.initial_dead,
+                initial_embedding=base_embedding,
+                initial_assignments=base_assignments,
             )
         except AbortedError as abort:
             # How far did the faulted segment get before dying?  The
@@ -674,20 +893,32 @@ class ResilientTrainer:
             # iteration because crash faults re-fire every run, so the
             # prefix boundary IS the last consistent entry.)
             timeline.append(f"abort: {abort.reason}")
-            stats = drain_aborted_run(runtime)
+            fault_stats = drain_aborted_run(attempt)
             timeline.append(
                 "drain: in-flight chunks discarded with the aborted run"
-                + (f"; fault stats {stats}" if stats else "")
+                + (f"; fault stats {fault_stats}" if fault_stats else "")
             )
-            dead = detect_dead_gpus(runtime)
-            if not dead:
+            detected = detect_dead_gpus(attempt)
+            if not detected:
                 timeline.append("detect: no dead GPU identified; rethrowing")
                 raise
-            timeline.append(f"detect: dead GPUs {list(dead)}")
+            if base_embedding is not None:
+                # Interpreted/degraded kernels address dense ranks; map
+                # back to the physical ids the operator reasons about.
+                dead = tuple(
+                    sorted(base_embedding.gpu_of[r] for r in detected)
+                )
+                timeline.append(
+                    f"detect: dead ranks {list(detected)} = physical "
+                    f"GPUs {list(dead)}"
+                )
+            else:
+                dead = detected
+                timeline.append(f"detect: dead GPUs {list(dead)}")
 
         embedding = search_degraded_pair(
             self.topo,
-            dead,
+            tuple(sorted({*self.initial_dead, *dead})),
             detour_preference=self.detour_preference,
             synth_fallback=True,
             **self._search_kwargs,
@@ -715,6 +946,7 @@ class ResilientTrainer:
         cascade_decision: RecoveryDecision | None = None
         cascade_embedding: DegradedEmbedding | None = None
         cascade_assignments: dict[int, tuple[int, ...]] | None = None
+        cascade_fault_stats: dict = {}
         cascade_split = -1
         if decision.action == REEMBED:
             assignments = shard_assignments(embedding, self.topo.nnodes)
@@ -733,12 +965,6 @@ class ResilientTrainer:
                     )
                 )
             else:
-                if embedding.synthesized:
-                    raise ConfigError(
-                        "cascade fault injection targets the hand-written "
-                        "tree kernels; the synthesized-plan fallback "
-                        "segment does not support it"
-                    )
                 if not 0 <= cascade_at_iteration < remaining:
                     raise ConfigError(
                         f"cascade_at_iteration {cascade_at_iteration} "
@@ -746,8 +972,8 @@ class ResilientTrainer:
                     )
                 if cascade_at_iteration:
                     history.extend(
-                        self._segment(
-                            self._degraded_runtime(embedding),
+                        self._degraded_segment(
+                            embedding,
                             self._shifted(degraded_fn, prefix),
                             weights, cascade_at_iteration,
                         )
@@ -763,28 +989,47 @@ class ResilientTrainer:
                 armed = self._translated_faults(
                     cascade_fault_plan, embedding
                 )
-                cascade_runtime = self._degraded_runtime(
-                    embedding, fault_plan=armed
-                )
-                try:
-                    history.extend(
-                        self._segment(
-                            cascade_runtime,
-                            self._shifted(degraded_fn, cascade_split),
-                            weights, left,
-                        )
+                cascade_fn = self._shifted(degraded_fn, cascade_split)
+                if embedding.synthesized:
+                    cascade_runtime = InterpretedSegment(
+                        embedding,
+                        self.network,
+                        learning_rate=self.learning_rate,
+                        spin=self.spin,
+                        fault_plan=armed,
                     )
+
+                    def run_cascade(w, n):
+                        return cascade_runtime.run(cascade_fn, w, n)
+
+                else:
+                    cascade_runtime = self._degraded_runtime(
+                        embedding, fault_plan=armed
+                    )
+
+                    def run_cascade(w, n):
+                        return self._segment(cascade_runtime, cascade_fn,
+                                             w, n)
+
+                try:
+                    history.extend(run_cascade(weights, left))
                     timeline.append(
                         "degraded: armed cascade fault never aborted"
                     )
                     cascade_split = -1
                 except AbortedError as second:
                     timeline.append(f"cascade abort: {second.reason}")
-                    stats = drain_aborted_run(cascade_runtime)
+                    cascade_fault_stats = drain_aborted_run(
+                        cascade_runtime
+                    )
                     timeline.append(
                         "drain: in-flight chunks discarded with the "
                         "aborted degraded run"
-                        + (f"; fault stats {stats}" if stats else "")
+                        + (
+                            f"; fault stats {cascade_fault_stats}"
+                            if cascade_fault_stats
+                            else ""
+                        )
                     )
                     dead_ranks = detect_dead_gpus(cascade_runtime)
                     if not dead_ranks:
@@ -799,7 +1044,9 @@ class ResilientTrainer:
                         f"detect: dead ranks {list(dead_ranks)} = "
                         f"physical GPUs {list(cascade_dead)}"
                     )
-                    all_dead = tuple(sorted({*dead, *cascade_dead}))
+                    all_dead = tuple(sorted(
+                        {*self.initial_dead, *dead, *cascade_dead}
+                    ))
                     cascade_embedding = search_degraded_pair(
                         self.topo,
                         all_dead,
@@ -889,7 +1136,7 @@ class ResilientTrainer:
             weight_history=history,
             fault_at_iteration=fault_at_iteration,
             aborted=True,
-            abort_reason=runtime.abort_cell.reason,
+            abort_reason=attempt.abort_cell.reason,
             dead_gpus=dead,
             decision=decision,
             embedding=embedding,
@@ -901,6 +1148,11 @@ class ResilientTrainer:
             cascade_embedding=cascade_embedding,
             cascade_assignments=cascade_assignments,
             cascade_resumed_from_iteration=cascade_split,
+            initial_dead=self.initial_dead,
+            initial_embedding=base_embedding,
+            initial_assignments=base_assignments,
+            fault_stats=fault_stats,
+            cascade_fault_stats=cascade_fault_stats,
         )
 
 
@@ -918,14 +1170,20 @@ def recovery_serial_reference(
     """The fault-free serial SGD a recovered run must reproduce bit-exactly.
 
     Replays the recovered run's schedule without ever experiencing the
-    fault: iterations before the resume point use the healthy tree
-    reduction order over all physical shards; iterations from the resume
-    point use the degraded 7-rank order with the same shard adoption; and
-    when the run suffered a cascading second crash, iterations from the
-    cascade resume point use the 6-rank order with the cumulative
-    adoption.  Floating-point addition is not associative, so matching
-    this replayed order — rather than ``np.sum`` — is exactly the
-    accuracy-neutrality claim extended across the recovery boundary.
+    fault: iterations before the resume point use the base reduction
+    order over the base shards — the healthy tree order, or, when the
+    run started with ``initial_dead`` GPUs, the initial embedding's
+    order with its shard adoption (the plan execution order when that
+    embedding is synthesized); iterations from the resume point use the
+    re-embedded order with the cumulative adoption; and when the run
+    suffered a cascading second crash, iterations from the cascade
+    resume point use the next order.  Each segment's order crosses
+    plan-path boundaries freely: hand-written-kernel segments replay
+    the tree order, interpreted segments replay the plan's combined-
+    graph execution order.  Floating-point addition is not associative,
+    so matching this replayed order — rather than ``np.sum`` — is
+    exactly the accuracy-neutrality claim extended across the recovery
+    boundary.
 
     Raises:
         ConfigError: when ``report`` did not re-embed (use the plain
@@ -937,16 +1195,32 @@ def recovery_serial_reference(
             "serial_reference instead"
         )
     split = report.resumed_from_iteration
-    nnodes = len(healthy_trees[0].nodes)
     weights = np.asarray(initial_weights, dtype=np.float64).copy()
     if split:
-        weights = serial_reference(
-            network, gradient_fn, weights,
-            nnodes=nnodes,
-            iterations=split,
-            learning_rate=learning_rate,
-            reduce_order=tree_reduce_order(healthy_trees, healthy_layout),
-        )
+        if report.initial_embedding is not None:
+            base_fn = adopted_gradient_fn(
+                gradient_fn, report.initial_assignments
+            )
+            weights = serial_reference(
+                network, base_fn, weights,
+                nnodes=report.initial_embedding.topology.nnodes,
+                iterations=split,
+                learning_rate=learning_rate,
+                reduce_order=segment_reduce_order(
+                    report.initial_embedding, healthy_layout,
+                    network.total_params,
+                ),
+            )
+        else:
+            weights = serial_reference(
+                network, gradient_fn, weights,
+                nnodes=len(healthy_trees[0].nodes),
+                iterations=split,
+                learning_rate=learning_rate,
+                reduce_order=tree_reduce_order(
+                    healthy_trees, healthy_layout
+                ),
+            )
     # Post-crash segments: (start iteration, embedding, assignments),
     # one per successful re-embedding.  The chunk layout is shared by
     # every runtime — it depends on element count, tree count, and K,
@@ -976,8 +1250,8 @@ def recovery_serial_reference(
             nnodes=embedding.topology.nnodes,
             iterations=end - start,
             learning_rate=learning_rate,
-            reduce_order=tree_reduce_order(
-                embedding.trees, healthy_layout
+            reduce_order=segment_reduce_order(
+                embedding, healthy_layout, network.total_params
             ),
         )
     return weights

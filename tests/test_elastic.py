@@ -144,16 +144,23 @@ class TestEventValidation:
                 events=(MembershipEvent("join", 2, 1),),
             )
 
-    def test_duplicate_iterations_rejected(self):
-        trainer = make_trainer(make_gradient_fn())
-        with pytest.raises(ConfigError):
-            trainer.train(
-                np.zeros(ELEMS), iterations=3,
-                events=(
-                    MembershipEvent("leave", 2, 1),
-                    MembershipEvent("join", 2, 1),
-                ),
-            )
+    def test_same_iteration_events_apply_in_kind_order(self):
+        # crash < leave < join at the same iteration, deterministically:
+        # gpu 2 leaves and immediately rejoins, so the member set is
+        # unchanged but both boundaries are recorded in order.
+        gradient_fn = make_gradient_fn()
+        trainer = make_trainer(gradient_fn)
+        w0 = np.random.default_rng(9).normal(size=ELEMS)
+        report = trainer.train(
+            w0.copy(), iterations=3,
+            events=(
+                MembershipEvent("join", 2, 1),
+                MembershipEvent("leave", 2, 1),
+            ),
+        )
+        assert [r.event.kind for r in report.records] == ["leave", "join"]
+        assert report.members == tuple(range(8))
+        assert_bit_exact(trainer, report, gradient_fn, w0, 3)
 
 
 class TestQuietRun:

@@ -361,19 +361,38 @@ class TestRuntimeIntegration:
             w = w - 0.1 * g
         assert np.allclose(report.weight_history[-1], w, atol=1e-12)
 
-    def test_elastic_crash_on_synthesized_members_is_rejected(self):
-        from repro.runtime.elastic import ElasticTrainer, MembershipEvent
+    def test_elastic_crash_on_synthesized_members_recovers(self):
+        # A crash landing while the member set runs a synthesized plan
+        # is armed inside the interpreter, detected off its phase board,
+        # and recovered — bit-exact against the multi-segment reference.
+        from repro.runtime.elastic import (
+            ElasticTrainer,
+            MembershipEvent,
+            elastic_serial_reference,
+        )
 
         trainer = ElasticTrainer(
             dgx1_topology(), self._net(), self._grad,
             detour_preference=DETOUR_NODES,
             chunks_per_tree=2,
+            learning_rate=0.1,
             initial_members=(0, 5, 6, 7),
         )
-        with pytest.raises(ConfigError, match="synthesized"):
-            trainer.train(
-                np.zeros(64), iterations=4,
-                events=(MembershipEvent(
-                    kind="crash", gpu=5, at_iteration=2,
-                ),),
-            )
+        report = trainer.train(
+            np.zeros(64), iterations=4,
+            events=(MembershipEvent(
+                kind="crash", gpu=5, at_iteration=2,
+            ),),
+        )
+        (record,) = report.records
+        assert record.dead_detected == (5,)
+        assert record.fault_stats.get("crashes") == 1
+        assert report.members == (0, 6, 7)
+        reference = elastic_serial_reference(
+            self._net(), self._grad, np.zeros(64),
+            segments=report.segments,
+            layout=trainer.layout,
+            iterations=4,
+            learning_rate=0.1,
+        )
+        assert np.array_equal(report.weights, reference)
